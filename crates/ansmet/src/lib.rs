@@ -1,0 +1,37 @@
+//! ANSMET — Approximate Nearest Neighbor Search with Near-Memory
+//! Processing and Hybrid Early Termination (ISCA 2025) — facade crate.
+//!
+//! Re-exports the whole reproduction under one roof:
+//!
+//! * [`vecdata`] — datasets, element types, metrics, ground truth.
+//! * [`index`] — HNSW and IVF ANNS indexes.
+//! * [`core`] — the hybrid partial-dimension/bit early-termination
+//!   algorithm (sortable encodings, bounds, schedules, layouts, the
+//!   sampling-based optimizers).
+//! * [`dram`] — the cycle-level DDR5 simulator.
+//! * [`ndp`] — the NDP hardware model (QSHRs, instructions, partitioning,
+//!   polling).
+//! * [`host`] — the host CPU timing model.
+//! * [`sim`] — the full-system designs, timing engine, energy model, and
+//!   the experiment drivers regenerating the paper's tables and figures.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ansmet::vecdata::SynthSpec;
+//! use ansmet::index::{ExactOracle, Hnsw, HnswParams};
+//!
+//! let (data, queries) = SynthSpec::sift().scaled(500, 2).generate();
+//! let hnsw = Hnsw::build(&data, HnswParams::quick());
+//! let mut oracle = ExactOracle::new(&data);
+//! let top10 = hnsw.search(&queries[0], 10, 60, &mut oracle);
+//! assert_eq!(top10.ids().len(), 10);
+//! ```
+
+pub use ansmet_core as core;
+pub use ansmet_dram as dram;
+pub use ansmet_host as host;
+pub use ansmet_index as index;
+pub use ansmet_ndp as ndp;
+pub use ansmet_sim as sim;
+pub use ansmet_vecdata as vecdata;

@@ -1,0 +1,50 @@
+//! Distance-kernel micro-benchmarks: L2² and inner product across the
+//! paper's dimensionalities.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ansmet_vecdata::metric::{dot, l2_squared};
+use ansmet_vecdata::{Metric, SynthSpec};
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    for (name, spec) in [
+        ("sift-128", SynthSpec::sift()),
+        ("deep-96", SynthSpec::deep()),
+        ("gist-960", SynthSpec::gist()),
+    ] {
+        let (data, queries) = spec.scaled(64, 4).generate();
+        let q = queries[0].clone();
+        group.bench_with_input(BenchmarkId::new("l2", name), &data, |b, data| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for i in 0..data.len() {
+                    acc += l2_squared(black_box(data.vector(i)), black_box(&q));
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ip", name), &data, |b, data| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for i in 0..data.len() {
+                    acc += dot(black_box(data.vector(i)), black_box(&q));
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("metric-dispatch", name), &data, |b, data| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for i in 0..data.len() {
+                    acc += Metric::L2.distance(black_box(data.vector(i)), black_box(&q));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Offline preprocessing micro-benchmarks: the bit-plane layout
+//! transform and its recovery (Table 4's preprocessing cost).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ansmet_core::layout::{recover, transform};
+use ansmet_core::{to_sortable, FetchSchedule};
+use ansmet_vecdata::SynthSpec;
+
+fn bench_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout");
+    for (name, spec, step) in [
+        ("sift-4bit", SynthSpec::sift(), 4u32),
+        ("gist-8bit", SynthSpec::gist(), 8u32),
+    ] {
+        let (data, _) = spec.scaled(64, 1).generate();
+        let sched = FetchSchedule::uniform(data.dtype(), step);
+        let sortables: Vec<Vec<u32>> = (0..data.len())
+            .map(|i| {
+                data.raw_vector(i)
+                    .iter()
+                    .map(|&r| to_sortable(data.dtype(), r))
+                    .collect()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("transform", name), &sched, |b, sched| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for s in &sortables {
+                    total += transform(black_box(s), sched).lines.len();
+                }
+                total
+            })
+        });
+        let tv = transform(&sortables[0], &sched);
+        group.bench_with_input(BenchmarkId::new("recover", name), &sched, |b, sched| {
+            b.iter(|| {
+                recover(
+                    black_box(&tv),
+                    sched,
+                    sortables[0].len(),
+                    tv.lines.len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layout);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Early-termination micro-benchmarks: the per-comparison cost of
+//! bound-refining evaluation vs. a full exact distance.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ansmet_core::{EtConfig, EtEngine, FetchSchedule};
+use ansmet_vecdata::SynthSpec;
+
+fn bench_lower_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("et-evaluate");
+    for (name, spec) in [("sift", SynthSpec::sift()), ("gist", SynthSpec::gist())] {
+        let (data, queries) = spec.scaled(256, 4).generate();
+        let engine = EtEngine::new(
+            &data,
+            EtConfig::new(FetchSchedule::simple_heuristic(data.dtype())),
+        );
+        let q = queries[0].clone();
+        // A tight threshold exercises the early-exit path; a loose one the
+        // full refinement path.
+        let d0 = data.distance_to(0, &q);
+        for (mode, thr) in [("tight", d0 * 0.2), ("loose", f32::INFINITY)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}-{mode}"), data.dim()),
+                &engine,
+                |b, engine| {
+                    b.iter(|| {
+                        let mut lines = 0usize;
+                        for id in 0..64 {
+                            lines += engine
+                                .evaluate(black_box(id), black_box(&q), black_box(thr))
+                                .lines;
+                        }
+                        lines
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lower_bound);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--quick|--full] [names...]
+//! experiments --quick fig6 fig9      # selected experiments
+//! experiments --full                 # everything, full scale
+//! ```
+
+use ansmet_bench::{run_experiment, Scale, EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut names: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--quick|--full] [names...]");
+                eprintln!("experiments: {}", EXPERIMENTS.join(" "));
+                return;
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        names = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    for name in &names {
+        let t0 = std::time::Instant::now();
+        match run_experiment(name, scale) {
+            Some(report) => {
+                println!("{report}");
+                eprintln!("[{name} finished in {:.1}s]", t0.elapsed().as_secs_f64());
+            }
+            None => eprintln!("unknown experiment '{name}' (see --help)"),
+        }
+    }
+}

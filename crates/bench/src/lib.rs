@@ -1,0 +1,61 @@
+//! Benchmark and experiment harness for the ANSMET reproduction.
+//!
+//! The `experiments` binary regenerates every table and figure of the
+//! paper's evaluation; the Criterion benches cover the micro-kernels
+//! (distance computation, lower bounds, layout transform, the DRAM
+//! simulator, and HNSW search).
+
+pub use ansmet_sim::experiment::Scale;
+
+/// All experiment names accepted by the `experiments` binary.
+pub const EXPERIMENTS: &[&str] = &[
+    "table2", "fig1", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "table3", "table4", "table5", "loadbal", "ablation",
+];
+
+/// Run one experiment by name at the given scale.
+///
+/// Returns `None` for an unknown name.
+pub fn run_experiment(name: &str, scale: Scale) -> Option<String> {
+    use ansmet_sim::experiment as e;
+    let out = match name {
+        "table2" => e::table2(scale),
+        "fig1" => e::fig1(scale),
+        "fig3" => e::fig3(scale),
+        "fig6" => {
+            let ks: &[usize] = match scale {
+                Scale::Quick => &[10],
+                Scale::Full => &[1, 5, 10],
+            };
+            e::fig6(scale, ks)
+        }
+        "fig7" => e::fig7(scale),
+        "fig8" => e::fig8(scale),
+        "fig9" => e::fig9(scale),
+        "fig10" => e::fig10(scale),
+        "fig11" => e::fig11(scale),
+        "fig12" => e::fig12(scale),
+        "table3" => e::table3(scale),
+        "table4" => e::table4(scale),
+        "table5" => e::table5(scale),
+        "loadbal" => e::loadbal(scale),
+        "ablation" => e::ablation(scale),
+        _ => return None,
+    };
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_experiment_is_none() {
+        assert!(run_experiment("fig99", Scale::Quick).is_none());
+    }
+
+    #[test]
+    fn experiment_list_is_complete() {
+        assert_eq!(EXPERIMENTS.len(), 15);
+    }
+}

@@ -1,0 +1,239 @@
+//! Conservative distance lower bounds from per-dimension value intervals.
+//!
+//! For each supported metric the per-dimension contribution is bounded in
+//! the direction that can only *underestimate* the final distance, which
+//! is exactly the paper's missing-bit rule (§4.1):
+//!
+//! * **L2** — if the query coordinate lies inside the interval the
+//!   contribution is 0 (missing bits set to match the query); otherwise
+//!   the nearer endpoint is used (missing bits all-0s / all-1s).
+//! * **Inner product** (distance = −Σ aᵢbᵢ) — the dot contribution is
+//!   *upper*-bounded by `max(lo·q, hi·q)` (missing bits set to 1 for
+//!   non-negative query coordinates, 0 otherwise).
+
+use ansmet_vecdata::Metric;
+
+use crate::interval::ValueInterval;
+
+/// Per-metric lower-bound arithmetic.
+///
+/// Contributions are accumulated in `f64` so that incremental updates stay
+/// numerically faithful across thousands of refinements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistanceBounder {
+    metric: Metric,
+}
+
+impl DistanceBounder {
+    /// Create a bounder for `metric`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Metric::Cosine`]: cosine must be folded to IP during
+    /// preprocessing ([`Metric::searched_as`]).
+    pub fn new(metric: Metric) -> Self {
+        assert!(
+            metric != Metric::Cosine,
+            "cosine must be normalized to IP before search"
+        );
+        DistanceBounder { metric }
+    }
+
+    /// The metric this bounder serves.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Lower bound of dimension `q`'s contribution to the distance when
+    /// the element is confined to `iv`.
+    ///
+    /// For L2 this is `min (x−q)²`; for IP it is `−max(x·q)` so that
+    /// summing contributions lower-bounds the (negated-dot) distance.
+    pub fn contribution(&self, iv: ValueInterval, q: f32) -> f64 {
+        match self.metric {
+            Metric::L2 => {
+                let q = q as f64;
+                let lo = iv.lo as f64;
+                let hi = iv.hi as f64;
+                if q < lo {
+                    let d = lo - q;
+                    d * d
+                } else if q > hi {
+                    let d = q - hi;
+                    d * d
+                } else {
+                    0.0
+                }
+            }
+            Metric::Ip => {
+                if q == 0.0 {
+                    // A zero query coordinate contributes nothing (and
+                    // avoids 0 × ∞ = NaN on unbounded intervals).
+                    return 0.0;
+                }
+                let q = q as f64;
+                let lo = iv.lo as f64;
+                let hi = iv.hi as f64;
+                -(lo * q).max(hi * q)
+            }
+            Metric::Cosine => unreachable!("rejected in constructor"),
+        }
+    }
+
+    /// Lower bound of the full distance given one interval per dimension.
+    pub fn lower_bound(&self, intervals: &[ValueInterval], query: &[f32]) -> f64 {
+        debug_assert_eq!(intervals.len(), query.len());
+        intervals
+            .iter()
+            .zip(query)
+            .map(|(iv, &q)| self.contribution(*iv, q))
+            .sum()
+    }
+
+    /// Exact distance computed through the same arithmetic (all intervals
+    /// degenerate). Used to make the final refinement agree exactly with
+    /// the bound sequence.
+    pub fn exact_distance(&self, values: &[f32], query: &[f32]) -> f64 {
+        values
+            .iter()
+            .zip(query)
+            .map(|(&v, &q)| self.contribution(ValueInterval::exact(v), q))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ansmet_vecdata::ElemType;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_partial_dimension_example() {
+        // §4: partial vector (1, 2, x₂, x₃) vs query (4, −2, 6, −1):
+        // lower bound = (4−1)² + (−2−2)² = 25 (paper quotes √25 = 5).
+        let b = DistanceBounder::new(Metric::L2);
+        let ivs = [
+            ValueInterval::exact(1.0),
+            ValueInterval::exact(2.0),
+            ValueInterval::full_range(ElemType::F32),
+            ValueInterval::full_range(ElemType::F32),
+        ];
+        let lb = b.lower_bound(&ivs, &[4.0, -2.0, 6.0, -1.0]);
+        assert_eq!(lb, 25.0);
+    }
+
+    #[test]
+    fn l2_query_inside_interval_contributes_zero() {
+        let b = DistanceBounder::new(Metric::L2);
+        let iv = ValueInterval { lo: 1.0, hi: 5.0 };
+        assert_eq!(b.contribution(iv, 3.0), 0.0);
+        assert_eq!(b.contribution(iv, 1.0), 0.0);
+        assert_eq!(b.contribution(iv, 5.0), 0.0);
+    }
+
+    #[test]
+    fn l2_outside_uses_nearest_endpoint() {
+        let b = DistanceBounder::new(Metric::L2);
+        let iv = ValueInterval { lo: 1.0, hi: 5.0 };
+        assert_eq!(b.contribution(iv, 0.0), 1.0);
+        assert_eq!(b.contribution(iv, 8.0), 9.0);
+    }
+
+    #[test]
+    fn ip_sign_rule() {
+        // Paper: for IP, "bit 1 should be set for unsigned data" — i.e.
+        // positive query → use interval hi; negative query → use lo.
+        let b = DistanceBounder::new(Metric::Ip);
+        let iv = ValueInterval { lo: -2.0, hi: 3.0 };
+        assert_eq!(b.contribution(iv, 2.0), -6.0); // hi·q = 6
+        assert_eq!(b.contribution(iv, -2.0), -4.0); // lo·q = 4
+    }
+
+    #[test]
+    fn ip_unfetched_float_dimension_is_unbounded() {
+        // The paper's observation that partial-dimension-only ET fails on
+        // IP datasets: an unfetched FP32 dimension contributes −∞.
+        let b = DistanceBounder::new(Metric::Ip);
+        let iv = ValueInterval::full_range(ElemType::F32);
+        assert_eq!(b.contribution(iv, 1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn ip_unfetched_u8_dimension_is_bounded() {
+        let b = DistanceBounder::new(Metric::Ip);
+        let iv = ValueInterval::full_range(ElemType::U8);
+        assert_eq!(b.contribution(iv, 2.0), -510.0); // 255 × 2
+    }
+
+    #[test]
+    #[should_panic(expected = "cosine")]
+    fn cosine_rejected() {
+        DistanceBounder::new(Metric::Cosine);
+    }
+
+    #[test]
+    fn exact_distance_matches_metric() {
+        let b = DistanceBounder::new(Metric::L2);
+        let v = [1.0f32, -2.0, 3.0];
+        let q = [0.0f32, 0.0, 0.0];
+        let exact = b.exact_distance(&v, &q);
+        assert!((exact - 14.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn bound_never_exceeds_true_distance_l2(
+            v in proptest::collection::vec(-100.0f32..100.0, 6),
+            q in proptest::collection::vec(-100.0f32..100.0, 6),
+            plen in 0u32..=32,
+        ) {
+            let b = DistanceBounder::new(Metric::L2);
+            let dtype = ElemType::F32;
+            let ivs: Vec<ValueInterval> = v.iter().map(|&x| {
+                let s = crate::encode::value_to_sortable(dtype, x);
+                let prefix = if plen == 0 { 0 } else { s >> (32 - plen) };
+                ValueInterval::from_prefix(dtype, prefix, plen)
+            }).collect();
+            let lb = b.lower_bound(&ivs, &q);
+            let exact = b.exact_distance(&v, &q);
+            prop_assert!(lb <= exact + 1e-9, "lb {lb} > exact {exact}");
+        }
+
+        #[test]
+        fn bound_never_exceeds_true_distance_ip(
+            v in proptest::collection::vec(-100.0f32..100.0, 6),
+            q in proptest::collection::vec(-100.0f32..100.0, 6),
+            plen in 0u32..=32,
+        ) {
+            let b = DistanceBounder::new(Metric::Ip);
+            let dtype = ElemType::F32;
+            let ivs: Vec<ValueInterval> = v.iter().map(|&x| {
+                let s = crate::encode::value_to_sortable(dtype, x);
+                let prefix = if plen == 0 { 0 } else { s >> (32 - plen) };
+                ValueInterval::from_prefix(dtype, prefix, plen)
+            }).collect();
+            let lb = b.lower_bound(&ivs, &q);
+            let exact = b.exact_distance(&v, &q);
+            prop_assert!(lb <= exact + 1e-9, "lb {lb} > exact {exact}");
+        }
+
+        #[test]
+        fn bound_monotone_in_prefix_length_l2(
+            v in -100.0f32..100.0,
+            q in -100.0f32..100.0,
+        ) {
+            let b = DistanceBounder::new(Metric::L2);
+            let dtype = ElemType::F32;
+            let s = crate::encode::value_to_sortable(dtype, v);
+            let mut last = f64::NEG_INFINITY;
+            for plen in 0..=32u32 {
+                let prefix = if plen == 0 { 0 } else { s >> (32 - plen) };
+                let iv = ValueInterval::from_prefix(dtype, prefix, plen);
+                let c = b.contribution(iv, q);
+                prop_assert!(c >= last - 1e-12, "plen {plen}: {c} < {last}");
+                last = c;
+            }
+        }
+    }
+}

@@ -1,0 +1,689 @@
+//! The early-termination evaluation engine.
+//!
+//! [`EtEngine::evaluate`] simulates one distance comparison exactly as the
+//! NDP distance-computing unit performs it: 64 B lines of the transformed
+//! layout arrive one by one, the conservative lower bound is refined after
+//! each line, and the comparison aborts as soon as the bound reaches the
+//! threshold. The returned [`EvalCost`] reports how many lines were
+//! actually fetched — the quantity the system simulator charges to DRAM.
+//!
+//! The engine guarantees **no accuracy loss**: a comparison is pruned only
+//! when the mathematical lower bound proves the vector is out of bounds,
+//! and in-bound results always end with the exact distance (re-checking an
+//! uncompressed backup when common-prefix elimination dropped outlier
+//! bits).
+
+use ansmet_vecdata::Dataset;
+
+use crate::bound::DistanceBounder;
+use crate::encode::to_sortable;
+use crate::interval::ValueInterval;
+use crate::prefix::PrefixSpec;
+use crate::schedule::{FetchSchedule, LinePlan};
+
+/// Early-termination configuration: the fetch schedule plus optional
+/// common-prefix elimination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EtConfig {
+    /// Fetch schedule (defines the transformed layout).
+    pub schedule: FetchSchedule,
+    /// Common-prefix elimination spec; `None` disables it.
+    pub prefix: Option<PrefixSpec>,
+    /// Re-check uncompressed backups of outlier vectors for in-bound
+    /// results (the paper's default, preserving exact accuracy).
+    pub backup_recheck: bool,
+}
+
+impl EtConfig {
+    /// Config without prefix elimination.
+    pub fn new(schedule: FetchSchedule) -> Self {
+        EtConfig {
+            schedule,
+            prefix: None,
+            backup_recheck: true,
+        }
+    }
+
+    /// Config with prefix elimination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule's prefix length disagrees with the spec.
+    pub fn with_prefix(schedule: FetchSchedule, prefix: PrefixSpec) -> Self {
+        assert_eq!(
+            schedule.prefix_len(),
+            prefix.len(),
+            "schedule and prefix spec disagree on the eliminated length"
+        );
+        EtConfig {
+            schedule,
+            prefix: Some(prefix),
+            backup_recheck: true,
+        }
+    }
+
+    /// Disable the backup re-check (trades accuracy for fewer accesses,
+    /// Table 5(b)).
+    pub fn without_backup(mut self) -> Self {
+        self.backup_recheck = false;
+        self
+    }
+}
+
+/// Cost and outcome of one early-terminating distance comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalCost {
+    /// Transformed-layout 64 B lines fetched.
+    pub lines: usize,
+    /// Extra natural-layout lines fetched for the backup re-check.
+    pub backup_lines: usize,
+    /// Whether the comparison terminated on a lower bound (no exact
+    /// distance computed; the vector is certainly ≥ threshold).
+    pub pruned: bool,
+    /// Exact distance, when computed.
+    pub distance: Option<f32>,
+    /// The final lower bound, reported when `backup_recheck` is disabled
+    /// and the exact distance is unavailable (accuracy-loss mode).
+    pub approx_distance: Option<f32>,
+    /// The lower bound in force when the evaluation stopped (equals the
+    /// exact distance after a complete, exact fetch). Hosts aggregate
+    /// these across sub-vector ranks to decide soundly (§5.3).
+    pub final_bound: f64,
+}
+
+impl EvalCost {
+    /// All 64 B lines charged to memory for this comparison.
+    pub fn total_lines(&self) -> usize {
+        self.lines + self.backup_lines
+    }
+
+    /// The distance the search should use (exact when available,
+    /// otherwise the approximate bound).
+    pub fn effective_distance(&self) -> Option<f32> {
+        self.distance.or(self.approx_distance)
+    }
+}
+
+/// Per-vector precomputed prefix-elimination state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VectorClass {
+    /// No prefix elimination configured.
+    Plain,
+    /// Prefix applies to every element (normal format, Fig. 4b).
+    Normal,
+    /// Vector contains outlier elements (outlier format, Fig. 4c).
+    Outlier,
+}
+
+/// The early-termination evaluation engine for one dataset + config.
+#[derive(Debug)]
+pub struct EtEngine<'a> {
+    data: &'a Dataset,
+    cfg: EtConfig,
+    bounder: DistanceBounder,
+    /// Sortable encodings, vector-major.
+    sortable: Vec<u32>,
+    /// Full-vector line plan.
+    plan: Vec<LinePlan>,
+    /// Per-vector format class.
+    class: Vec<VectorClass>,
+    /// Per-element matched prefix length (only for outlier vectors).
+    matched: Vec<u32>,
+}
+
+impl<'a> EtEngine<'a> {
+    /// Build the engine (precomputes sortable encodings and vector
+    /// classification).
+    pub fn new(data: &'a Dataset, cfg: EtConfig) -> Self {
+        let dtype = data.dtype();
+        let dim = data.dim();
+        let n = data.len();
+        let mut sortable = Vec::with_capacity(n * dim);
+        for i in 0..n {
+            for &raw in data.raw_vector(i) {
+                sortable.push(to_sortable(dtype, raw));
+            }
+        }
+        let (class, matched) = match &cfg.prefix {
+            None => (vec![VectorClass::Plain; n], Vec::new()),
+            Some(spec) if spec.is_disabled() => (vec![VectorClass::Plain; n], Vec::new()),
+            Some(spec) => {
+                let mut class = Vec::with_capacity(n);
+                let mut matched = vec![0u32; n * dim];
+                for i in 0..n {
+                    let mut has_outlier = false;
+                    for d in 0..dim {
+                        let m = spec.matched_len(d, sortable[i * dim + d]);
+                        matched[i * dim + d] = m;
+                        if m < spec.len() {
+                            has_outlier = true;
+                        }
+                    }
+                    class.push(if has_outlier {
+                        VectorClass::Outlier
+                    } else {
+                        VectorClass::Normal
+                    });
+                }
+                (class, matched)
+            }
+        };
+        let plan = cfg.schedule.line_plan(dim);
+        let bounder = DistanceBounder::new(data.metric());
+        EtEngine {
+            data,
+            cfg,
+            bounder,
+            sortable,
+            plan,
+            class,
+            matched,
+        }
+    }
+
+    /// The dataset under evaluation.
+    pub fn dataset(&self) -> &Dataset {
+        self.data
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EtConfig {
+        &self.cfg
+    }
+
+    /// Lines of a full transformed-vector fetch.
+    pub fn full_lines(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Lines of one vector in the natural (untransformed) layout.
+    pub fn natural_lines(&self) -> usize {
+        self.data.vector_lines()
+    }
+
+    /// Effective known prefix length of element `(id, d)` after
+    /// `payload_bits` of its stored payload have been fetched.
+    fn known_prefix(&self, id: usize, d: usize, payload_bits: u32) -> u32 {
+        let bits = self.data.dtype().bits();
+        match self.class[id] {
+            VectorClass::Plain => payload_bits.min(bits),
+            VectorClass::Normal => {
+                let prefix = self.cfg.prefix.as_ref().expect("normal implies prefix");
+                (prefix.len() + payload_bits).min(bits)
+            }
+            VectorClass::Outlier => {
+                let prefix = self.cfg.prefix.as_ref().expect("outlier implies prefix");
+                let m = self.matched[id * self.data.dim() + d];
+                let meta = prefix.outlier_meta_bits();
+                if m == prefix.len() {
+                    // Normal element inside an outlier vector: one 01Elm
+                    // flag bit precedes the payload.
+                    (prefix.len() + payload_bits.saturating_sub(1)).min(bits)
+                } else {
+                    // Outlier element: metadata precedes payload; stored
+                    // bits resume at the mismatch position. The lowest
+                    // bits are dropped (the interval stays conservative).
+                    let payload_cap = (bits - prefix.len()).saturating_sub(meta);
+                    let usable = payload_bits.saturating_sub(meta).min(payload_cap);
+                    (m + usable).min(bits)
+                }
+            }
+        }
+    }
+
+    fn interval(&self, id: usize, d: usize, known: u32) -> ValueInterval {
+        let dtype = self.data.dtype();
+        let bits = dtype.bits();
+        let s = self.sortable[id * self.data.dim() + d];
+        let prefix = if known == 0 { 0 } else { s >> (bits - known) };
+        ValueInterval::from_prefix(dtype, prefix, known)
+    }
+
+    /// Whether the fully-fetched compressed form of vector `id` is exact
+    /// (false only for outlier vectors, whose dropped bits require the
+    /// backup re-check).
+    fn fully_exact(&self, id: usize) -> bool {
+        self.class[id] != VectorClass::Outlier
+    }
+
+    /// Evaluate one comparison over the full vector.
+    pub fn evaluate(&self, id: usize, query: &[f32], threshold: f32) -> EvalCost {
+        self.evaluate_range(id, query, 0..self.data.dim(), threshold)
+    }
+
+    /// Evaluate one comparison restricted to the dimension sub-range
+    /// `dims` (vertical partitioning: the rank holding these dimensions
+    /// can only bound its local contribution, §5.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is out of range or `query.len() != dim`.
+    pub fn evaluate_range(
+        &self,
+        id: usize,
+        query: &[f32],
+        dims: std::ops::Range<usize>,
+        threshold: f32,
+    ) -> EvalCost {
+        let dim = self.data.dim();
+        assert_eq!(query.len(), dim, "query dimension mismatch");
+        assert!(dims.end <= dim, "dimension range out of bounds");
+        let sub = dims.len();
+        let full = dims.len() == dim;
+
+        // Line plan: the transformed layout of the sub-vector only.
+        let plan: std::borrow::Cow<'_, [LinePlan]> = if full {
+            std::borrow::Cow::Borrowed(&self.plan)
+        } else {
+            std::borrow::Cow::Owned(self.cfg.schedule.line_plan(sub))
+        };
+
+        // Initial contributions with zero payload fetched. Unbounded
+        // dimensions (−∞, e.g. unfetched FP32 under inner product) are
+        // counted separately so incremental updates stay well-defined.
+        let mut contribs = vec![0.0f64; sub];
+        let mut finite_sum = 0.0f64;
+        let mut unbounded = 0usize;
+        for (j, d) in dims.clone().enumerate() {
+            let known = self.known_prefix(id, d, 0);
+            let c = self.bounder.contribution(self.interval(id, d, known), query[d]);
+            contribs[j] = c;
+            if c == f64::NEG_INFINITY {
+                unbounded += 1;
+            } else {
+                finite_sum += c;
+            }
+        }
+        let bound_of = |unbounded: usize, finite_sum: f64| {
+            if unbounded > 0 {
+                f64::NEG_INFINITY
+            } else {
+                finite_sum
+            }
+        };
+        let mut bound = bound_of(unbounded, finite_sum);
+        if bound >= threshold as f64 {
+            return EvalCost {
+                lines: 0,
+                backup_lines: 0,
+                pruned: true,
+                distance: None,
+                approx_distance: None,
+                final_bound: bound,
+            };
+        }
+
+        // Fetch line by line.
+        let cumulative = self.cfg.schedule.cumulative_bits();
+        let mut lines = 0usize;
+        for lp in plan.iter() {
+            lines += 1;
+            let payload_after = cumulative[lp.step];
+            #[allow(clippy::needless_range_loop)] // indexed dimension-range loops read clearer here
+            for j in lp.dim_start..lp.dim_end {
+                let d = dims.start + j;
+                let known = self.known_prefix(id, d, payload_after);
+                let c = self.bounder.contribution(self.interval(id, d, known), query[d]);
+                let old = contribs[j];
+                contribs[j] = c;
+                if old == f64::NEG_INFINITY {
+                    if c != f64::NEG_INFINITY {
+                        unbounded -= 1;
+                        finite_sum += c;
+                    }
+                } else {
+                    finite_sum += c - old;
+                }
+            }
+            bound = bound_of(unbounded, finite_sum);
+            if bound >= threshold as f64 && lines < plan.len() {
+                return EvalCost {
+                    lines,
+                    backup_lines: 0,
+                    pruned: true,
+                    distance: None,
+                    approx_distance: None,
+                    final_bound: bound,
+                };
+            }
+        }
+
+        // Fully fetched.
+        if full && self.fully_exact(id) {
+            // The compressed form reconstructs the exact vector.
+            let distance = self.data.distance_to(id, query);
+            return EvalCost {
+                lines,
+                backup_lines: 0,
+                pruned: false,
+                distance: Some(distance),
+                approx_distance: None,
+                final_bound: distance as f64,
+            };
+        }
+        if full {
+            // Outlier vector: dropped bits → only a bound is known.
+            if bound >= threshold as f64 {
+                // Certainly out of bounds; no backup needed.
+                return EvalCost {
+                    lines,
+                    backup_lines: 0,
+                    pruned: true,
+                    distance: None,
+                    approx_distance: None,
+                    final_bound: bound,
+                };
+            }
+            if self.cfg.backup_recheck {
+                let distance = self.data.distance_to(id, query);
+                return EvalCost {
+                    lines,
+                    backup_lines: self.natural_lines(),
+                    pruned: false,
+                    distance: Some(distance),
+                    approx_distance: None,
+                    final_bound: bound,
+                };
+            }
+            return EvalCost {
+                lines,
+                backup_lines: 0,
+                pruned: false,
+                distance: None,
+                approx_distance: Some(bound as f32),
+                final_bound: bound,
+            };
+        }
+        // Sub-vector evaluation: report the local partial contribution.
+        let partial: f64 = dims
+            .clone()
+            .map(|d| {
+                self.bounder
+                    .contribution(ValueInterval::exact(self.data.vector(id)[d]), query[d])
+            })
+            .sum();
+        EvalCost {
+            lines,
+            backup_lines: 0,
+            pruned: false,
+            distance: None,
+            approx_distance: Some(partial as f32),
+            final_bound: partial,
+        }
+    }
+}
+
+/// A [`DistanceOracle`](ansmet_index::DistanceOracle) backed by the
+/// engine, proving end-to-end that early termination changes no search
+/// result.
+#[derive(Debug)]
+pub struct EtOracle<'a> {
+    engine: &'a EtEngine<'a>,
+    comparisons: u64,
+    /// Transformed-layout lines fetched so far.
+    pub lines: u64,
+    /// Backup lines fetched so far.
+    pub backup_lines: u64,
+    /// Comparisons pruned by early termination.
+    pub pruned: u64,
+}
+
+impl<'a> EtOracle<'a> {
+    /// Wrap an engine as a search oracle.
+    pub fn new(engine: &'a EtEngine<'a>) -> Self {
+        EtOracle {
+            engine,
+            comparisons: 0,
+            lines: 0,
+            backup_lines: 0,
+            pruned: 0,
+        }
+    }
+
+    /// Lines a non-terminating design would have fetched for the same
+    /// comparisons.
+    pub fn baseline_lines(&self) -> u64 {
+        self.comparisons * self.engine.full_lines() as u64
+    }
+}
+
+impl ansmet_index::DistanceOracle for EtOracle<'_> {
+    fn evaluate(
+        &mut self,
+        id: usize,
+        query: &[f32],
+        threshold: f32,
+    ) -> ansmet_index::DistanceOutcome {
+        self.comparisons += 1;
+        let cost = self.engine.evaluate(id, query, threshold);
+        self.lines += cost.lines as u64;
+        self.backup_lines += cost.backup_lines as u64;
+        if cost.pruned {
+            self.pruned += 1;
+            ansmet_index::DistanceOutcome::Pruned
+        } else {
+            match cost.effective_distance() {
+                Some(d) => ansmet_index::DistanceOutcome::Exact(d),
+                None => ansmet_index::DistanceOutcome::Pruned,
+            }
+        }
+    }
+
+    fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ansmet_vecdata::{ElemType, Metric, SynthSpec};
+
+    fn engine_for(data: &Dataset, n: u32) -> EtEngine<'_> {
+        EtEngine::new(data, EtConfig::new(FetchSchedule::uniform(data.dtype(), n)))
+    }
+
+    #[test]
+    fn infinite_threshold_fetches_everything() {
+        let (data, queries) = SynthSpec::sift().scaled(50, 1).generate();
+        let e = engine_for(&data, 4);
+        let c = e.evaluate(0, &queries[0], f32::INFINITY);
+        assert!(!c.pruned);
+        assert_eq!(c.lines, e.full_lines());
+        assert_eq!(c.distance, Some(data.distance_to(0, &queries[0])));
+    }
+
+    #[test]
+    fn tight_threshold_prunes_early() {
+        let (data, queries) = SynthSpec::sift().scaled(50, 1).generate();
+        let e = engine_for(&data, 4);
+        // Threshold of ~0 prunes everything quickly (unless distance is 0).
+        let d = data.distance_to(7, &queries[0]);
+        if d > 1.0 {
+            let c = e.evaluate(7, &queries[0], 1.0);
+            assert!(c.pruned);
+            assert!(c.lines < e.full_lines());
+            assert!(c.distance.is_none());
+        }
+    }
+
+    #[test]
+    fn pruning_is_sound() {
+        // Whenever the engine prunes, the true distance is ≥ threshold.
+        let (data, queries) = SynthSpec::deep().scaled(200, 4).generate();
+        let e = engine_for(&data, 8);
+        for q in &queries {
+            for id in 0..data.len() {
+                let d = data.distance_to(id, q);
+                let thr = d * 0.8;
+                let c = e.evaluate(id, q, thr);
+                if c.pruned {
+                    assert!(d >= thr, "pruned although {d} < {thr}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn in_bound_results_are_exact() {
+        let (data, queries) = SynthSpec::spacev().scaled(100, 2).generate();
+        let e = engine_for(&data, 4);
+        for q in &queries {
+            for id in 0..20 {
+                let d = data.distance_to(id, q);
+                let c = e.evaluate(id, q, d * 2.0 + 1.0);
+                if !c.pruned {
+                    assert_eq!(c.distance, Some(d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_lines_with_tighter_threshold() {
+        let (data, queries) = SynthSpec::gist().scaled(60, 2).generate();
+        let e = engine_for(&data, 8);
+        let q = &queries[0];
+        let d = data.distance_to(30, q);
+        let loose = e.evaluate(30, q, d * 4.0);
+        let tight = e.evaluate(30, q, d * 0.5);
+        assert!(tight.lines <= loose.lines);
+    }
+
+    #[test]
+    fn prefix_elimination_reduces_lines() {
+        let (data, _queries) = SynthSpec::gist().scaled(150, 2).generate();
+        let ids: Vec<usize> = (0..100).collect();
+        let spec = PrefixSpec::choose(&data, &ids, 0.001);
+        if spec.is_empty() {
+            return; // dataset had no common prefix this seed
+        }
+        let plain = EtEngine::new(&data, EtConfig::new(FetchSchedule::uniform(data.dtype(), 8)));
+        let sched = FetchSchedule::uniform_after_prefix(data.dtype(), spec.len(), 8);
+        let opt = EtEngine::new(&data, EtConfig::with_prefix(sched, spec));
+        assert!(opt.full_lines() <= plain.full_lines());
+    }
+
+    #[test]
+    fn outlier_vector_triggers_backup_when_in_bound() {
+        // Craft: dim prefix comes from constant data; one vector is an
+        // outlier; querying near it keeps it in-bound → backup fetch.
+        let mut values = vec![70.0f32; 64 * 4];
+        values[4 * 4] = 200.0; // vector 4, dim 0 outlier
+        let data = Dataset::from_values("o", ElemType::U8, Metric::L2, 4, values);
+        let ids: Vec<usize> = (0..64).collect();
+        let spec = PrefixSpec::choose(&data, &ids, 0.01);
+        assert!(!spec.is_empty());
+        assert!(spec.vector_has_outlier(&data, 4));
+        let sched = FetchSchedule::uniform_after_prefix(data.dtype(), spec.len(), 4);
+        let e = EtEngine::new(&data, EtConfig::with_prefix(sched, spec));
+        let q = vec![200.0, 70.0, 70.0, 70.0];
+        let c = e.evaluate(4, &q, f32::INFINITY);
+        assert!(!c.pruned);
+        assert_eq!(c.backup_lines, e.natural_lines());
+        assert_eq!(c.distance, Some(data.distance_to(4, &q)));
+        // A normal vector needs no backup.
+        let c0 = e.evaluate(0, &q, f32::INFINITY);
+        assert_eq!(c0.backup_lines, 0);
+    }
+
+    #[test]
+    fn no_backup_mode_returns_bound() {
+        let mut values = vec![70.0f32; 64 * 4];
+        values[4 * 4] = 200.0;
+        let data = Dataset::from_values("o", ElemType::U8, Metric::L2, 4, values);
+        let ids: Vec<usize> = (0..64).collect();
+        let spec = PrefixSpec::choose(&data, &ids, 0.01);
+        let sched = FetchSchedule::uniform_after_prefix(data.dtype(), spec.len(), 4);
+        let e = EtEngine::new(&data, EtConfig::with_prefix(sched, spec).without_backup());
+        let q = vec![200.0, 70.0, 70.0, 70.0];
+        let c = e.evaluate(4, &q, f32::INFINITY);
+        assert!(!c.pruned);
+        assert_eq!(c.backup_lines, 0);
+        let true_d = data.distance_to(4, &q);
+        let approx = c.approx_distance.expect("bound reported");
+        assert!(approx <= true_d);
+    }
+
+    #[test]
+    fn subvector_evaluation_conservative() {
+        let (data, queries) = SynthSpec::gist().scaled(40, 1).generate();
+        let e = engine_for(&data, 8);
+        let q = &queries[0];
+        let full_d = data.distance_to(5, q) as f64;
+        // Split 960 dims into 4 sub-vectors; partial contributions sum to
+        // the full distance.
+        let mut sum = 0.0f64;
+        for part in 0..4 {
+            let r = part * 240..(part + 1) * 240;
+            let c = e.evaluate_range(5, q, r, f32::INFINITY);
+            sum += c.approx_distance.expect("partial sum") as f64;
+        }
+        assert!((sum - full_d).abs() / full_d.max(1.0) < 1e-3);
+    }
+
+    #[test]
+    fn et_oracle_preserves_search_results() {
+        use ansmet_index::{DistanceOracle, ExactOracle, Hnsw, HnswParams};
+        let (data, queries) = SynthSpec::deep().scaled(400, 4).generate();
+        let hnsw = Hnsw::build(&data, HnswParams::quick());
+        let e = engine_for(&data, 8);
+        for q in &queries {
+            let mut exact = ExactOracle::new(&data);
+            let mut et = EtOracle::new(&e);
+            let r1 = hnsw.search(q, 10, 60, &mut exact);
+            let r2 = hnsw.search(q, 10, 60, &mut et);
+            assert_eq!(r1.ids(), r2.ids(), "ET changed the search result");
+            assert_eq!(exact.comparisons(), et.comparisons());
+            // And ET must actually save fetches.
+            assert!(et.lines < et.baseline_lines());
+            assert!(et.pruned > 0);
+        }
+    }
+
+    #[test]
+    fn bit_serial_wastes_lines_on_narrow_vectors() {
+        let (data, queries) = SynthSpec::sift().scaled(60, 1).generate();
+        let bitset = EtEngine::new(&data, EtConfig::new(FetchSchedule::bit_serial(data.dtype())));
+        // Full fetch: 8 lines vs 2 natural lines (paper §7.1 NDP-BitET).
+        assert_eq!(bitset.full_lines(), 8);
+        assert_eq!(bitset.natural_lines(), 2);
+        let c = bitset.evaluate(0, &queries[0], f32::INFINITY);
+        assert_eq!(c.lines, 8);
+    }
+
+    #[test]
+    fn dim_et_cannot_prune_fp32_ip() {
+        // Paper: partial-dimension-only ET yields no stable bound for IP.
+        let (data, queries) = SynthSpec::glove().scaled(80, 2).generate();
+        let e = EtEngine::new(&data, EtConfig::new(FetchSchedule::full_width(data.dtype())));
+        for q in &queries {
+            for id in 0..20 {
+                let d = data.distance_to(id, q);
+                let c = e.evaluate(id, q, d - 0.1 * d.abs().max(1.0));
+                // May only terminate at the very last line (full info).
+                assert!(c.lines >= e.full_lines() || c.lines == 0 || !c.pruned || c.lines == e.full_lines());
+                if c.pruned && c.lines > 0 {
+                    assert_eq!(c.lines, e.full_lines());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_line_prune_with_prefix_knowledge() {
+        // With prefix elimination the on-chip prefix alone can prove a
+        // vector out of bounds before fetching anything.
+        let values: Vec<f32> = vec![200.0; 40];
+        let data = Dataset::from_values("z", ElemType::U8, Metric::L2, 4, values);
+        let ids: Vec<usize> = (0..10).collect();
+        let spec = PrefixSpec::choose(&data, &ids, 0.0);
+        assert!(!spec.is_empty());
+        let sched = FetchSchedule::uniform_after_prefix(data.dtype(), spec.len(), 4);
+        let e = EtEngine::new(&data, EtConfig::with_prefix(sched, spec));
+        // Query at 0: prefix already proves distance ≥ threshold.
+        let c = e.evaluate(0, &[0.0; 4], 100.0);
+        assert!(c.pruned);
+        assert_eq!(c.lines, 0);
+    }
+}

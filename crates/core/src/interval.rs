@@ -1,0 +1,162 @@
+//! Value intervals implied by partially-fetched bit prefixes.
+
+use ansmet_vecdata::ElemType;
+
+use crate::encode::sortable_to_value;
+
+/// The contiguous interval of values an element can take given its known
+/// (most-significant) sortable-encoding prefix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueInterval {
+    /// Smallest possible value.
+    pub lo: f32,
+    /// Largest possible value.
+    pub hi: f32,
+}
+
+impl ValueInterval {
+    /// Interval given the top `prefix_len` bits of the sortable encoding.
+    ///
+    /// `prefix` holds the known bits LSB-aligned (i.e. the value of the
+    /// top `prefix_len` bits as an integer). With `prefix_len == 0` this
+    /// is the full range of the type; with `prefix_len == bits` it
+    /// collapses to the exact value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix_len` exceeds the type's width.
+    pub fn from_prefix(dtype: ElemType, prefix: u32, prefix_len: u32) -> Self {
+        let bits = dtype.bits();
+        assert!(prefix_len <= bits, "prefix longer than element");
+        let missing = bits - prefix_len;
+        let base = if missing >= 32 { 0 } else { prefix << missing };
+        let ones = if missing >= 32 {
+            u32::MAX
+        } else {
+            (1u64 << missing) as u32 - 1
+        };
+        let lo_sortable = base;
+        let hi_sortable = base | ones;
+        // The extreme sortable patterns of float types decode to NaN
+        // payloads (beyond ±∞ in sortable order). Datasets never contain
+        // NaN, so widening such endpoints to ±∞ stays conservative.
+        let mut lo = sortable_to_value(dtype, lo_sortable);
+        let mut hi = sortable_to_value(dtype, hi_sortable);
+        if lo.is_nan() {
+            lo = f32::NEG_INFINITY;
+        }
+        if hi.is_nan() {
+            hi = f32::INFINITY;
+        }
+        ValueInterval { lo, hi }
+    }
+
+    /// The full range of the type (nothing fetched yet — the
+    /// partial-dimension case for unfetched dimensions).
+    pub fn full_range(dtype: ElemType) -> Self {
+        ValueInterval::from_prefix(dtype, 0, 0)
+    }
+
+    /// An exact (degenerate) interval.
+    pub fn exact(v: f32) -> Self {
+        ValueInterval { lo: v, hi: v }
+    }
+
+    /// Whether the interval is a single point.
+    pub fn is_exact(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Whether `v` lies inside the interval.
+    pub fn contains(&self, v: f32) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn u8_full_range() {
+        let iv = ValueInterval::full_range(ElemType::U8);
+        assert_eq!(iv.lo, 0.0);
+        assert_eq!(iv.hi, 255.0);
+    }
+
+    #[test]
+    fn i8_full_range() {
+        let iv = ValueInterval::full_range(ElemType::I8);
+        assert_eq!(iv.lo, -128.0);
+        assert_eq!(iv.hi, 127.0);
+    }
+
+    #[test]
+    fn f32_full_range_is_infinite() {
+        let iv = ValueInterval::full_range(ElemType::F32);
+        assert_eq!(iv.lo, f32::NEG_INFINITY);
+        assert_eq!(iv.hi, f32::INFINITY);
+    }
+
+    #[test]
+    fn u8_prefix_narrows() {
+        // Top 2 bits = 0b01 → values 64..=127.
+        let iv = ValueInterval::from_prefix(ElemType::U8, 0b01, 2);
+        assert_eq!(iv.lo, 64.0);
+        assert_eq!(iv.hi, 127.0);
+    }
+
+    #[test]
+    fn full_prefix_is_exact() {
+        let raw = ElemType::U8.encode(42.0);
+        let s = crate::encode::to_sortable(ElemType::U8, raw);
+        let iv = ValueInterval::from_prefix(ElemType::U8, s, 8);
+        assert!(iv.is_exact());
+        assert_eq!(iv.lo, 42.0);
+    }
+
+    #[test]
+    fn paper_partial_bit_example() {
+        // §4.1: vector prefix 00__₂ against query 0110₂ — 4-bit unsigned
+        // values. Prefix 00 → interval [0, 3]; query is 6; the closest the
+        // element can be is 3 (missing bits set to 11₂), giving |6-3| = 3.
+        // We model 4-bit values inside U8 by scaling: prefix 0000_00 of
+        // length 6 on U8 gives [0, 3].
+        let iv = ValueInterval::from_prefix(ElemType::U8, 0, 6);
+        assert_eq!(iv.lo, 0.0);
+        assert_eq!(iv.hi, 3.0);
+    }
+
+    proptest! {
+        #[test]
+        fn value_always_inside_its_prefix_interval(
+            v in -1e6f32..1e6,
+            plen in 0u32..=32,
+        ) {
+            let dtype = ElemType::F32;
+            let s = crate::encode::value_to_sortable(dtype, v);
+            let prefix = if plen == 0 { 0 } else { s >> (32 - plen) };
+            let iv = ValueInterval::from_prefix(dtype, prefix, plen);
+            let stored = dtype.decode(crate::encode::from_sortable(dtype, s));
+            prop_assert!(iv.contains(stored), "{stored} not in [{}, {}]", iv.lo, iv.hi);
+        }
+
+        #[test]
+        fn longer_prefix_never_widens(v in 0u32..256, p1 in 0u32..=8, p2 in 0u32..=8) {
+            let (short, long) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            let dtype = ElemType::U8;
+            let s = crate::encode::to_sortable(dtype, v);
+            let iv_s = ValueInterval::from_prefix(dtype, if short == 0 {0} else {s >> (8 - short)}, short);
+            let iv_l = ValueInterval::from_prefix(dtype, if long == 0 {0} else {s >> (8 - long)}, long);
+            prop_assert!(iv_s.lo <= iv_l.lo);
+            prop_assert!(iv_l.hi <= iv_s.hi);
+        }
+
+        #[test]
+        fn lo_never_exceeds_hi(prefix in 0u32..16, plen in 4u32..=4) {
+            let iv = ValueInterval::from_prefix(ElemType::I8, prefix, plen);
+            prop_assert!(iv.lo <= iv.hi);
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Physical bit-plane layout transformation (§4.1 Fig. 2b, §4.2).
+//!
+//! [`transform`] packs a vector's sortable-encoded elements into 64 B
+//! lines following a [`FetchSchedule`]: step *i* stores the next `n_i`
+//! bits of each dimension, most-significant first, `⌊512/n_i⌋` dimensions
+//! per line, padded to line granularity. [`recover`] reads prefixes back
+//! from a partially-fetched line sequence — the operation the NDP unit's
+//! command parser performs when restoring fetched chunks into the QSHR's
+//! current-vector field.
+//!
+//! With common-prefix elimination the schedule covers only the stored
+//! payload (`bits − L`); the top `L` bits are kept on-chip (see
+//! [`crate::prefix::PrefixSpec`]). This packer implements the normal
+//! vector format; outlier vectors additionally interleave per-element
+//! metadata (Fig. 4c), which the evaluation engine models analytically.
+
+use ansmet_vecdata::Dataset;
+
+use crate::encode::to_sortable;
+use crate::schedule::FetchSchedule;
+
+/// One vector in the transformed layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformedVector {
+    /// 64 B lines in fetch order.
+    pub lines: Vec<[u8; 64]>,
+}
+
+impl TransformedVector {
+    /// Total bytes occupied (including padding).
+    pub fn bytes(&self) -> usize {
+        self.lines.len() * 64
+    }
+}
+
+/// Bit-writer over a sequence of 64 B lines.
+struct LineWriter {
+    lines: Vec<[u8; 64]>,
+    bit: usize,
+}
+
+impl LineWriter {
+    fn new() -> Self {
+        LineWriter {
+            lines: Vec::new(),
+            bit: 0,
+        }
+    }
+
+    fn start_line(&mut self) {
+        self.lines.push([0u8; 64]);
+        self.bit = 0;
+    }
+
+    /// Append `n` bits of `value` (MSB of the n-bit field first).
+    fn push_bits(&mut self, value: u32, n: u32) {
+        let line = self.lines.last_mut().expect("start_line first");
+        for i in (0..n).rev() {
+            let b = (value >> i) & 1;
+            if b != 0 {
+                line[self.bit / 8] |= 0x80 >> (self.bit % 8);
+            }
+            self.bit += 1;
+        }
+    }
+}
+
+/// Extract `n` bits starting at bit offset `off` within a 64 B line.
+fn read_bits(line: &[u8; 64], off: usize, n: u32) -> u32 {
+    let mut v = 0u32;
+    for i in 0..n as usize {
+        let bit = off + i;
+        let b = (line[bit / 8] >> (7 - (bit % 8))) & 1;
+        v = (v << 1) | b as u32;
+    }
+    v
+}
+
+/// Pack one vector's sortable encodings into the transformed layout.
+///
+/// `sortables` are the LSB-aligned sortable encodings of the vector's
+/// elements. With a non-zero schedule prefix the top `prefix_len` bits are
+/// omitted (kept on-chip).
+pub fn transform(sortables: &[u32], schedule: &FetchSchedule) -> TransformedVector {
+    let dim = sortables.len();
+    let bits = schedule.dtype().bits();
+    let prefix = schedule.prefix_len();
+    let mut w = LineWriter::new();
+    let cumulative = schedule.cumulative_bits();
+    for lp in schedule.line_plan(dim) {
+        w.start_line();
+        let n = lp.bits;
+        let end_bit = prefix + cumulative[lp.step]; // bits consumed so far
+        #[allow(clippy::needless_range_loop)] // indexed loops over shared state read clearer here
+        for d in lp.dim_start..lp.dim_end {
+            // Bits [bits-end_bit, bits-end_bit+n) of the sortable value.
+            let shift = bits - end_bit;
+            let chunk = (sortables[d] >> shift) & ones(n);
+            w.push_bits(chunk, n);
+        }
+    }
+    TransformedVector { lines: w.lines }
+}
+
+fn ones(n: u32) -> u32 {
+    if n >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << n) - 1
+    }
+}
+
+/// Recover per-dimension `(prefix_value, prefix_len)` pairs from the first
+/// `fetched_lines` lines of a transformed vector. Prefix lengths exclude
+/// any on-chip eliminated prefix (they count stored payload bits only).
+pub fn recover(
+    tv: &TransformedVector,
+    schedule: &FetchSchedule,
+    dim: usize,
+    fetched_lines: usize,
+) -> Vec<(u32, u32)> {
+    let mut out = vec![(0u32, 0u32); dim];
+    for lp in schedule.line_plan(dim).iter().take(fetched_lines) {
+        let line = &tv.lines[lines_index(lp, schedule, dim)];
+        let n = lp.bits;
+        let mut off = 0usize;
+        #[allow(clippy::needless_range_loop)] // indexed loops over shared state read clearer here
+        for d in lp.dim_start..lp.dim_end {
+            let chunk = read_bits(line, off, n);
+            let (v, len) = out[d];
+            out[d] = ((v << n) | chunk, len + n);
+            off += n as usize;
+        }
+    }
+    out
+}
+
+/// Index of a line plan entry within the flat line sequence.
+fn lines_index(lp: &crate::schedule::LinePlan, schedule: &FetchSchedule, dim: usize) -> usize {
+    let mut idx = 0;
+    for s in 0..lp.step {
+        idx += schedule.lines_in_step(s, dim);
+    }
+    idx + lp.dim_start / FetchSchedule::dims_per_line(lp.bits)
+}
+
+/// The whole dataset in transformed layout.
+#[derive(Debug, Clone)]
+pub struct TransformedDataset {
+    vectors: Vec<TransformedVector>,
+    schedule: FetchSchedule,
+}
+
+impl TransformedDataset {
+    /// Transform every vector of `data` (offline preprocessing; the
+    /// paper's Table 4 measures this step).
+    pub fn build(data: &Dataset, schedule: FetchSchedule) -> Self {
+        let dtype = data.dtype();
+        let vectors = (0..data.len())
+            .map(|i| {
+                let sortables: Vec<u32> = data
+                    .raw_vector(i)
+                    .iter()
+                    .map(|&r| to_sortable(dtype, r))
+                    .collect();
+                transform(&sortables, &schedule)
+            })
+            .collect();
+        TransformedDataset { vectors, schedule }
+    }
+
+    /// The transformed form of vector `i`.
+    pub fn vector(&self, i: usize) -> &TransformedVector {
+        &self.vectors[i]
+    }
+
+    /// The schedule the layout was built with.
+    pub fn schedule(&self) -> &FetchSchedule {
+        &self.schedule
+    }
+
+    /// Number of vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Total bytes including padding.
+    pub fn total_bytes(&self) -> usize {
+        self.vectors.iter().map(TransformedVector::bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ansmet_vecdata::{ElemType, SynthSpec};
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_fig2_example() {
+        // Fig. 2(b): 2-dim 4-bit vector S3 = (0011, 1101) stored as the
+        // top 2 bits of both elements, then the low 2 bits: 00 11 | 11 01.
+        // We model 4-bit elements in the top nibble of U8 (values 0x30,
+        // 0xD0) with an 8-bit schedule of 2-bit steps; the first two
+        // steps correspond to the example.
+        let sched = FetchSchedule::uniform(ElemType::U8, 2);
+        let tv = transform(&[0x30, 0xD0], &sched);
+        // Step 0 line: bits 00 11 (top 2 of 0x30=0011_0000 → 00; of
+        // 0xD0=1101_0000 → 11).
+        assert_eq!(tv.lines[0][0] >> 4, 0b0011);
+        // Step 1 line: next 2 bits: 11 01.
+        assert_eq!(tv.lines[1][0] >> 4, 0b1101);
+    }
+
+    #[test]
+    fn full_recovery_roundtrip() {
+        let sched = FetchSchedule::dual(ElemType::F32, 0, 8, 2, 3);
+        let sortables: Vec<u32> = (0..10).map(|i| 0x9abc_def0u32.wrapping_mul(i + 1)).collect();
+        let tv = transform(&sortables, &sched);
+        let rec = recover(&tv, &sched, 10, tv.lines.len());
+        for (d, &(v, len)) in rec.iter().enumerate() {
+            assert_eq!(len, 32);
+            assert_eq!(v, sortables[d], "dim {d}");
+        }
+    }
+
+    #[test]
+    fn partial_recovery_gives_prefixes() {
+        let sched = FetchSchedule::uniform(ElemType::U8, 4);
+        let sortables = vec![0xABu32, 0x12];
+        let tv = transform(&sortables, &sched);
+        let rec = recover(&tv, &sched, 2, 1);
+        assert_eq!(rec[0], (0xA, 4));
+        assert_eq!(rec[1], (0x1, 4));
+    }
+
+    #[test]
+    fn prefix_elimination_drops_top_bits() {
+        let sched = FetchSchedule::uniform_after_prefix(ElemType::U8, 3, 5);
+        let sortables = vec![0b1011_0110u32];
+        let tv = transform(&sortables, &sched);
+        let rec = recover(&tv, &sched, 1, tv.lines.len());
+        // Stored payload = low 5 bits = 1_0110.
+        assert_eq!(rec[0], (0b1_0110, 5));
+    }
+
+    #[test]
+    fn line_count_matches_schedule() {
+        let (data, _) = SynthSpec::gist().scaled(10, 1).generate();
+        let sched = FetchSchedule::simple_heuristic(data.dtype());
+        let td = TransformedDataset::build(&data, sched.clone());
+        assert_eq!(
+            td.vector(0).lines.len(),
+            sched.total_lines(data.dim())
+        );
+        assert_eq!(td.len(), 10);
+        assert_eq!(td.total_bytes(), 10 * td.vector(0).bytes());
+    }
+
+    #[test]
+    fn multi_line_step_spans_dimensions() {
+        // 200 dims at 8 bits: 64 dims per line → 4 lines per step.
+        let sched = FetchSchedule::uniform(ElemType::F32, 8);
+        let sortables: Vec<u32> = (0..200u32).map(|i| i * 0x0101_0101).collect();
+        let tv = transform(&sortables, &sched);
+        assert_eq!(tv.lines.len(), sched.total_lines(200));
+        let rec = recover(&tv, &sched, 200, tv.lines.len());
+        for (d, &(v, _)) in rec.iter().enumerate() {
+            assert_eq!(v, sortables[d]);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random_u8(vals in proptest::collection::vec(0u32..256, 1..100)) {
+            let sched = FetchSchedule::uniform(ElemType::U8, 3);
+            let tv = transform(&vals, &sched);
+            let rec = recover(&tv, &sched, vals.len(), tv.lines.len());
+            for (d, &(v, len)) in rec.iter().enumerate() {
+                prop_assert_eq!(len, 8);
+                prop_assert_eq!(v, vals[d]);
+            }
+        }
+
+        #[test]
+        fn prefix_of_recovery_matches_top_bits(
+            vals in proptest::collection::vec(0u32..u32::MAX, 1..40),
+            fetched in 1usize..5,
+        ) {
+            let sched = FetchSchedule::uniform(ElemType::F32, 7);
+            let tv = transform(&vals, &sched);
+            let fetched = fetched.min(tv.lines.len());
+            let rec = recover(&tv, &sched, vals.len(), fetched);
+            for (d, &(v, len)) in rec.iter().enumerate() {
+                if len > 0 {
+                    prop_assert_eq!(v, vals[d] >> (32 - len), "dim {}", d);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Dual-granularity fetch optimization (§4.2).
+//!
+//! Given the sampled distribution of first-termination bit positions, the
+//! planner searches (n_C, T_C, n_F) — coarse step width, coarse step
+//! count, fine step width — minimizing the expected fetch cost under the
+//! paper's access-cost model:
+//!
+//! ```text
+//! cost(p_ET) = 64 × ( ⌈D/m_C⌉ × #coarse_steps + ⌈D/m_F⌉ × #fine_steps )
+//! where m_X = ⌊64·8 / n_X⌋
+//! ```
+
+use ansmet_vecdata::ElemType;
+
+use crate::schedule::FetchSchedule;
+
+/// Optimized dual-granularity parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DualParams {
+    /// Coarse step width in bits.
+    pub n_c: u32,
+    /// Number of coarse steps.
+    pub t_c: u32,
+    /// Fine step width in bits.
+    pub n_f: u32,
+}
+
+impl DualParams {
+    /// Materialize the schedule these parameters describe.
+    pub fn schedule(&self, dtype: ElemType, prefix_len: u32) -> FetchSchedule {
+        FetchSchedule::dual(dtype, prefix_len, self.n_c, self.t_c, self.n_f)
+    }
+}
+
+/// Per-fetch-step decision overhead in line-equivalents: every step
+/// boundary costs a bound-check/command-generation bubble on the NDP
+/// unit, so schedules with many tiny steps are not free even when their
+/// byte counts match.
+const STEP_PENALTY_LINES: f64 = 0.1;
+
+/// Expected lines fetched for a vector whose first-termination position is
+/// `p_et` bits into the stored payload (`None` = never terminates).
+fn cost_lines(dim: usize, rem_bits: u32, p: Option<u32>, params: DualParams) -> f64 {
+    let m_c = FetchSchedule::dims_per_line(params.n_c);
+    let m_f = FetchSchedule::dims_per_line(params.n_f);
+    let lines_c = dim.div_ceil(m_c) as f64;
+    let lines_f = dim.div_ceil(m_f) as f64;
+    let coarse_bits = (params.n_c * params.t_c).min(rem_bits);
+    let coarse_steps_total = coarse_bits.div_ceil(params.n_c.max(1));
+    let fine_bits_total = rem_bits - coarse_bits;
+    let fine_steps_total = fine_bits_total.div_ceil(params.n_f.max(1));
+    let with_penalty = |coarse_steps: u32, fine_steps: u32| {
+        lines_c * coarse_steps as f64
+            + lines_f * fine_steps as f64
+            + STEP_PENALTY_LINES * (coarse_steps + fine_steps) as f64
+    };
+    match p {
+        Some(p) if p <= coarse_bits => {
+            let steps = p.div_ceil(params.n_c.max(1)).max(1);
+            with_penalty(steps, 0)
+        }
+        Some(p) => {
+            let fine = (p - coarse_bits).div_ceil(params.n_f.max(1)).max(1);
+            with_penalty(coarse_steps_total, fine.min(fine_steps_total))
+        }
+        None => with_penalty(coarse_steps_total, fine_steps_total),
+    }
+}
+
+/// Search the (n_C, T_C, n_F) space for the parameters minimizing the
+/// expected fetch cost over the sampled termination histogram.
+///
+/// `et_histogram[i]` is the probability that termination happens after
+/// `i + 1` payload bits are known (positions beyond `rem_bits` are
+/// clamped); `never_frac` is the probability of a full fetch. `prefix_len`
+/// bits have already been eliminated.
+///
+/// # Panics
+///
+/// Panics if `rem_bits` is zero.
+pub fn optimize_dual_schedule(
+    dim: usize,
+    total_bits: u32,
+    prefix_len: u32,
+    et_histogram: &[f64],
+    never_frac: f64,
+) -> DualParams {
+    let rem_bits = total_bits - prefix_len;
+    assert!(rem_bits > 0, "no bits left to schedule");
+
+    // Project the histogram (positions in *total* bits, 1-based) onto the
+    // stored payload (positions after the eliminated prefix).
+    let mut hist: Vec<(u32, f64)> = Vec::new();
+    let mut at_zero = 0.0;
+    for (i, &f) in et_histogram.iter().enumerate() {
+        if f <= 0.0 {
+            continue;
+        }
+        let pos_total = (i + 1) as u32;
+        if pos_total <= prefix_len {
+            at_zero += f; // terminates on the on-chip prefix alone
+        } else {
+            hist.push(((pos_total - prefix_len).min(rem_bits), f));
+        }
+    }
+    let _ = at_zero; // zero-cost terminations do not affect the argmin
+
+    let widths: Vec<u32> = (1..=rem_bits.min(32)).collect();
+    let mut best = DualParams {
+        n_c: rem_bits.min(32),
+        t_c: 1,
+        n_f: rem_bits.min(32),
+    };
+    let mut best_cost = f64::INFINITY;
+    for &n_c in &widths {
+        let max_tc = rem_bits.div_ceil(n_c);
+        for t_c in 0..=max_tc {
+            for &n_f in &widths {
+                if n_f > n_c {
+                    continue; // fine must not be coarser than coarse
+                }
+                if t_c == 0 && n_f != n_c {
+                    continue; // without coarse steps n_c is meaningless
+                }
+                let params = DualParams { n_c, t_c, n_f };
+                let mut cost = never_frac * cost_lines(dim, rem_bits, None, params);
+                for &(p, f) in &hist {
+                    cost += f * cost_lines(dim, rem_bits, Some(p), params);
+                }
+                if cost < best_cost - 1e-12 {
+                    best_cost = cost;
+                    best = params;
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_of_full_fetch_matches_schedule() {
+        let params = DualParams {
+            n_c: 8,
+            t_c: 2,
+            n_f: 4,
+        };
+        let dim = 128;
+        let sched = params.schedule(ElemType::F32, 0);
+        // Bytes term matches the schedule exactly; the step penalty adds
+        // 0.1 per step (2 coarse + 4 fine here).
+        let expect = sched.total_lines(dim) as f64 + STEP_PENALTY_LINES * 6.0;
+        assert!((cost_lines(dim, 32, None, params) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn early_termination_costs_less() {
+        let params = DualParams {
+            n_c: 8,
+            t_c: 2,
+            n_f: 2,
+        };
+        let early = cost_lines(96, 32, Some(6), params);
+        let late = cost_lines(96, 32, Some(28), params);
+        let never = cost_lines(96, 32, None, params);
+        assert!(early < late);
+        assert!(late < never);
+    }
+
+    #[test]
+    fn all_terminate_early_prefers_small_first_steps() {
+        // Every pair terminates within the first 4 bits: the optimizer
+        // should not pick a 32-bit first chunk.
+        let mut hist = vec![0.0; 32];
+        hist[3] = 1.0; // terminate at bit 4
+        let p = optimize_dual_schedule(128, 32, 0, &hist, 0.0);
+        assert!(p.n_c <= 8, "got {p:?}");
+    }
+
+    #[test]
+    fn never_terminating_prefers_full_width() {
+        // Nothing terminates: any splitting only adds padding lines, so
+        // the optimum is one full-width fetch.
+        let hist = vec![0.0; 32];
+        let p = optimize_dual_schedule(128, 32, 0, &hist, 1.0);
+        let cost_full = cost_lines(
+            128,
+            32,
+            None,
+            DualParams {
+                n_c: 32,
+                t_c: 1,
+                n_f: 32,
+            },
+        );
+        let cost_best = cost_lines(128, 32, None, p);
+        assert!(cost_best <= cost_full + 1e-9);
+    }
+
+    #[test]
+    fn mixed_distribution_uses_dual_granularity() {
+        // Paper's motivation: skip the low-entropy head coarsely, then
+        // fine steps through the high-termination range.
+        let mut hist = vec![0.0; 32];
+        hist[9] = 0.3; // bit 10
+        hist[11] = 0.3; // bit 12
+        hist[13] = 0.2; // bit 14
+        let p = optimize_dual_schedule(96, 32, 0, &hist, 0.2);
+        assert!(p.n_f <= p.n_c);
+        let naive = DualParams {
+            n_c: 1,
+            t_c: 32,
+            n_f: 1,
+        };
+        let cost_p: f64 = [(10u32, 0.3), (12, 0.3), (14, 0.2)]
+            .iter()
+            .map(|&(pos, f)| f * cost_lines(96, 32, Some(pos), p))
+            .sum::<f64>()
+            + 0.2 * cost_lines(96, 32, None, p);
+        let cost_naive: f64 = [(10u32, 0.3), (12, 0.3), (14, 0.2)]
+            .iter()
+            .map(|&(pos, f)| f * cost_lines(96, 32, Some(pos), naive))
+            .sum::<f64>()
+            + 0.2 * cost_lines(96, 32, None, naive);
+        assert!(cost_p < cost_naive, "dual {cost_p} vs bit-serial {cost_naive}");
+    }
+
+    #[test]
+    fn respects_prefix_elimination() {
+        let mut hist = vec![0.0; 32];
+        hist[11] = 1.0;
+        let p = optimize_dual_schedule(96, 32, 6, &hist, 0.0);
+        let sched = p.schedule(ElemType::F32, 6);
+        assert_eq!(sched.steps().iter().sum::<u32>(), 26);
+    }
+
+    #[test]
+    fn positions_inside_prefix_cost_nothing() {
+        // If everything terminates within the eliminated prefix, any
+        // schedule has expected cost ≈ 0; the function must still return
+        // valid parameters.
+        let mut hist = vec![0.0; 32];
+        hist[2] = 1.0; // bit 3, inside a 6-bit prefix
+        let p = optimize_dual_schedule(96, 32, 6, &hist, 0.0);
+        let sched = p.schedule(ElemType::F32, 6);
+        assert_eq!(sched.steps().iter().sum::<u32>(), 26);
+    }
+}

@@ -1,0 +1,312 @@
+//! Outlier-aware common-prefix elimination (§4.2, Fig. 4).
+//!
+//! The high (most-significant) bits of the sortable encoding are often
+//! shared across a dataset (the low-entropy range of Fig. 3). Instead of
+//! storing them, a single per-dimension prefix of global length `L` is
+//! kept on-chip and concatenated to the fetched bits. Elements whose top
+//! `L` bits differ from their dimension's prefix are **outliers**: they
+//! are stored in place in a special format (01Elm flag + partial-match
+//! length + remaining bits), dropping a few of their lowest bits — which
+//! only *widens* the element's value interval, keeping bounds
+//! conservative. Accuracy is preserved by re-checking an uncompressed
+//! backup copy whenever a vector containing outliers lands in-bound.
+
+use ansmet_vecdata::{Dataset, ElemType};
+
+use crate::encode::to_sortable;
+
+/// A chosen common-prefix specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefixSpec {
+    dtype: ElemType,
+    /// Eliminated prefix length `L` in bits (0 disables elimination).
+    len: u32,
+    /// Per-dimension prefix value (top `L` sortable bits, LSB-aligned).
+    dim_prefixes: Vec<u32>,
+}
+
+/// Dataset-wide statistics of a [`PrefixSpec`] (Table 5 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PrefixStats {
+    /// Fraction of elements that are outliers.
+    pub outlier_element_frac: f64,
+    /// Fraction of vectors containing at least one outlier element.
+    pub outlier_vector_frac: f64,
+    /// Fraction of storage saved by eliminating the prefix
+    /// (≈ `L / bits`, minus the 01Vec bit).
+    pub saved_space_frac: f64,
+    /// Extra space for uncompressed backup copies of outlier vectors,
+    /// as a fraction of the original dataset size.
+    pub extra_space_frac: f64,
+}
+
+impl PrefixSpec {
+    /// A disabled spec (no prefix elimination).
+    pub fn disabled(dtype: ElemType, dim: usize) -> Self {
+        PrefixSpec {
+            dtype,
+            len: 0,
+            dim_prefixes: vec![0; dim],
+        }
+    }
+
+    /// Choose the longest prefix such that at most
+    /// `outlier_frac × (|sample| × dim)` sample elements are outliers
+    /// (the paper empirically uses 0.1 %).
+    ///
+    /// Per dimension, the prefix value is grown greedily one bit at a
+    /// time along the majority path, so prefixes at successive lengths
+    /// are consistent and the outlier count is monotone in `L`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_ids` is empty.
+    pub fn choose(data: &Dataset, sample_ids: &[usize], outlier_frac: f64) -> Self {
+        assert!(!sample_ids.is_empty(), "sample must be non-empty");
+        let dtype = data.dtype();
+        let bits = dtype.bits();
+        let dim = data.dim();
+        let budget = (outlier_frac * (sample_ids.len() * dim) as f64).floor() as usize;
+
+        // Sortable encodings of the sample, dimension-major.
+        let sample: Vec<Vec<u32>> = (0..dim)
+            .map(|d| {
+                sample_ids
+                    .iter()
+                    .map(|&id| to_sortable(dtype, data.raw_vector(id)[d]))
+                    .collect()
+            })
+            .collect();
+
+        // Greedy majority path per dimension; count mismatches per length.
+        let mut dim_prefixes = vec![0u32; dim];
+        let mut chosen_len = 0u32;
+        let mut prefixes = vec![0u32; dim];
+        let max_len = bits.saturating_sub(1);
+        for l in 1..=max_len {
+            let mut outliers = 0usize;
+            let mut next = vec![0u32; dim];
+            for d in 0..dim {
+                let shift = bits - l;
+                let want0 = prefixes[d] << 1;
+                let want1 = want0 | 1;
+                let c0 = sample[d].iter().filter(|&&s| (s >> shift) == want0).count();
+                let c1 = sample[d].iter().filter(|&&s| (s >> shift) == want1).count();
+                let (chosen, matched) = if c1 > c0 { (want1, c1) } else { (want0, c0) };
+                next[d] = chosen;
+                outliers += sample[d].len() - matched;
+            }
+            if outliers > budget {
+                break;
+            }
+            prefixes = next;
+            chosen_len = l;
+            dim_prefixes.clone_from(&prefixes);
+        }
+
+        PrefixSpec {
+            dtype,
+            len: chosen_len,
+            dim_prefixes,
+        }
+    }
+
+    /// Eliminated prefix length `L`.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Whether no prefix bits are eliminated (clippy-conventional alias
+    /// of [`PrefixSpec::is_disabled`]).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether elimination is effectively disabled.
+    pub fn is_disabled(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The per-dimension on-chip prefix values.
+    pub fn dim_prefixes(&self) -> &[u32] {
+        &self.dim_prefixes
+    }
+
+    /// Length of the leading match between `sortable` and dimension `d`'s
+    /// prefix (0..=L).
+    pub fn matched_len(&self, d: usize, sortable: u32) -> u32 {
+        if self.len == 0 {
+            return 0;
+        }
+        let bits = self.dtype.bits();
+        let top = sortable >> (bits - self.len);
+        let diff = top ^ self.dim_prefixes[d];
+        if diff == 0 {
+            self.len
+        } else {
+            // Leading (most-significant within the L-bit field) zeros of
+            // the difference = matched length.
+            self.len - (32 - diff.leading_zeros())
+        }
+    }
+
+    /// Whether element `(d, sortable)` is an outlier (top `L` bits differ
+    /// from the dimension prefix).
+    pub fn is_outlier_element(&self, d: usize, sortable: u32) -> bool {
+        self.len > 0 && self.matched_len(d, sortable) < self.len
+    }
+
+    /// Whether vector `id` contains any outlier element.
+    pub fn vector_has_outlier(&self, data: &Dataset, id: usize) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        data.raw_vector(id)
+            .iter()
+            .enumerate()
+            .any(|(d, &raw)| self.is_outlier_element(d, to_sortable(self.dtype, raw)))
+    }
+
+    /// Per-element metadata bits in the outlier vector format: the 01Elm
+    /// flag plus the partial-match length field (⌈log₂(L+1)⌉ bits).
+    pub fn outlier_meta_bits(&self) -> u32 {
+        if self.len == 0 {
+            0
+        } else {
+            1 + 32 - self.len.leading_zeros()
+        }
+    }
+
+    /// Dataset-wide statistics (outlier fractions, space saved/added).
+    pub fn stats(&self, data: &Dataset) -> PrefixStats {
+        let bits = self.dtype.bits() as f64;
+        let dim = data.dim();
+        let mut outlier_elems = 0usize;
+        let mut outlier_vecs = 0usize;
+        for id in 0..data.len() {
+            let mut has = false;
+            for (d, &raw) in data.raw_vector(id).iter().enumerate() {
+                if self.is_outlier_element(d, to_sortable(self.dtype, raw)) {
+                    outlier_elems += 1;
+                    has = true;
+                }
+            }
+            if has {
+                outlier_vecs += 1;
+            }
+        }
+        let total_elems = (data.len() * dim).max(1);
+        let outlier_vector_frac = outlier_vecs as f64 / data.len().max(1) as f64;
+        // Saved: L bits per element minus the 01Vec bit per vector.
+        let saved_bits_per_vec = self.len as f64 * dim as f64 - 1.0;
+        let total_bits_per_vec = bits * dim as f64;
+        PrefixStats {
+            outlier_element_frac: outlier_elems as f64 / total_elems as f64,
+            outlier_vector_frac,
+            saved_space_frac: if self.len == 0 {
+                0.0
+            } else {
+                (saved_bits_per_vec / total_bits_per_vec).max(0.0)
+            },
+            extra_space_frac: outlier_vector_frac,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ansmet_vecdata::{Metric, SynthSpec};
+
+    fn constant_high_bits_dataset() -> Dataset {
+        // All values in [64, 80): u8 top 2 bits are 01 for every element.
+        let values: Vec<f32> = (0..200).map(|i| 64.0 + (i % 16) as f32).collect();
+        Dataset::from_values("c", ElemType::U8, Metric::L2, 4, values)
+    }
+
+    #[test]
+    fn finds_shared_prefix() {
+        let data = constant_high_bits_dataset();
+        let ids: Vec<usize> = (0..data.len()).collect();
+        let spec = PrefixSpec::choose(&data, &ids, 0.0);
+        // 64..79 = 0b0100_0000..0b0100_1111: top 4 bits shared.
+        assert_eq!(spec.len(), 4);
+        assert!(spec.dim_prefixes().iter().all(|&p| p == 0b0100));
+    }
+
+    #[test]
+    fn no_shared_prefix_on_uniform_data() {
+        let values: Vec<f32> = (0..512).map(|i| (i % 256) as f32).collect();
+        let data = Dataset::from_values("u", ElemType::U8, Metric::L2, 2, values);
+        let ids: Vec<usize> = (0..data.len()).collect();
+        let spec = PrefixSpec::choose(&data, &ids, 0.0);
+        assert_eq!(spec.len(), 0);
+        assert!(spec.is_disabled());
+    }
+
+    #[test]
+    fn outlier_budget_allows_longer_prefix() {
+        // 99% of elements share 4 top bits, 1% don't.
+        let mut values: Vec<f32> = vec![70.0; 400];
+        values[5] = 200.0;
+        values[133] = 1.0;
+        let data = Dataset::from_values("o", ElemType::U8, Metric::L2, 4, values);
+        let ids: Vec<usize> = (0..data.len()).collect();
+        let strict = PrefixSpec::choose(&data, &ids, 0.0);
+        let loose = PrefixSpec::choose(&data, &ids, 0.01);
+        assert_eq!(strict.len(), 0);
+        assert!(!loose.is_empty(), "budget should unlock a prefix");
+    }
+
+    #[test]
+    fn matched_len_cases() {
+        let data = constant_high_bits_dataset();
+        let ids: Vec<usize> = (0..data.len()).collect();
+        let spec = PrefixSpec::choose(&data, &ids, 0.0);
+        assert_eq!(spec.len(), 4);
+        // Element 0b0100_xxxx matches fully.
+        assert_eq!(spec.matched_len(0, 0b0100_0000), 4);
+        // 0b0101_xxxx matches 3 bits.
+        assert_eq!(spec.matched_len(0, 0b0101_0000), 3);
+        // 0b1100_xxxx matches 0 bits.
+        assert_eq!(spec.matched_len(0, 0b1100_0000), 0);
+        assert!(spec.is_outlier_element(0, 0b0101_0000));
+        assert!(!spec.is_outlier_element(0, 0b0100_1111));
+    }
+
+    #[test]
+    fn paper_fig4_partial_match() {
+        // Fig. 4(c): common prefix 1100₂, outlier element prefix 1111₂ —
+        // partially matched length 2.
+        let mut spec = PrefixSpec::disabled(ElemType::U8, 1);
+        spec.len = 4;
+        spec.dim_prefixes = vec![0b1100];
+        assert_eq!(spec.matched_len(0, 0b1111_0000), 2);
+        assert_eq!(spec.outlier_meta_bits(), 1 + 3); // 01Elm + ⌈log₂5⌉
+    }
+
+    #[test]
+    fn stats_on_synthetic_dataset() {
+        let (data, _) = SynthSpec::gist().scaled(200, 1).generate();
+        let ids: Vec<usize> = (0..100).collect();
+        let spec = PrefixSpec::choose(&data, &ids, 0.001);
+        let stats = spec.stats(&data);
+        assert!(stats.outlier_element_frac <= 0.05);
+        if !spec.is_empty() {
+            assert!(stats.saved_space_frac > 0.0);
+        }
+        assert!(stats.extra_space_frac <= 1.0);
+    }
+
+    #[test]
+    fn vector_outlier_detection() {
+        let mut values: Vec<f32> = vec![70.0; 40];
+        values[13] = 250.0;
+        let data = Dataset::from_values("v", ElemType::U8, Metric::L2, 4, values);
+        let ids: Vec<usize> = (0..10).collect();
+        let spec = PrefixSpec::choose(&data, &ids, 0.05);
+        assert!(!spec.is_empty());
+        assert!(spec.vector_has_outlier(&data, 3)); // vector 3 holds elem 13
+        assert!(!spec.vector_has_outlier(&data, 0));
+    }
+}

@@ -1,0 +1,304 @@
+//! Fetch schedules: how a vector's bits are split into 64 B fetch steps.
+//!
+//! A schedule is a sequence of bit-step widths `n_i` (§4.2). Step *i*
+//! packs the next `n_i` bits of every dimension; one 64 B line holds
+//! `m_i = ⌊512 / n_i⌋` dimensions, so a step over `D` dimensions spans
+//! `⌈D / m_i⌉` lines (the ceiling captures the paper's padding overhead).
+//! The sum of all steps equals the element width minus any eliminated
+//! common prefix.
+
+use ansmet_vecdata::ElemType;
+
+/// Bits available in one 64 B fetch.
+pub const LINE_BITS: u32 = 64 * 8;
+
+/// One 64 B line of the transformed layout: which dimensions gain how
+/// many bits when this line arrives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinePlan {
+    /// Schedule step this line belongs to.
+    pub step: usize,
+    /// Dimension range `[dim_start, dim_end)` covered by this line.
+    pub dim_start: usize,
+    /// End of the covered dimension range (exclusive).
+    pub dim_end: usize,
+    /// Bits added per covered dimension.
+    pub bits: u32,
+}
+
+/// A fetch schedule over the stored (post-prefix-elimination) bits of an
+/// element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchSchedule {
+    dtype: ElemType,
+    /// Eliminated common-prefix length (0 when prefix elimination is off).
+    prefix_len: u32,
+    /// Per-step bit widths; sums to `dtype.bits() - prefix_len`.
+    steps: Vec<u32>,
+}
+
+impl FetchSchedule {
+    /// A schedule with explicit steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless every step is in `1..=32` and the steps plus
+    /// `prefix_len` sum exactly to the element width.
+    pub fn from_steps(dtype: ElemType, prefix_len: u32, steps: Vec<u32>) -> Self {
+        assert!(
+            steps.iter().all(|&s| (1..=32).contains(&s)),
+            "step widths must be 1..=32"
+        );
+        let total: u32 = steps.iter().sum();
+        assert_eq!(
+            total + prefix_len,
+            dtype.bits(),
+            "steps ({total}) + prefix ({prefix_len}) must equal element width ({})",
+            dtype.bits()
+        );
+        FetchSchedule {
+            dtype,
+            prefix_len,
+            steps,
+        }
+    }
+
+    /// Uniform `n`-bit steps (the simple NDP-ET heuristic: 4-bit chunks
+    /// for integers, 8-bit for floats). The final step absorbs any
+    /// remainder.
+    pub fn uniform(dtype: ElemType, n: u32) -> Self {
+        Self::uniform_after_prefix(dtype, 0, n)
+    }
+
+    /// Uniform `n`-bit steps over the bits remaining after a `prefix_len`
+    /// common prefix.
+    pub fn uniform_after_prefix(dtype: ElemType, prefix_len: u32, n: u32) -> Self {
+        assert!(n >= 1, "step width must be positive");
+        let rem = dtype.bits() - prefix_len;
+        let mut steps = Vec::new();
+        let mut left = rem;
+        while left > 0 {
+            let s = n.min(left);
+            steps.push(s);
+            left -= s;
+        }
+        Self::from_steps(dtype, prefix_len, steps)
+    }
+
+    /// The paper's NDP-ET default: 4-bit chunks for integer types, 8-bit
+    /// for floating-point types (§6, "Evaluated designs").
+    pub fn simple_heuristic(dtype: ElemType) -> Self {
+        let n = if dtype.is_float() { 8 } else { 4 };
+        Self::uniform(dtype, n)
+    }
+
+    /// Dual-granularity schedule (§4.2): `t_c` coarse steps of `n_c` bits,
+    /// then fine steps of `n_f` bits. Coarse steps are clamped to the
+    /// available bits; the tail is fine-grained.
+    pub fn dual(dtype: ElemType, prefix_len: u32, n_c: u32, t_c: u32, n_f: u32) -> Self {
+        let rem = dtype.bits() - prefix_len;
+        let mut steps = Vec::new();
+        let mut left = rem;
+        for _ in 0..t_c {
+            if left == 0 {
+                break;
+            }
+            let s = n_c.min(left);
+            steps.push(s);
+            left -= s;
+        }
+        while left > 0 {
+            let s = n_f.min(left);
+            steps.push(s);
+            left -= s;
+        }
+        Self::from_steps(dtype, prefix_len, steps)
+    }
+
+    /// Single full-width step: each dimension is fetched whole, in
+    /// dimension order — the partial-dimension-only scheme (NDP-DimET).
+    pub fn full_width(dtype: ElemType) -> Self {
+        Self::from_steps(dtype, 0, vec![dtype.bits()])
+    }
+
+    /// Bit-serial schedule (NDP-BitET, after BitNN): fixed 1-bit steps.
+    pub fn bit_serial(dtype: ElemType) -> Self {
+        Self::uniform(dtype, 1)
+    }
+
+    /// Element type.
+    pub fn dtype(&self) -> ElemType {
+        self.dtype
+    }
+
+    /// Eliminated common-prefix length.
+    pub fn prefix_len(&self) -> u32 {
+        self.prefix_len
+    }
+
+    /// Per-step bit widths.
+    pub fn steps(&self) -> &[u32] {
+        &self.steps
+    }
+
+    /// Dimensions per 64 B line at step width `n`.
+    pub fn dims_per_line(n: u32) -> usize {
+        (LINE_BITS / n) as usize
+    }
+
+    /// 64 B lines spanned by step `i` for a `dim`-dimensional vector.
+    pub fn lines_in_step(&self, i: usize, dim: usize) -> usize {
+        dim.div_ceil(Self::dims_per_line(self.steps[i]))
+    }
+
+    /// Total lines of the transformed vector.
+    pub fn total_lines(&self, dim: usize) -> usize {
+        (0..self.steps.len()).map(|i| self.lines_in_step(i, dim)).sum()
+    }
+
+    /// The full fetch plan: one [`LinePlan`] per 64 B line, in fetch order.
+    pub fn line_plan(&self, dim: usize) -> Vec<LinePlan> {
+        let mut plan = Vec::new();
+        for (i, &n) in self.steps.iter().enumerate() {
+            let per_line = Self::dims_per_line(n);
+            let mut d = 0;
+            while d < dim {
+                let end = (d + per_line).min(dim);
+                plan.push(LinePlan {
+                    step: i,
+                    dim_start: d,
+                    dim_end: end,
+                    bits: n,
+                });
+                d = end;
+            }
+        }
+        plan
+    }
+
+    /// Cumulative fetched bits per dimension after each whole step
+    /// (not counting the eliminated prefix).
+    pub fn cumulative_bits(&self) -> Vec<u32> {
+        let mut acc = 0;
+        self.steps
+            .iter()
+            .map(|&s| {
+                acc += s;
+                acc
+            })
+            .collect()
+    }
+
+    /// Bytes of padding wasted by this schedule per vector.
+    pub fn padding_bytes(&self, dim: usize) -> usize {
+        let useful_bits = (self.dtype.bits() - self.prefix_len) as usize * dim;
+        self.total_lines(dim) * 64 - useful_bits.div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_u8_4bit() {
+        let s = FetchSchedule::uniform(ElemType::U8, 4);
+        assert_eq!(s.steps(), &[4, 4]);
+        // 128 dims à 4 bits = 512 bits = exactly one line per step.
+        assert_eq!(s.lines_in_step(0, 128), 1);
+        assert_eq!(s.total_lines(128), 2);
+    }
+
+    #[test]
+    fn uniform_absorbs_remainder() {
+        let s = FetchSchedule::uniform(ElemType::F32, 5);
+        assert_eq!(s.steps().iter().sum::<u32>(), 32);
+        assert_eq!(*s.steps().last().expect("nonempty"), 2);
+    }
+
+    #[test]
+    fn simple_heuristic_matches_paper() {
+        assert_eq!(FetchSchedule::simple_heuristic(ElemType::U8).steps()[0], 4);
+        assert_eq!(FetchSchedule::simple_heuristic(ElemType::F32).steps()[0], 8);
+    }
+
+    #[test]
+    fn dual_granularity_shape() {
+        let s = FetchSchedule::dual(ElemType::F32, 0, 8, 2, 2);
+        assert_eq!(&s.steps()[..2], &[8, 8]);
+        assert!(s.steps()[2..].iter().all(|&x| x == 2));
+        assert_eq!(s.steps().iter().sum::<u32>(), 32);
+    }
+
+    #[test]
+    fn dual_with_prefix_elimination() {
+        let s = FetchSchedule::dual(ElemType::F32, 6, 8, 1, 4);
+        assert_eq!(s.prefix_len(), 6);
+        assert_eq!(s.steps().iter().sum::<u32>(), 26);
+    }
+
+    #[test]
+    fn bit_serial_wastes_lines_on_low_dims() {
+        // Paper: SIFT (128 dims) bit-serial fetch uses only 128 of 512
+        // bits per line → 8 lines for 8 bits vs 2 lines natural layout.
+        let s = FetchSchedule::bit_serial(ElemType::U8);
+        assert_eq!(s.total_lines(128), 8);
+        // GIST-like 960 dims: 960 bits / plane → 2 lines per plane.
+        assert_eq!(s.total_lines(960), 16);
+    }
+
+    #[test]
+    fn full_width_is_dimension_sequential() {
+        let s = FetchSchedule::full_width(ElemType::F32);
+        // 16 FP32 dims per 64 B line.
+        assert_eq!(FetchSchedule::dims_per_line(32), 16);
+        assert_eq!(s.total_lines(96), 6);
+        let plan = s.line_plan(96);
+        assert_eq!(plan.len(), 6);
+        assert_eq!(plan[0].dim_start, 0);
+        assert_eq!(plan[0].dim_end, 16);
+        assert_eq!(plan[5].dim_end, 96);
+    }
+
+    #[test]
+    fn line_plan_covers_every_bit_exactly_once() {
+        let s = FetchSchedule::dual(ElemType::F32, 4, 8, 2, 3);
+        let dim = 100;
+        let mut got = vec![0u32; dim];
+        for lp in s.line_plan(dim) {
+            for d in lp.dim_start..lp.dim_end {
+                got[d] += lp.bits;
+            }
+        }
+        assert!(got.iter().all(|&b| b == 28));
+    }
+
+    #[test]
+    fn paper_cost_formula_example() {
+        // §4.2: "a 64 B chunk may contain the next highest 9 bits from 56
+        // dimensions, with 8 padding bits at the end".
+        assert_eq!(FetchSchedule::dims_per_line(9), 56);
+    }
+
+    #[test]
+    fn padding_accounting() {
+        let s = FetchSchedule::uniform(ElemType::U8, 4);
+        // 100 dims à 4 bits = 400 bits per step; line = 512 bits.
+        // 2 steps → 2 lines = 128 B; useful = 100 B.
+        assert_eq!(s.padding_bytes(100), 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "must equal element width")]
+    fn mismatched_steps_panic() {
+        FetchSchedule::from_steps(ElemType::U8, 0, vec![4, 2]);
+    }
+
+    #[test]
+    fn cumulative_bits_monotone() {
+        let s = FetchSchedule::dual(ElemType::F32, 0, 8, 1, 6);
+        let c = s.cumulative_bits();
+        assert_eq!(*c.last().expect("nonempty"), 32);
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,141 @@
+//! Physical-address to DRAM-location mapping.
+//!
+//! The default interleaving is `Row | Rank | BankGroup | Bank | Column | Channel`
+//! from most- to least-significant (low bits select the channel so that
+//! consecutive cachelines stripe across channels, then columns within a row
+//! for host streaming locality).
+
+use crate::config::DramConfig;
+
+/// Decoded DRAM coordinates of a 64 B cacheline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Location {
+    /// Channel index.
+    pub channel: usize,
+    /// Rank index within the channel.
+    pub rank: usize,
+    /// Bank group index within the rank.
+    pub bank_group: usize,
+    /// Bank index within the bank group.
+    pub bank: usize,
+    /// Row within the bank.
+    pub row: usize,
+    /// Column (cacheline slot) within the row.
+    pub column: usize,
+}
+
+/// Address decoder for a given [`DramConfig`].
+#[derive(Debug, Clone)]
+pub struct AddrMap {
+    channels: usize,
+    ranks: usize,
+    bank_groups: usize,
+    banks: usize,
+    rows: usize,
+    columns: usize,
+}
+
+impl AddrMap {
+    /// Build the decoder for `config`.
+    pub fn new(config: &DramConfig) -> Self {
+        AddrMap {
+            channels: config.channels,
+            ranks: config.ranks_per_channel,
+            bank_groups: config.bank_groups,
+            banks: config.banks_per_group,
+            rows: config.rows,
+            columns: config.columns,
+        }
+    }
+
+    /// Decode a byte address into DRAM coordinates.
+    ///
+    /// The low 6 bits (64 B offset) are discarded; successive fields are
+    /// peeled off the line address in the order channel, column, bank,
+    /// bank group, rank, row. Row wraps modulo the configured row count so
+    /// arbitrary synthetic addresses stay in range.
+    pub fn decode(&self, addr: u64) -> Location {
+        let mut line = addr >> 6;
+        let channel = (line % self.channels as u64) as usize;
+        line /= self.channels as u64;
+        let column = (line % self.columns as u64) as usize;
+        line /= self.columns as u64;
+        let bank = (line % self.banks as u64) as usize;
+        line /= self.banks as u64;
+        let bank_group = (line % self.bank_groups as u64) as usize;
+        line /= self.bank_groups as u64;
+        let rank = (line % self.ranks as u64) as usize;
+        line /= self.ranks as u64;
+        let row = (line % self.rows as u64) as usize;
+        Location {
+            channel,
+            rank,
+            bank_group,
+            bank,
+            row,
+            column,
+        }
+    }
+
+    /// Re-encode coordinates into a canonical byte address (inverse of
+    /// [`AddrMap::decode`] for in-range rows).
+    pub fn encode(&self, loc: Location) -> u64 {
+        let mut line = loc.row as u64;
+        line = line * self.ranks as u64 + loc.rank as u64;
+        line = line * self.bank_groups as u64 + loc.bank_group as u64;
+        line = line * self.banks as u64 + loc.bank as u64;
+        line = line * self.columns as u64 + loc.column as u64;
+        line = line * self.channels as u64 + loc.channel as u64;
+        line << 6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> AddrMap {
+        AddrMap::new(&DramConfig::ddr5_4800())
+    }
+
+    #[test]
+    fn consecutive_lines_stripe_channels() {
+        let m = map();
+        let a = m.decode(0);
+        let b = m.decode(64);
+        let c = m.decode(128);
+        assert_eq!(a.channel, 0);
+        assert_eq!(b.channel, 1);
+        assert_eq!(c.channel, 2);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = map();
+        for addr in [0u64, 64, 4096, 1 << 20, 0x1234_5678 & !63] {
+            let loc = m.decode(addr);
+            assert_eq!(m.encode(loc), addr, "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn offset_bits_ignored() {
+        let m = map();
+        assert_eq!(m.decode(0x40), m.decode(0x7f));
+    }
+
+    #[test]
+    fn fields_in_range() {
+        let cfg = DramConfig::ddr5_4800();
+        let m = AddrMap::new(&cfg);
+        for i in 0..10_000u64 {
+            let loc = m.decode(i * 64 * 37);
+            assert!(loc.channel < cfg.channels);
+            assert!(loc.rank < cfg.ranks_per_channel);
+            assert!(loc.bank_group < cfg.bank_groups);
+            assert!(loc.bank < cfg.banks_per_group);
+            assert!(loc.row < cfg.rows);
+            assert!(loc.column < cfg.columns);
+        }
+    }
+}

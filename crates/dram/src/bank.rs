@@ -1,0 +1,227 @@
+//! Per-bank DRAM state machine.
+
+use crate::command::{Command, CommandKind};
+use crate::config::Timing;
+
+/// One DRAM bank: open-row state plus earliest-allowed issue cycles.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct Bank {
+    /// Currently open row, if any.
+    open_row: Option<usize>,
+    next_act: u64,
+    next_pre: u64,
+    next_cas: u64,
+    /// Row-buffer hit/miss counters for statistics.
+    pub row_hits: u64,
+    /// Row misses (activations required).
+    pub row_misses: u64,
+    /// Row conflicts (precharge of another row required).
+    pub row_conflicts: u64,
+}
+
+
+impl Bank {
+    /// Currently open row, if any.
+    pub fn open_row(&self) -> Option<usize> {
+        self.open_row
+    }
+
+    /// Whether the bank is precharged (no open row).
+    pub fn is_precharged(&self) -> bool {
+        self.open_row.is_none()
+    }
+
+    /// The command this bank needs next in order to eventually serve a CAS
+    /// to `row`.
+    pub fn needed_command(&self, row: usize, is_read: bool) -> CommandKind {
+        match self.open_row {
+            None => CommandKind::Activate,
+            Some(r) if r == row => {
+                if is_read {
+                    CommandKind::Read
+                } else {
+                    CommandKind::Write
+                }
+            }
+            Some(_) => CommandKind::Precharge,
+        }
+    }
+
+    /// Earliest cycle at which `kind` may issue, considering only bank-local
+    /// constraints (rank-level constraints are layered on top).
+    pub fn earliest(&self, kind: CommandKind) -> u64 {
+        match kind {
+            CommandKind::Activate => self.next_act,
+            CommandKind::Precharge => self.next_pre,
+            CommandKind::Read | CommandKind::Write => self.next_cas,
+            CommandKind::Refresh => self.next_act,
+        }
+    }
+
+    /// Whether `kind` targeting `row` is legal and timing-ready at `now`.
+    pub fn can_issue(&self, kind: CommandKind, row: usize, now: u64) -> bool {
+        if now < self.earliest(kind) {
+            return false;
+        }
+        match kind {
+            CommandKind::Activate => self.open_row.is_none(),
+            CommandKind::Precharge => true,
+            CommandKind::Read | CommandKind::Write => self.open_row == Some(row),
+            CommandKind::Refresh => self.open_row.is_none(),
+        }
+    }
+
+    /// Apply `cmd` at cycle `now`, updating bank-local timing state.
+    /// With `auto_precharge`, CAS commands behave as RDA/WRA: the row
+    /// closes once the restore window elapses.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if the command is not issuable at `now`.
+    pub fn issue(&mut self, cmd: &Command, now: u64, t: &Timing, auto_precharge: bool) {
+        debug_assert!(self.can_issue(cmd.kind, cmd.row, now), "illegal {cmd:?} at {now}");
+        match cmd.kind {
+            CommandKind::Activate => {
+                self.open_row = Some(cmd.row);
+                self.next_pre = self.next_pre.max(now + t.ras);
+                self.next_cas = self.next_cas.max(now + t.rcd);
+                self.next_act = self.next_act.max(now + t.rc);
+            }
+            CommandKind::Precharge => {
+                self.open_row = None;
+                self.next_act = self.next_act.max(now + t.rp);
+            }
+            CommandKind::Read => {
+                self.next_pre = self.next_pre.max(now + t.rtp);
+                if auto_precharge {
+                    self.open_row = None;
+                    self.next_act = self.next_act.max(now + t.rtp + t.rp);
+                }
+            }
+            CommandKind::Write => {
+                self.next_pre = self.next_pre.max(now + t.cwl + t.burst_cycles + t.wr);
+                if auto_precharge {
+                    self.open_row = None;
+                    self.next_act = self
+                        .next_act
+                        .max(now + t.cwl + t.burst_cycles + t.wr + t.rp);
+                }
+            }
+            CommandKind::Refresh => {
+                self.next_act = self.next_act.max(now + t.rfc);
+            }
+        }
+    }
+
+    /// Block new activations until `cycle` (used for refresh, which stalls
+    /// every bank in the rank).
+    pub fn block_activates_until(&mut self, cycle: u64) {
+        self.next_act = self.next_act.max(cycle);
+    }
+
+    /// Record a row-buffer outcome for statistics.
+    pub fn record_outcome(&mut self, hit: bool, conflict: bool) {
+        if hit {
+            self.row_hits += 1;
+        } else if conflict {
+            self.row_conflicts += 1;
+        } else {
+            self.row_misses += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> Timing {
+        Timing::ddr5_4800()
+    }
+
+    fn act(row: usize) -> Command {
+        Command {
+            kind: CommandKind::Activate,
+            bank_group: 0,
+            bank: 0,
+            row,
+            column: 0,
+        }
+    }
+
+    fn rd(row: usize) -> Command {
+        Command {
+            kind: CommandKind::Read,
+            bank_group: 0,
+            bank: 0,
+            row,
+            column: 0,
+        }
+    }
+
+    fn pre() -> Command {
+        Command {
+            kind: CommandKind::Precharge,
+            bank_group: 0,
+            bank: 0,
+            row: 0,
+            column: 0,
+        }
+    }
+
+    #[test]
+    fn act_then_read_respects_rcd() {
+        let t = timing();
+        let mut b = Bank::default();
+        assert!(b.can_issue(CommandKind::Activate, 5, 0));
+        b.issue(&act(5), 0, &t, false);
+        assert!(!b.can_issue(CommandKind::Read, 5, t.rcd - 1));
+        assert!(b.can_issue(CommandKind::Read, 5, t.rcd));
+        b.issue(&rd(5), t.rcd, &t, false);
+    }
+
+    #[test]
+    fn read_wrong_row_refused() {
+        let t = timing();
+        let mut b = Bank::default();
+        b.issue(&act(5), 0, &t, false);
+        assert!(!b.can_issue(CommandKind::Read, 6, t.rcd + 100));
+        assert_eq!(b.needed_command(6, true), CommandKind::Precharge);
+    }
+
+    #[test]
+    fn precharge_respects_ras_and_rtp() {
+        let t = timing();
+        let mut b = Bank::default();
+        b.issue(&act(1), 0, &t, false);
+        // PRE blocked until tRAS.
+        assert!(!b.can_issue(CommandKind::Precharge, 0, t.ras - 1));
+        assert!(b.can_issue(CommandKind::Precharge, 0, t.ras));
+        b.issue(&rd(1), t.rcd, &t, false);
+        // RTP pushes PRE out if later than RAS.
+        let earliest = (t.ras).max(t.rcd + t.rtp);
+        assert_eq!(b.earliest(CommandKind::Precharge), earliest);
+    }
+
+    #[test]
+    fn act_to_act_respects_rc() {
+        let t = timing();
+        let mut b = Bank::default();
+        b.issue(&act(1), 0, &t, false);
+        b.issue(&pre(), t.ras, &t, false);
+        assert!(!b.can_issue(CommandKind::Activate, 2, t.rc - 1));
+        assert!(b.can_issue(CommandKind::Activate, 2, t.rc));
+    }
+
+    #[test]
+    fn needed_command_transitions() {
+        let t = timing();
+        let mut b = Bank::default();
+        assert_eq!(b.needed_command(3, true), CommandKind::Activate);
+        b.issue(&act(3), 0, &t, false);
+        assert_eq!(b.needed_command(3, true), CommandKind::Read);
+        assert_eq!(b.needed_command(3, false), CommandKind::Write);
+        assert_eq!(b.needed_command(4, true), CommandKind::Precharge);
+    }
+}

@@ -1,0 +1,92 @@
+//! DDR command set and command records.
+
+use std::fmt;
+
+/// The DDR commands the simulator issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommandKind {
+    /// Activate a row in a bank.
+    Activate,
+    /// Precharge one bank.
+    Precharge,
+    /// Column read (with auto data burst).
+    Read,
+    /// Column write.
+    Write,
+    /// All-bank refresh for one rank.
+    Refresh,
+}
+
+impl CommandKind {
+    /// Whether this command transfers data on the data bus.
+    pub fn is_cas(self) -> bool {
+        matches!(self, CommandKind::Read | CommandKind::Write)
+    }
+}
+
+impl fmt::Display for CommandKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CommandKind::Activate => "ACT",
+            CommandKind::Precharge => "PRE",
+            CommandKind::Read => "RD",
+            CommandKind::Write => "WR",
+            CommandKind::Refresh => "REF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A fully-addressed command ready to issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Command {
+    /// Which command.
+    pub kind: CommandKind,
+    /// Bank group index within the rank.
+    pub bank_group: usize,
+    /// Bank index within the bank group.
+    pub bank: usize,
+    /// Row address (used by [`CommandKind::Activate`]).
+    pub row: usize,
+    /// Column (cacheline) address (used by CAS commands).
+    pub column: usize,
+}
+
+impl Command {
+    /// Flat bank index within the rank.
+    pub fn flat_bank(&self, banks_per_group: usize) -> usize {
+        self.bank_group * banks_per_group + self.bank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cas_classification() {
+        assert!(CommandKind::Read.is_cas());
+        assert!(CommandKind::Write.is_cas());
+        assert!(!CommandKind::Activate.is_cas());
+        assert!(!CommandKind::Precharge.is_cas());
+        assert!(!CommandKind::Refresh.is_cas());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CommandKind::Activate.to_string(), "ACT");
+        assert_eq!(CommandKind::Read.to_string(), "RD");
+    }
+
+    #[test]
+    fn flat_bank_index() {
+        let c = Command {
+            kind: CommandKind::Read,
+            bank_group: 3,
+            bank: 1,
+            row: 0,
+            column: 0,
+        };
+        assert_eq!(c.flat_bank(4), 13);
+    }
+}

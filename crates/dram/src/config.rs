@@ -1,0 +1,235 @@
+//! DRAM organization and timing configuration.
+//!
+//! The default configuration reproduces Table 1 of the paper:
+//! DDR5-4800, 4 channels × 2 DIMMs × 4 ranks, 8 bank groups × 4 banks,
+//! RCD-CAS-RP = 40-40-40 (cycles at the 2400 MHz command clock).
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PagePolicy {
+    /// Leave rows open after a CAS (FR-FCFS exploits row hits; the
+    /// paper's streaming-friendly default).
+    #[default]
+    Open,
+    /// Auto-precharge after every CAS (each access pays a fresh ACT,
+    /// but precharge latency is hidden off the critical path).
+    Closed,
+}
+
+/// DDR timing parameters, all in command-clock cycles.
+///
+/// DDR5-4800 transfers data at 4800 MT/s on a 2400 MHz clock; a 64 B
+/// cacheline is one BL16 burst and occupies the data bus for
+/// `burst_cycles = 8` cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timing {
+    /// ACT to internal read/write delay (tRCD).
+    pub rcd: u64,
+    /// CAS latency: READ command to first data (CL).
+    pub cl: u64,
+    /// CAS write latency: WRITE command to first data (CWL).
+    pub cwl: u64,
+    /// PRE to ACT delay on the same bank (tRP).
+    pub rp: u64,
+    /// ACT to PRE minimum (tRAS).
+    pub ras: u64,
+    /// ACT to ACT on the same bank (tRC).
+    pub rc: u64,
+    /// CAS to CAS, different bank group (tCCD_S).
+    pub ccd_s: u64,
+    /// CAS to CAS, same bank group (tCCD_L).
+    pub ccd_l: u64,
+    /// ACT to ACT, different bank group (tRRD_S).
+    pub rrd_s: u64,
+    /// ACT to ACT, same bank group (tRRD_L).
+    pub rrd_l: u64,
+    /// Four-activate window (tFAW).
+    pub faw: u64,
+    /// Write recovery: end of write data to PRE (tWR).
+    pub wr: u64,
+    /// Write-to-read turnaround, different bank group (tWTR_S).
+    pub wtr_s: u64,
+    /// Write-to-read turnaround, same bank group (tWTR_L).
+    pub wtr_l: u64,
+    /// READ to PRE delay (tRTP).
+    pub rtp: u64,
+    /// Average refresh interval (tREFI).
+    pub refi: u64,
+    /// Refresh cycle time (tRFC).
+    pub rfc: u64,
+    /// Data-bus occupancy of one 64 B burst (BL16 / 2).
+    pub burst_cycles: u64,
+    /// Rank-to-rank data-bus switch penalty on a shared channel bus.
+    pub rank_switch: u64,
+}
+
+impl Timing {
+    /// DDR5-4800B-like timing (cycles at 2400 MHz; 1 cycle ≈ 0.4167 ns).
+    ///
+    /// RCD-CAS-RP = 40-40-40 per Table 1 of the paper; the remaining
+    /// parameters follow the JEDEC DDR5-4800 speed bin.
+    pub fn ddr5_4800() -> Self {
+        Timing {
+            rcd: 40,
+            cl: 40,
+            cwl: 38,
+            rp: 40,
+            ras: 77,
+            rc: 117,
+            ccd_s: 8,
+            ccd_l: 12,
+            rrd_s: 8,
+            rrd_l: 12,
+            faw: 32,
+            wr: 72,
+            wtr_s: 10,
+            wtr_l: 24,
+            rtp: 18,
+            refi: 9360,
+            rfc: 984,
+            burst_cycles: 8,
+            rank_switch: 2,
+        }
+    }
+}
+
+/// Full memory-system configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of independent memory channels.
+    pub channels: usize,
+    /// Ranks per channel (DIMMs × ranks-per-DIMM).
+    pub ranks_per_channel: usize,
+    /// Bank groups per rank.
+    pub bank_groups: usize,
+    /// Banks per bank group.
+    pub banks_per_group: usize,
+    /// Rows per bank.
+    pub rows: usize,
+    /// Column (cacheline) slots per row; a row holds `columns * 64` bytes.
+    pub columns: usize,
+    /// Timing parameters.
+    pub timing: Timing,
+    /// Command clock frequency in MHz (2400 for DDR5-4800).
+    pub clock_mhz: u64,
+    /// Host-side per-channel request queue capacity.
+    pub queue_depth: usize,
+    /// Whether periodic refresh is simulated.
+    pub refresh_enabled: bool,
+    /// Row-buffer policy.
+    pub page_policy: PagePolicy,
+}
+
+impl DramConfig {
+    /// The paper's Table 1 system: DDR5-4800, 4 channels × 2 DIMMs × 4 ranks,
+    /// 8 bank groups × 4 banks.
+    pub fn ddr5_4800() -> Self {
+        DramConfig {
+            channels: 4,
+            ranks_per_channel: 8,
+            bank_groups: 8,
+            banks_per_group: 4,
+            rows: 1 << 16,
+            columns: 128,
+            timing: Timing::ddr5_4800(),
+            clock_mhz: 2400,
+            queue_depth: 64,
+            refresh_enabled: true,
+            page_policy: PagePolicy::Open,
+        }
+    }
+
+    /// A small configuration for fast unit tests: 1 channel, 2 ranks.
+    pub fn tiny() -> Self {
+        DramConfig {
+            channels: 1,
+            ranks_per_channel: 2,
+            bank_groups: 2,
+            banks_per_group: 2,
+            rows: 256,
+            columns: 32,
+            timing: Timing::ddr5_4800(),
+            clock_mhz: 2400,
+            queue_depth: 16,
+            refresh_enabled: false,
+            page_policy: PagePolicy::Open,
+        }
+    }
+
+    /// Scale the number of ranks (NDP units) while keeping 4 channels, as in
+    /// the Table 3 scalability study (8/16/32/64 total ranks).
+    pub fn with_total_ranks(mut self, total: usize) -> Self {
+        assert!(
+            total.is_multiple_of(self.channels),
+            "total ranks must divide evenly across channels"
+        );
+        self.ranks_per_channel = total / self.channels;
+        self
+    }
+
+    /// Total ranks in the system (= number of NDP units in ANSMET).
+    pub fn total_ranks(&self) -> usize {
+        self.channels * self.ranks_per_channel
+    }
+
+    /// Banks per rank.
+    pub fn banks_per_rank(&self) -> usize {
+        self.bank_groups * self.banks_per_group
+    }
+
+    /// Duration of one command-clock cycle in nanoseconds.
+    pub fn cycle_ns(&self) -> f64 {
+        1000.0 / self.clock_mhz as f64
+    }
+
+    /// Peak data bandwidth of one channel (or one rank-local NDP bus) in GB/s.
+    pub fn peak_bandwidth_gbps(&self) -> f64 {
+        64.0 / (self.timing.burst_cycles as f64 * self.cycle_ns())
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig::ddr5_4800()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_organization() {
+        let c = DramConfig::ddr5_4800();
+        assert_eq!(c.channels, 4);
+        assert_eq!(c.total_ranks(), 32);
+        assert_eq!(c.banks_per_rank(), 32);
+        assert_eq!(c.timing.rcd, 40);
+        assert_eq!(c.timing.cl, 40);
+        assert_eq!(c.timing.rp, 40);
+    }
+
+    #[test]
+    fn cycle_time_matches_ddr5_4800() {
+        let c = DramConfig::ddr5_4800();
+        assert!((c.cycle_ns() - 0.41667).abs() < 1e-3);
+        // One channel: 64B per 8 cycles @ 2400MHz = 19.2 GB/s.
+        assert!((c.peak_bandwidth_gbps() - 19.2).abs() < 0.1);
+    }
+
+    #[test]
+    fn rank_scaling() {
+        let c = DramConfig::ddr5_4800().with_total_ranks(64);
+        assert_eq!(c.ranks_per_channel, 16);
+        assert_eq!(c.total_ranks(), 64);
+    }
+
+    #[test]
+    fn timing_sanity() {
+        let t = Timing::ddr5_4800();
+        assert!(t.rc >= t.ras + t.rp);
+        assert!(t.ccd_l >= t.ccd_s);
+        assert!(t.rrd_l >= t.rrd_s);
+        assert!(t.faw >= 4 * t.rrd_s / 2);
+    }
+}

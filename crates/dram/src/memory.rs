@@ -1,0 +1,637 @@
+//! The top-level memory system: channels, queues, tick loop, statistics.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::addrmap::AddrMap;
+use crate::command::CommandKind;
+use crate::config::DramConfig;
+use crate::rank::Rank;
+use crate::request::{AccessKind, Port, Request, Response};
+use crate::scheduler;
+
+/// Aggregate statistics exported by the memory system.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemoryStats {
+    /// Completed host reads.
+    pub host_reads: u64,
+    /// Completed host writes.
+    pub host_writes: u64,
+    /// Completed NDP reads.
+    pub ndp_reads: u64,
+    /// Completed NDP writes.
+    pub ndp_writes: u64,
+    /// Sum of host request latencies (cycles).
+    pub host_latency_sum: u64,
+    /// Sum of NDP request latencies (cycles).
+    pub ndp_latency_sum: u64,
+    /// Row-buffer hits (request served by an immediate CAS).
+    pub row_hits: u64,
+    /// Row-buffer misses (bank was closed).
+    pub row_misses: u64,
+    /// Row-buffer conflicts (another row was open).
+    pub row_conflicts: u64,
+    /// Cycles any host channel data bus carried data.
+    pub host_bus_busy_cycles: u64,
+    /// Cycles any rank-local (NDP) data bus carried data.
+    pub ndp_bus_busy_cycles: u64,
+}
+
+impl MemoryStats {
+    /// Mean host-read latency in cycles (0 when no reads completed).
+    pub fn avg_host_latency(&self) -> f64 {
+        let n = self.host_reads + self.host_writes;
+        if n == 0 {
+            0.0
+        } else {
+            self.host_latency_sum as f64 / n as f64
+        }
+    }
+
+    /// Mean NDP-request latency in cycles (0 when none completed).
+    pub fn avg_ndp_latency(&self) -> f64 {
+        let n = self.ndp_reads + self.ndp_writes;
+        if n == 0 {
+            0.0
+        } else {
+            self.ndp_latency_sum as f64 / n as f64
+        }
+    }
+
+    /// Total completed 64 B transfers.
+    pub fn total_accesses(&self) -> u64 {
+        self.host_reads + self.host_writes + self.ndp_reads + self.ndp_writes
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PendingDone {
+    finish: u64,
+    response: Response,
+}
+
+impl Ord for PendingDone {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.finish
+            .cmp(&other.finish)
+            .then(self.response.id.cmp(&other.response.id))
+    }
+}
+
+impl PartialOrd for PendingDone {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug)]
+struct Channel {
+    ranks: Vec<Rank>,
+    host_queue: Vec<Request>,
+    host_outcome: Vec<Option<bool>>,
+    ndp_queues: Vec<Vec<Request>>,
+    ndp_outcome: Vec<Vec<Option<bool>>>,
+    host_bus_free: u64,
+    host_bus_last_rank: Option<usize>,
+}
+
+impl Channel {
+    fn new(config: &DramConfig) -> Self {
+        let nranks = config.ranks_per_channel;
+        Channel {
+            ranks: (0..nranks).map(|_| Rank::new(config)).collect(),
+            host_queue: Vec::new(),
+            host_outcome: Vec::new(),
+            ndp_queues: vec![Vec::new(); nranks],
+            ndp_outcome: vec![Vec::new(); nranks],
+            host_bus_free: 0,
+            host_bus_last_rank: None,
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.host_queue.is_empty() && self.ndp_queues.iter().all(Vec::is_empty)
+    }
+}
+
+/// The full, cycle-steppable memory system.
+///
+/// Drive it by calling [`MemorySystem::enqueue`] and [`MemorySystem::tick`];
+/// completed requests appear via [`MemorySystem::completed`] /
+/// [`MemorySystem::take_completed`].
+#[derive(Debug)]
+pub struct MemorySystem {
+    config: DramConfig,
+    addr_map: AddrMap,
+    channels: Vec<Channel>,
+    now: u64,
+    pending: BinaryHeap<Reverse<PendingDone>>,
+    completed: Vec<Response>,
+    stats: MemoryStats,
+}
+
+impl MemorySystem {
+    /// Build a memory system for `config`.
+    pub fn new(config: DramConfig) -> Self {
+        let addr_map = AddrMap::new(&config);
+        let channels = (0..config.channels).map(|_| Channel::new(&config)).collect();
+        MemorySystem {
+            config,
+            addr_map,
+            channels,
+            now: 0,
+            pending: BinaryHeap::new(),
+            completed: Vec::new(),
+            stats: MemoryStats::default(),
+        }
+    }
+
+    /// Current simulation cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// The address decoder (shared with callers that pre-compute locations).
+    pub fn addr_map(&self) -> &AddrMap {
+        &self.addr_map
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> &MemoryStats {
+        &self.stats
+    }
+
+    /// Per-rank command counters, flattened channel-major, for energy
+    /// accounting: `(acts, pres, reads, writes, refreshes)` per rank.
+    pub fn rank_command_counts(&self) -> Vec<(u64, u64, u64, u64, u64)> {
+        self.channels
+            .iter()
+            .flat_map(|c| {
+                c.ranks
+                    .iter()
+                    .map(|r| (r.acts, r.pres, r.reads, r.writes, r.refreshes))
+            })
+            .collect()
+    }
+
+    /// Whether a request can currently be accepted on `port` for `addr`.
+    pub fn can_accept(&self, addr: u64, port: Port) -> bool {
+        let loc = self.addr_map.decode(addr);
+        let ch = &self.channels[loc.channel];
+        match port {
+            Port::Host => ch.host_queue.len() < self.config.queue_depth,
+            Port::Ndp => ch.ndp_queues[loc.rank].len() < self.config.queue_depth,
+        }
+    }
+
+    /// Enqueue a 64 B request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back if the target queue is full.
+    pub fn enqueue(&mut self, mut req: Request) -> Result<(), Request> {
+        let loc = self.addr_map.decode(req.addr);
+        req.loc = loc;
+        req.arrival = self.now;
+        let ch = &mut self.channels[loc.channel];
+        match req.port {
+            Port::Host => {
+                if ch.host_queue.len() >= self.config.queue_depth {
+                    return Err(req);
+                }
+                ch.host_queue.push(req);
+                ch.host_outcome.push(None);
+            }
+            Port::Ndp => {
+                if ch.ndp_queues[loc.rank].len() >= self.config.queue_depth {
+                    return Err(req);
+                }
+                ch.ndp_queues[loc.rank].push(req);
+                ch.ndp_outcome[loc.rank].push(None);
+            }
+        }
+        Ok(())
+    }
+
+    /// Responses completed but not yet taken.
+    pub fn completed(&self) -> &[Response] {
+        &self.completed
+    }
+
+    /// Drain and return all completed responses.
+    pub fn take_completed(&mut self) -> Vec<Response> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Whether any request is queued or in flight.
+    pub fn busy(&self) -> bool {
+        !self.pending.is_empty() || self.channels.iter().any(|c| !c.is_idle())
+    }
+
+    /// Advance the clock directly to `cycle` when the system is idle.
+    /// Refresh deadlines catch up lazily (at most one refresh fires per rank
+    /// immediately after the jump), which slightly under-counts refresh
+    /// energy across long idle gaps — acceptable for this simulator's use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system is busy or `cycle` is in the past.
+    pub fn fast_forward_to(&mut self, cycle: u64) {
+        assert!(!self.busy(), "cannot fast-forward a busy memory system");
+        assert!(cycle >= self.now, "cannot fast-forward into the past");
+        self.now = cycle;
+    }
+
+    /// Advance one cycle: retire finished bursts, schedule refreshes, and
+    /// issue at most one host command per channel plus one NDP command per
+    /// rank.
+    pub fn tick(&mut self) {
+        let now = self.now;
+        // Retire finished data bursts.
+        while let Some(Reverse(head)) = self.pending.peek() {
+            if head.finish > now {
+                break;
+            }
+            let done = self.pending.pop().expect("peeked").0;
+            self.completed.push(done.response);
+        }
+
+        let timing = self.config.timing.clone();
+        let refresh_enabled = self.config.refresh_enabled;
+        let queue_policy_cl = timing.cl;
+        let queue_policy_cwl = timing.cwl;
+        let burst = timing.burst_cycles;
+        let rank_switch = timing.rank_switch;
+
+        for ch in &mut self.channels {
+            // --- Refresh management -------------------------------------
+            if refresh_enabled {
+                for rank in ch.ranks.iter_mut() {
+                    if rank.refresh_due(now) && !rank.refresh_pending() {
+                        rank.set_refresh_pending(true);
+                    }
+                    if rank.refresh_pending() {
+                        if rank.all_precharged() {
+                            let refc = crate::command::Command {
+                                kind: CommandKind::Refresh,
+                                bank_group: 0,
+                                bank: 0,
+                                row: 0,
+                                column: 0,
+                            };
+                            if rank.can_issue(&refc, now, &timing) {
+                                rank.issue(&refc, now, &timing);
+                            }
+                        } else {
+                            rank.force_precharge_one(now, &timing);
+                        }
+                    }
+                }
+            }
+
+            // --- Host path: one command per channel C/A bus per cycle ----
+            let host_bus_free = ch.host_bus_free;
+            let host_last_rank = ch.host_bus_last_rank;
+            let decision = scheduler::pick(
+                &ch.host_queue,
+                &ch.ranks,
+                now,
+                &timing,
+                |rank_idx, kind, t| {
+                    let data_start = t + if kind == CommandKind::Read {
+                        queue_policy_cl
+                    } else {
+                        queue_policy_cwl
+                    };
+                    let needed = if host_last_rank.is_some() && host_last_rank != Some(rank_idx) {
+                        host_bus_free + rank_switch
+                    } else {
+                        host_bus_free
+                    };
+                    data_start >= needed
+                },
+            );
+            if let Some(d) = decision {
+                let req_kind;
+                {
+                    let req = &ch.host_queue[d.queue_index];
+                    req_kind = req.kind;
+                }
+                if ch.host_outcome[d.queue_index].is_none() {
+                    ch.host_outcome[d.queue_index] = Some(d.row_hit);
+                    let conflict = d.command.kind == CommandKind::Precharge;
+                    ch.ranks[d.rank].record_outcome(&d.command, d.row_hit, conflict);
+                    if d.row_hit {
+                        self.stats.row_hits += 1;
+                    } else if conflict {
+                        self.stats.row_conflicts += 1;
+                    } else {
+                        self.stats.row_misses += 1;
+                    }
+                }
+                ch.ranks[d.rank].issue(&d.command, now, &timing);
+                if d.completes {
+                    let req = ch.host_queue.remove(d.queue_index);
+                    let first_hit = ch.host_outcome.remove(d.queue_index).unwrap_or(d.row_hit);
+                    let lat = if req_kind == AccessKind::Read {
+                        queue_policy_cl + burst
+                    } else {
+                        queue_policy_cwl + burst
+                    };
+                    let finish = now + lat;
+                    ch.host_bus_free = finish;
+                    ch.host_bus_last_rank = Some(d.rank);
+                    self.stats.host_bus_busy_cycles += burst;
+                    match req.kind {
+                        AccessKind::Read => self.stats.host_reads += 1,
+                        AccessKind::Write => self.stats.host_writes += 1,
+                    }
+                    self.stats.host_latency_sum += finish - req.arrival;
+                    self.pending.push(Reverse(PendingDone {
+                        finish,
+                        response: Response {
+                            id: req.id,
+                            kind: req.kind,
+                            arrival: req.arrival,
+                            finish,
+                            row_hit: first_hit,
+                        },
+                    }));
+                }
+            }
+
+            // --- NDP path: one command per rank-local C/A per cycle -------
+            for rank_idx in 0..ch.ranks.len() {
+                if ch.ndp_queues[rank_idx].is_empty() {
+                    continue;
+                }
+                let local_bus_free = ch.ranks[rank_idx].local_bus_free;
+                let decision = scheduler::pick(
+                    &ch.ndp_queues[rank_idx],
+                    &ch.ranks,
+                    now,
+                    &timing,
+                    |_, kind, t| {
+                        let data_start = t + if kind == CommandKind::Read {
+                            queue_policy_cl
+                        } else {
+                            queue_policy_cwl
+                        };
+                        data_start >= local_bus_free
+                    },
+                );
+                if let Some(d) = decision {
+                    debug_assert_eq!(d.rank, rank_idx, "NDP queue is rank-local");
+                    let req_kind = ch.ndp_queues[rank_idx][d.queue_index].kind;
+                    if ch.ndp_outcome[rank_idx][d.queue_index].is_none() {
+                        ch.ndp_outcome[rank_idx][d.queue_index] = Some(d.row_hit);
+                        let conflict = d.command.kind == CommandKind::Precharge;
+                        ch.ranks[d.rank].record_outcome(&d.command, d.row_hit, conflict);
+                        if d.row_hit {
+                            self.stats.row_hits += 1;
+                        } else if conflict {
+                            self.stats.row_conflicts += 1;
+                        } else {
+                            self.stats.row_misses += 1;
+                        }
+                    }
+                    ch.ranks[d.rank].issue(&d.command, now, &timing);
+                    if d.completes {
+                        let req = ch.ndp_queues[rank_idx].remove(d.queue_index);
+                        let first_hit =
+                            ch.ndp_outcome[rank_idx].remove(d.queue_index).unwrap_or(d.row_hit);
+                        let lat = if req_kind == AccessKind::Read {
+                            queue_policy_cl + burst
+                        } else {
+                            queue_policy_cwl + burst
+                        };
+                        let finish = now + lat;
+                        ch.ranks[rank_idx].local_bus_free = finish;
+                        self.stats.ndp_bus_busy_cycles += burst;
+                        match req.kind {
+                            AccessKind::Read => self.stats.ndp_reads += 1,
+                            AccessKind::Write => self.stats.ndp_writes += 1,
+                        }
+                        self.stats.ndp_latency_sum += finish - req.arrival;
+                        self.pending.push(Reverse(PendingDone {
+                            finish,
+                            response: Response {
+                                id: req.id,
+                                kind: req.kind,
+                                arrival: req.arrival,
+                                finish,
+                                row_hit: first_hit,
+                            },
+                        }));
+                    }
+                }
+            }
+        }
+
+        self.now += 1;
+    }
+
+    /// Tick until all queued and in-flight requests complete, or until
+    /// `max_cycles` additional cycles have elapsed.
+    ///
+    /// Returns the number of cycles stepped.
+    pub fn drain(&mut self, max_cycles: u64) -> u64 {
+        let start = self.now;
+        while self.busy() && self.now - start < max_cycles {
+            self.tick();
+        }
+        self.now - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_at(mem: &mut MemorySystem, id: u64, addr: u64, port: Port) {
+        mem.enqueue(Request::new(id, AccessKind::Read, addr, port))
+            .expect("space");
+    }
+
+    #[test]
+    fn single_read_closed_bank_latency() {
+        let mut cfg = DramConfig::tiny();
+        cfg.refresh_enabled = false;
+        let t = cfg.timing.clone();
+        let mut mem = MemorySystem::new(cfg);
+        read_at(&mut mem, 1, 0, Port::Host);
+        let cycles = mem.drain(100_000);
+        assert!(cycles > 0);
+        let done = mem.take_completed();
+        assert_eq!(done.len(), 1);
+        // Closed bank: ACT at cycle 0, RD at tRCD, data at tRCD+CL+BL.
+        assert_eq!(done[0].latency(), t.rcd + t.cl + t.burst_cycles);
+        assert!(!done[0].row_hit);
+    }
+
+    #[test]
+    fn second_read_same_row_is_hit() {
+        let mut cfg = DramConfig::tiny();
+        cfg.refresh_enabled = false;
+        let mut mem = MemorySystem::new(cfg);
+        // Same row, different column: addr stride of one channel interleave.
+        read_at(&mut mem, 1, 0, Port::Host);
+        read_at(&mut mem, 2, 64, Port::Host); // tiny has 1 channel → column 1
+        mem.drain(100_000);
+        let done = mem.take_completed();
+        assert_eq!(done.len(), 2);
+        let second = done.iter().find(|r| r.id == 2).expect("id 2 done");
+        assert!(second.row_hit);
+        assert_eq!(mem.stats().row_hits, 1);
+        assert_eq!(mem.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn ndp_ranks_operate_in_parallel() {
+        let mut cfg = DramConfig::tiny();
+        cfg.refresh_enabled = false;
+        cfg.queue_depth = 64;
+        // Streaming row-hit traffic to both ranks. On the host path the two
+        // streams share one channel DQ bus; on the NDP path each rank
+        // streams on its own local bus, so NDP should take roughly half the
+        // time.
+        let map = AddrMap::new(&cfg);
+        let addrs: Vec<(u64, u64)> = (0..16u64)
+            .flat_map(|col| {
+                [0usize, 1].into_iter().map(move |rank| {
+                    let loc = crate::addrmap::Location {
+                        channel: 0,
+                        rank,
+                        bank_group: 0,
+                        bank: 0,
+                        row: 1,
+                        column: col as usize,
+                    };
+                    (rank as u64, loc)
+                })
+            })
+            .map(|(rank, loc)| (rank, map.encode(loc)))
+            .collect();
+
+        let mut ndp = MemorySystem::new(cfg.clone());
+        for (i, (_, a)) in addrs.iter().enumerate() {
+            read_at(&mut ndp, i as u64, *a, Port::Ndp);
+        }
+        let ndp_cycles = ndp.drain(1_000_000);
+
+        let mut host = MemorySystem::new(cfg);
+        for (i, (_, a)) in addrs.iter().enumerate() {
+            read_at(&mut host, i as u64, *a, Port::Host);
+        }
+        let host_cycles = host.drain(1_000_000);
+        assert!(
+            (ndp_cycles as f64) < host_cycles as f64 * 0.75,
+            "NDP ({ndp_cycles}) should beat host ({host_cycles}) on rank-parallel traffic"
+        );
+    }
+
+    #[test]
+    fn streaming_reads_approach_peak_bandwidth() {
+        let mut cfg = DramConfig::tiny();
+        cfg.refresh_enabled = false;
+        let t = cfg.timing.clone();
+        let mut mem = MemorySystem::new(cfg);
+        // 16 sequential lines in the same row: after the first ACT the bus
+        // should stream at one burst per tCCD_L.
+        let mut issued = 0u64;
+        let mut next_id = 0u64;
+        while issued < 16 {
+            if mem.can_accept(issued * 64, Port::Host) {
+                read_at(&mut mem, next_id, issued * 64, Port::Host);
+                next_id += 1;
+                issued += 1;
+            }
+            mem.tick();
+        }
+        mem.drain(1_000_000);
+        let done = mem.take_completed();
+        assert_eq!(done.len(), 16);
+        let last = done.iter().map(|r| r.finish).max().expect("nonempty");
+        // Lower bound: 16 bursts cannot finish faster than 16 × tCCD_L.
+        assert!(last >= 16 * t.ccd_l.min(t.burst_cycles));
+        // And should be well under fully-serialized closed-bank latency.
+        assert!(last < 16 * (t.rcd + t.cl + t.burst_cycles));
+    }
+
+    #[test]
+    fn refresh_eventually_fires() {
+        let mut cfg = DramConfig::tiny();
+        cfg.refresh_enabled = true;
+        let refi = cfg.timing.refi;
+        let mut mem = MemorySystem::new(cfg);
+        for _ in 0..(refi + 1200) {
+            mem.tick();
+        }
+        let counts = mem.rank_command_counts();
+        assert!(counts.iter().any(|c| c.4 > 0), "some rank refreshed");
+    }
+
+    #[test]
+    fn queue_full_returns_request() {
+        let mut cfg = DramConfig::tiny();
+        cfg.queue_depth = 2;
+        cfg.refresh_enabled = false;
+        let mut mem = MemorySystem::new(cfg);
+        assert!(mem.enqueue(Request::new(0, AccessKind::Read, 0, Port::Host)).is_ok());
+        assert!(mem.enqueue(Request::new(1, AccessKind::Read, 0, Port::Host)).is_ok());
+        let r = mem.enqueue(Request::new(2, AccessKind::Read, 0, Port::Host));
+        assert!(r.is_err());
+        assert_eq!(r.unwrap_err().id, 2);
+    }
+
+    #[test]
+    fn writes_complete() {
+        let mut cfg = DramConfig::tiny();
+        cfg.refresh_enabled = false;
+        let mut mem = MemorySystem::new(cfg);
+        mem.enqueue(Request::new(9, AccessKind::Write, 4096, Port::Host))
+            .expect("space");
+        mem.drain(100_000);
+        let done = mem.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].kind, AccessKind::Write);
+        assert_eq!(mem.stats().host_writes, 1);
+    }
+
+    #[test]
+    fn closed_page_policy_forfeits_row_hits() {
+        let mut cfg = DramConfig::tiny();
+        cfg.refresh_enabled = false;
+        cfg.page_policy = crate::config::PagePolicy::Closed;
+        let mut mem = MemorySystem::new(cfg);
+        read_at(&mut mem, 1, 0, Port::Host);
+        mem.drain(100_000);
+        read_at(&mut mem, 2, 64, Port::Host); // same row, next column
+        mem.drain(100_000);
+        let done = mem.take_completed();
+        let second = done.iter().find(|r| r.id == 2).expect("id 2 done");
+        assert!(!second.row_hit, "closed policy auto-precharges after CAS");
+        assert_eq!(mem.stats().row_misses, 2);
+    }
+
+    #[test]
+    fn fast_forward_when_idle() {
+        let mut mem = MemorySystem::new(DramConfig::tiny());
+        mem.fast_forward_to(5000);
+        assert_eq!(mem.now(), 5000);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy")]
+    fn fast_forward_busy_panics() {
+        let mut mem = MemorySystem::new(DramConfig::tiny());
+        mem.enqueue(Request::new(0, AccessKind::Read, 0, Port::Host))
+            .expect("space");
+        mem.fast_forward_to(10);
+    }
+}

@@ -1,0 +1,107 @@
+//! Memory requests and responses.
+
+use crate::addrmap::Location;
+
+/// Monotonically increasing request identifier assigned by the caller.
+pub type RequestId = u64;
+
+/// Read or write access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// 64 B read.
+    Read,
+    /// 64 B write.
+    Write,
+}
+
+/// Which path a request takes through the memory system.
+///
+/// Host requests contend on the shared channel command/address and DQ buses.
+/// NDP requests are generated inside the DIMM buffer chip of a specific rank
+/// and use rank-local buses only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Port {
+    /// Conventional host-CPU access through the channel.
+    Host,
+    /// Rank-local access from the NDP unit in the DIMM buffer chip.
+    Ndp,
+}
+
+/// One 64 B memory request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Caller-assigned identifier echoed in the [`Response`].
+    pub id: RequestId,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Physical byte address (64 B aligned internally).
+    pub addr: u64,
+    /// Access path.
+    pub port: Port,
+    /// Cycle at which the request entered the memory system (set on enqueue).
+    pub arrival: u64,
+    /// Decoded location (set on enqueue).
+    pub loc: Location,
+}
+
+impl Request {
+    /// Create a request. `arrival` and `loc` are filled in by
+    /// [`crate::MemorySystem::enqueue`].
+    pub fn new(id: RequestId, kind: AccessKind, addr: u64, port: Port) -> Self {
+        Request {
+            id,
+            kind,
+            addr,
+            port,
+            arrival: 0,
+            loc: Location::default(),
+        }
+    }
+}
+
+/// Completion record for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Response {
+    /// The identifier from the originating [`Request`].
+    pub id: RequestId,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Cycle the request entered the memory system.
+    pub arrival: u64,
+    /// Cycle the last data beat left the DRAM (completion time).
+    pub finish: u64,
+    /// Whether the access hit an already-open row.
+    pub row_hit: bool,
+}
+
+impl Response {
+    /// End-to-end memory latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.finish - self.arrival
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_latency() {
+        let r = Response {
+            id: 7,
+            kind: AccessKind::Read,
+            arrival: 100,
+            finish: 188,
+            row_hit: false,
+        };
+        assert_eq!(r.latency(), 88);
+    }
+
+    #[test]
+    fn request_construction() {
+        let r = Request::new(1, AccessKind::Write, 0xdead_beef, Port::Ndp);
+        assert_eq!(r.id, 1);
+        assert_eq!(r.kind, AccessKind::Write);
+        assert_eq!(r.port, Port::Ndp);
+    }
+}

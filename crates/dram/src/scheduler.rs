@@ -1,0 +1,171 @@
+//! FR-FCFS command scheduling.
+//!
+//! The scheduler scans a request queue oldest-first and selects the first
+//! request whose next required command is timing-ready, giving priority to
+//! requests that are already row hits (First-Ready, First-Come-First-Served).
+//! Data-bus availability is supplied by the caller because host and NDP
+//! paths use different buses.
+
+use crate::command::{Command, CommandKind};
+use crate::config::Timing;
+use crate::rank::Rank;
+use crate::request::{AccessKind, Request};
+
+/// A scheduling decision: which queued request to advance, with what command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Index into the request queue.
+    pub queue_index: usize,
+    /// The command to issue now.
+    pub command: Command,
+    /// Rank the command targets.
+    pub rank: usize,
+    /// True when this CAS completes the request (row hit path).
+    pub completes: bool,
+    /// Row-buffer outcome classification for the *first* command issued on
+    /// behalf of this request (hit / miss / conflict).
+    pub row_hit: bool,
+}
+
+/// Build the command a request needs next on `rank`.
+fn needed(req: &Request, rank: &Rank) -> Command {
+    let is_read = req.kind == AccessKind::Read;
+    let kind = rank.needed_command(req.loc.bank_group, req.loc.bank, req.loc.row, is_read);
+    Command {
+        kind,
+        bank_group: req.loc.bank_group,
+        bank: req.loc.bank,
+        row: req.loc.row,
+        column: req.loc.column,
+    }
+}
+
+/// Pick the next command for `queue` under FR-FCFS.
+///
+/// `ranks` are the ranks reachable from this queue (indexed by
+/// `Request::loc.rank` for a host channel queue, or a single rank for an NDP
+/// queue with `rank_base` pointing at it). `cas_ready(rank, kind, now)` must
+/// return whether the data bus can accept the burst produced by a CAS issued
+/// at `now`.
+pub fn pick<F>(
+    queue: &[Request],
+    ranks: &[Rank],
+    now: u64,
+    timing: &Timing,
+    mut cas_ready: F,
+) -> Option<Decision>
+where
+    F: FnMut(usize, CommandKind, u64) -> bool,
+{
+    let mut fallback: Option<Decision> = None;
+    for (qi, req) in queue.iter().enumerate() {
+        let rank_idx = req.loc.rank;
+        let rank = &ranks[rank_idx];
+        let cmd = needed(req, rank);
+        if !rank.can_issue(&cmd, now, timing) {
+            continue;
+        }
+        if cmd.kind.is_cas() && !cas_ready(rank_idx, cmd.kind, now) {
+            continue;
+        }
+        let is_hit = cmd.kind.is_cas();
+        let decision = Decision {
+            queue_index: qi,
+            command: cmd,
+            rank: rank_idx,
+            completes: cmd.kind.is_cas(),
+            row_hit: is_hit,
+        };
+        if is_hit {
+            // First ready row hit wins immediately.
+            return Some(decision);
+        }
+        if fallback.is_none() {
+            fallback = Some(decision);
+        }
+    }
+    fallback
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addrmap::Location;
+    use crate::config::DramConfig;
+    use crate::request::Port;
+
+    fn req(id: u64, rank: usize, bg: usize, bank: usize, row: usize) -> Request {
+        let mut r = Request::new(id, AccessKind::Read, 0, Port::Host);
+        r.loc = Location {
+            channel: 0,
+            rank,
+            bank_group: bg,
+            bank,
+            row,
+            column: 0,
+        };
+        r
+    }
+
+    #[test]
+    fn prefers_row_hit_over_older_miss() {
+        let cfg = DramConfig::tiny();
+        let t = cfg.timing.clone();
+        let mut ranks = vec![Rank::new(&cfg), Rank::new(&cfg)];
+        // Open row 7 in rank 0 / bg 0 / bank 0.
+        let act = Command {
+            kind: CommandKind::Activate,
+            bank_group: 0,
+            bank: 0,
+            row: 7,
+            column: 0,
+        };
+        ranks[0].issue(&act, 0, &t);
+        let now = t.rcd;
+        // Queue: older request is a row miss (row 9), younger is a hit (row 7).
+        let queue = vec![req(0, 0, 0, 1, 9), req(1, 0, 0, 0, 7)];
+        let d = pick(&queue, &ranks, now, &t, |_, _, _| true).expect("ready");
+        assert_eq!(d.queue_index, 1);
+        assert_eq!(d.command.kind, CommandKind::Read);
+        assert!(d.completes);
+    }
+
+    #[test]
+    fn falls_back_to_oldest_activate() {
+        let cfg = DramConfig::tiny();
+        let t = cfg.timing.clone();
+        let ranks = vec![Rank::new(&cfg)];
+        let queue = vec![req(0, 0, 0, 0, 3), req(1, 0, 0, 1, 4)];
+        let d = pick(&queue, &ranks, 0, &t, |_, _, _| true).expect("ready");
+        assert_eq!(d.queue_index, 0);
+        assert_eq!(d.command.kind, CommandKind::Activate);
+        assert!(!d.completes);
+    }
+
+    #[test]
+    fn respects_bus_backpressure() {
+        let cfg = DramConfig::tiny();
+        let t = cfg.timing.clone();
+        let mut ranks = vec![Rank::new(&cfg)];
+        let act = Command {
+            kind: CommandKind::Activate,
+            bank_group: 0,
+            bank: 0,
+            row: 7,
+            column: 0,
+        };
+        ranks[0].issue(&act, 0, &t);
+        let queue = vec![req(0, 0, 0, 0, 7)];
+        // Bus not ready: no decision (the only option is a CAS).
+        let d = pick(&queue, &ranks, t.rcd, &t, |_, _, _| false);
+        assert!(d.is_none());
+    }
+
+    #[test]
+    fn empty_queue_yields_none() {
+        let cfg = DramConfig::tiny();
+        let t = cfg.timing.clone();
+        let ranks = vec![Rank::new(&cfg)];
+        assert!(pick(&[], &ranks, 0, &t, |_, _, _| true).is_none());
+    }
+}

@@ -1,0 +1,175 @@
+//! Analytical per-operation CPU cost model.
+//!
+//! The host executes index traversal, heap maintenance, and (in the CPU
+//! designs) SIMD distance computation. Costs are expressed in CPU cycles
+//! at the Table 1 clock (3.2 GHz, 16 out-of-order cores at 7 W each) and
+//! converted to the memory-clock time base of the DRAM simulator
+//! (2.4 GHz) when composed.
+
+/// Per-operation cycle costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostCosts {
+    /// Cycles to pop the search set and bookkeep one traversal hop
+    /// (visited-set checks, neighbor list walk).
+    pub hop_overhead: u64,
+    /// Cycles per candidate inserted into the search/result heaps.
+    pub heap_update: u64,
+    /// SIMD compute cycles per 64 B of vector data (the paper measures
+    /// ~0.125 op/byte arithmetic intensity; one AVX pass per 64 B plus
+    /// amortized reduction).
+    pub simd_per_line: u64,
+    /// Fixed cycles per distance comparison (loop setup + final reduce +
+    /// compare).
+    pub compare_overhead: u64,
+    /// Cycles to assemble and issue one NDP instruction (one DDR WRITE).
+    pub offload_command: u64,
+    /// Cycles to process one poll response (parse results, merge).
+    pub poll_process: u64,
+}
+
+impl Default for HostCosts {
+    fn default() -> Self {
+        HostCosts {
+            hop_overhead: 60,
+            heap_update: 25,
+            simd_per_line: 4,
+            compare_overhead: 24,
+            offload_command: 12,
+            poll_process: 30,
+        }
+    }
+}
+
+/// The host CPU model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuModel {
+    /// Core clock in MHz (Table 1: 3200).
+    pub clock_mhz: u64,
+    /// Number of cores (Table 1: 16).
+    pub cores: usize,
+    /// Power per core in watts (Table 1: 7 W).
+    pub watts_per_core: f64,
+    /// Per-operation costs.
+    pub costs: HostCosts,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel {
+            clock_mhz: 3200,
+            cores: 16,
+            watts_per_core: 7.0,
+            costs: HostCosts::default(),
+        }
+    }
+}
+
+impl CpuModel {
+    /// Convert CPU cycles to memory-clock cycles (rounding up).
+    pub fn to_mem_cycles(&self, cpu_cycles: u64, mem_clock_mhz: u64) -> u64 {
+        (cpu_cycles * mem_clock_mhz).div_ceil(self.clock_mhz)
+    }
+
+    /// Convert memory-clock cycles to CPU cycles (rounding up).
+    pub fn from_mem_cycles(&self, mem_cycles: u64, mem_clock_mhz: u64) -> u64 {
+        (mem_cycles * self.clock_mhz).div_ceil(mem_clock_mhz)
+    }
+
+    /// CPU cycles to compute a distance over `lines` 64 B chunks of
+    /// vector data (data already in registers/L1).
+    pub fn distance_compute_cycles(&self, lines: usize) -> u64 {
+        self.costs.compare_overhead + self.costs.simd_per_line * lines as u64
+    }
+
+    /// CPU cycles of host-side traversal work for a hop that produced
+    /// `evals` comparisons and `accepted` heap insertions.
+    pub fn hop_cycles(&self, evals: usize, accepted: usize) -> u64 {
+        self.costs.hop_overhead
+            + self.costs.heap_update * accepted as u64
+            + 4 * evals as u64 // visited-set probe per neighbor
+    }
+
+    /// CPU cycles to offload `tasks` comparisons to NDP units
+    /// (set-search WRITEs carry up to 8 tasks each) on top of an
+    /// already-uploaded query.
+    pub fn offload_cycles(&self, tasks: usize) -> u64 {
+        let writes = tasks.div_ceil(8).max(1);
+        self.costs.offload_command * writes as u64
+    }
+
+    /// CPU cycles to upload a query of `query_bytes` to one NDP unit.
+    pub fn query_upload_cycles(&self, query_bytes: usize) -> u64 {
+        self.costs.offload_command * query_bytes.div_ceil(64) as u64
+    }
+
+    /// CPU cycles to issue and digest one poll.
+    pub fn poll_cycles(&self) -> u64 {
+        self.costs.offload_command + self.costs.poll_process
+    }
+
+    /// Energy in nanojoules for `cpu_cycles` of single-core activity.
+    pub fn energy_nj(&self, cpu_cycles: u64) -> f64 {
+        let seconds = cpu_cycles as f64 / (self.clock_mhz as f64 * 1e6);
+        self.watts_per_core * seconds * 1e9
+    }
+
+    /// Background energy of the whole socket over a wall-clock duration
+    /// expressed in memory cycles.
+    pub fn socket_energy_nj(&self, mem_cycles: u64, mem_clock_mhz: u64, active_frac: f64) -> f64 {
+        let seconds = mem_cycles as f64 / (mem_clock_mhz as f64 * 1e6);
+        self.watts_per_core * self.cores as f64 * active_frac * seconds * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_conversion_roundtrips_within_rounding() {
+        let cpu = CpuModel::default();
+        let mem = cpu.to_mem_cycles(3200, 2400);
+        assert_eq!(mem, 2400);
+        assert_eq!(cpu.from_mem_cycles(2400, 2400), 3200);
+    }
+
+    #[test]
+    fn distance_cost_scales_with_lines() {
+        let cpu = CpuModel::default();
+        let d2 = cpu.distance_compute_cycles(2);
+        let d60 = cpu.distance_compute_cycles(60);
+        assert!(d60 > d2);
+        assert_eq!(d60 - d2, 58 * cpu.costs.simd_per_line);
+    }
+
+    #[test]
+    fn offload_batches_by_eight() {
+        let cpu = CpuModel::default();
+        assert_eq!(cpu.offload_cycles(1), cpu.costs.offload_command);
+        assert_eq!(cpu.offload_cycles(8), cpu.costs.offload_command);
+        assert_eq!(cpu.offload_cycles(9), 2 * cpu.costs.offload_command);
+    }
+
+    #[test]
+    fn query_upload_1kb_takes_16_writes() {
+        let cpu = CpuModel::default();
+        assert_eq!(cpu.query_upload_cycles(1024), 16 * cpu.costs.offload_command);
+    }
+
+    #[test]
+    fn energy_positive_and_linear() {
+        let cpu = CpuModel::default();
+        let a = cpu.energy_nj(1000);
+        let b = cpu.energy_nj(2000);
+        assert!(a > 0.0);
+        assert!((b - 2.0 * a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hop_cost_components() {
+        let cpu = CpuModel::default();
+        let base = cpu.hop_cycles(0, 0);
+        assert_eq!(base, cpu.costs.hop_overhead);
+        assert!(cpu.hop_cycles(10, 5) > base);
+    }
+}

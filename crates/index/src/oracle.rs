@@ -1,0 +1,119 @@
+//! Distance-evaluation abstraction.
+//!
+//! Index traversal (HNSW/IVF) asks an oracle for the distance between a
+//! stored vector and the query, passing the current threshold (the maximum
+//! distance in the result set). An exact oracle always answers with the
+//! true distance; an early-terminating oracle may answer
+//! [`DistanceOutcome::Pruned`] when a conservative lower bound already
+//! exceeds the threshold — which is safe because such a vector would have
+//! been rejected anyway.
+
+use ansmet_vecdata::Dataset;
+
+/// Result of one distance comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DistanceOutcome {
+    /// The exact distance (the vector may still be beyond the threshold).
+    Exact(f32),
+    /// A conservative lower bound exceeded the threshold: the vector is
+    /// certainly farther than `threshold`; no exact distance was computed.
+    Pruned,
+}
+
+impl DistanceOutcome {
+    /// The exact distance, if computed.
+    pub fn distance(self) -> Option<f32> {
+        match self {
+            DistanceOutcome::Exact(d) => Some(d),
+            DistanceOutcome::Pruned => None,
+        }
+    }
+
+    /// Whether the comparison was accepted under `threshold`.
+    pub fn accepted(self, threshold: f32) -> bool {
+        match self {
+            DistanceOutcome::Exact(d) => d < threshold,
+            DistanceOutcome::Pruned => false,
+        }
+    }
+}
+
+/// Evaluates distances between stored vectors and a query.
+pub trait DistanceOracle {
+    /// Compare stored vector `id` against `query` under `threshold`.
+    ///
+    /// Implementations must guarantee: if the result is
+    /// [`DistanceOutcome::Pruned`], the true distance is ≥ `threshold`;
+    /// if [`DistanceOutcome::Exact`], the value is the true distance.
+    fn evaluate(&mut self, id: usize, query: &[f32], threshold: f32) -> DistanceOutcome;
+
+    /// Number of comparisons performed so far (for statistics).
+    fn comparisons(&self) -> u64;
+}
+
+/// Baseline oracle: always computes the exact distance (full fetch).
+#[derive(Debug)]
+pub struct ExactOracle<'a> {
+    data: &'a Dataset,
+    comparisons: u64,
+}
+
+impl<'a> ExactOracle<'a> {
+    /// Create an exact oracle over `data`.
+    pub fn new(data: &'a Dataset) -> Self {
+        ExactOracle {
+            data,
+            comparisons: 0,
+        }
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &Dataset {
+        self.data
+    }
+}
+
+impl DistanceOracle for ExactOracle<'_> {
+    fn evaluate(&mut self, id: usize, query: &[f32], _threshold: f32) -> DistanceOutcome {
+        self.comparisons += 1;
+        DistanceOutcome::Exact(self.data.distance_to(id, query))
+    }
+
+    fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ansmet_vecdata::{ElemType, Metric};
+
+    fn data() -> Dataset {
+        Dataset::from_values(
+            "t",
+            ElemType::F32,
+            Metric::L2,
+            2,
+            vec![0.0, 0.0, 3.0, 4.0],
+        )
+    }
+
+    #[test]
+    fn exact_oracle_returns_true_distance() {
+        let d = data();
+        let mut o = ExactOracle::new(&d);
+        let out = o.evaluate(1, &[0.0, 0.0], f32::INFINITY);
+        assert_eq!(out, DistanceOutcome::Exact(25.0));
+        assert_eq!(o.comparisons(), 1);
+    }
+
+    #[test]
+    fn outcome_accept_logic() {
+        assert!(DistanceOutcome::Exact(1.0).accepted(2.0));
+        assert!(!DistanceOutcome::Exact(3.0).accepted(2.0));
+        assert!(!DistanceOutcome::Pruned.accepted(2.0));
+        assert_eq!(DistanceOutcome::Pruned.distance(), None);
+        assert_eq!(DistanceOutcome::Exact(1.5).distance(), Some(1.5));
+    }
+}

@@ -1,0 +1,432 @@
+//! Product quantization (PQ) and its early-termination compatibility
+//! (§4.3 of the paper).
+//!
+//! PQ splits the D-dimensional space into `m` subspaces, trains a
+//! codebook per subspace with k-means, and stores each vector as `m`
+//! codeword ids. At query time an ADC (asymmetric distance computation)
+//! table memoizes the distance contribution of every codeword of every
+//! subspace to the query; a vector's distance is the sum of `m` table
+//! lookups.
+//!
+//! The paper notes that with PQ "partial bits of the codewords are not
+//! useful, but partial elements are beneficial": knowing only a prefix of
+//! a vector's codes still yields a **lower bound** — fetched subspaces
+//! contribute their exact memoized distance and unfetched subspaces their
+//! per-subspace minimum over the codebook (which for L2 is ≥ 0 and for
+//! inner product may be negative but is still the tight per-subspace
+//! floor). [`AdcTable::lower_bound`] implements exactly that rule.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ansmet_vecdata::{Dataset, Metric};
+
+/// PQ training parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PqParams {
+    /// Number of subspaces (must divide the dimension evenly after
+    /// padding; the last subspace absorbs the remainder).
+    pub m: usize,
+    /// Codebook size per subspace (typically 256 = 8-bit codes).
+    pub k: usize,
+    /// Lloyd iterations per subspace.
+    pub iterations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PqParams {
+    fn default() -> Self {
+        PqParams {
+            m: 8,
+            k: 256,
+            iterations: 10,
+            seed: 0x90,
+        }
+    }
+}
+
+/// A trained product quantizer.
+#[derive(Debug, Clone)]
+pub struct ProductQuantizer {
+    /// Codebooks: `m` × `k` centroids of `dsub(s)` values each.
+    codebooks: Vec<Vec<Vec<f32>>>,
+    /// Subspace dimension boundaries (m + 1 entries).
+    bounds: Vec<usize>,
+    metric: Metric,
+}
+
+impl ProductQuantizer {
+    /// Train on `data` (k-means per subspace, L2 geometry as usual).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` exceeds the dimension or the dataset is empty.
+    pub fn train(data: &Dataset, params: &PqParams) -> Self {
+        assert!(!data.is_empty(), "cannot train PQ on an empty dataset");
+        let dim = data.dim();
+        assert!(params.m >= 1 && params.m <= dim, "1 <= m <= dim required");
+        let mut rng = SmallRng::seed_from_u64(params.seed);
+        let base = dim / params.m;
+        let rem = dim % params.m;
+        let mut bounds = vec![0usize];
+        for s in 0..params.m {
+            let w = base + usize::from(s < rem);
+            bounds.push(bounds[s] + w);
+        }
+        let k = params.k.min(data.len());
+
+        let mut codebooks = Vec::with_capacity(params.m);
+        for s in 0..params.m {
+            let lo = bounds[s];
+            let hi = bounds[s + 1];
+            let dsub = hi - lo;
+            // Init from random sub-vectors.
+            let mut centroids: Vec<Vec<f32>> = (0..k)
+                .map(|_| {
+                    let i = rng.gen_range(0..data.len());
+                    data.vector(i)[lo..hi].to_vec()
+                })
+                .collect();
+            let mut assign = vec![0usize; data.len()];
+            for _ in 0..params.iterations {
+                #[allow(clippy::needless_range_loop)] // indexed loops over shared state read clearer here
+                for i in 0..data.len() {
+                    let sv = &data.vector(i)[lo..hi];
+                    assign[i] = nearest(&centroids, sv);
+                }
+                let mut sums = vec![vec![0.0f64; dsub]; k];
+                let mut counts = vec![0usize; k];
+                #[allow(clippy::needless_range_loop)] // indexed loops over shared state read clearer here
+                for i in 0..data.len() {
+                    let c = assign[i];
+                    counts[c] += 1;
+                    for (acc, v) in sums[c].iter_mut().zip(&data.vector(i)[lo..hi]) {
+                        *acc += *v as f64;
+                    }
+                }
+                for c in 0..k {
+                    if counts[c] == 0 {
+                        let i = rng.gen_range(0..data.len());
+                        centroids[c] = data.vector(i)[lo..hi].to_vec();
+                    } else {
+                        for (cd, acc) in centroids[c].iter_mut().zip(&sums[c]) {
+                            *cd = (*acc / counts[c] as f64) as f32;
+                        }
+                    }
+                }
+            }
+            codebooks.push(centroids);
+        }
+        ProductQuantizer {
+            codebooks,
+            bounds,
+            metric: data.metric(),
+        }
+    }
+
+    /// Number of subspaces.
+    pub fn m(&self) -> usize {
+        self.codebooks.len()
+    }
+
+    /// Codebook size.
+    pub fn k(&self) -> usize {
+        self.codebooks[0].len()
+    }
+
+    /// The metric this quantizer serves.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Encode one vector into `m` codeword ids.
+    pub fn encode(&self, v: &[f32]) -> Vec<u16> {
+        (0..self.m())
+            .map(|s| {
+                let sv = &v[self.bounds[s]..self.bounds[s + 1]];
+                nearest(&self.codebooks[s], sv) as u16
+            })
+            .collect()
+    }
+
+    /// Decode codes back to the reconstructed vector.
+    pub fn decode(&self, codes: &[u16]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(*self.bounds.last().expect("bounds"));
+        for (s, &c) in codes.iter().enumerate() {
+            out.extend_from_slice(&self.codebooks[s][c as usize]);
+        }
+        out
+    }
+
+    /// Mean squared reconstruction error over `data` (training quality
+    /// diagnostic).
+    pub fn reconstruction_mse(&self, data: &Dataset) -> f64 {
+        let mut total = 0.0f64;
+        for i in 0..data.len() {
+            let v = data.vector(i);
+            let r = self.decode(&self.encode(v));
+            total += v
+                .iter()
+                .zip(&r)
+                .map(|(a, b)| ((a - b) as f64).powi(2))
+                .sum::<f64>();
+        }
+        total / (data.len() * data.dim()).max(1) as f64
+    }
+
+    /// Build the per-query ADC lookup table.
+    pub fn adc_table(&self, query: &[f32]) -> AdcTable {
+        let m = self.m();
+        let mut table = Vec::with_capacity(m);
+        let mut mins = Vec::with_capacity(m);
+        for s in 0..m {
+            let qs = &query[self.bounds[s]..self.bounds[s + 1]];
+            let row: Vec<f32> = self.codebooks[s]
+                .iter()
+                .map(|c| self.metric.distance(c, qs))
+                .collect();
+            let min = row.iter().copied().fold(f32::INFINITY, f32::min);
+            table.push(row);
+            mins.push(min);
+        }
+        AdcTable { table, mins }
+    }
+}
+
+fn nearest(centroids: &[Vec<f32>], sv: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_d = f32::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = ansmet_vecdata::metric::l2_squared(centroid, sv);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+/// Per-query memoized subspace distances (the paper's "memoization").
+#[derive(Debug, Clone)]
+pub struct AdcTable {
+    /// `m` × `k` distance contributions.
+    table: Vec<Vec<f32>>,
+    /// Per-subspace minimum contribution (for unfetched subspaces).
+    mins: Vec<f32>,
+}
+
+impl AdcTable {
+    /// Full ADC distance of a coded vector.
+    pub fn distance(&self, codes: &[u16]) -> f32 {
+        codes
+            .iter()
+            .enumerate()
+            .map(|(s, &c)| self.table[s][c as usize])
+            .sum()
+    }
+
+    /// Conservative lower bound knowing only the first `prefix` codes
+    /// (partial-element early termination under PQ, §4.3): fetched
+    /// subspaces contribute exactly, unfetched ones their codebook
+    /// minimum.
+    pub fn lower_bound(&self, codes: &[u16], prefix: usize) -> f32 {
+        let fetched: f32 = codes
+            .iter()
+            .take(prefix)
+            .enumerate()
+            .map(|(s, &c)| self.table[s][c as usize])
+            .sum();
+        let rest: f32 = self.mins[prefix.min(self.mins.len())..].iter().sum();
+        fetched + rest
+    }
+
+    /// Early-terminating ADC evaluation: scans codes subspace by
+    /// subspace, aborting once the lower bound reaches `threshold`.
+    /// Returns `(subspaces_read, Some(distance))` or `(subspaces_read,
+    /// None)` when terminated.
+    pub fn evaluate(&self, codes: &[u16], threshold: f32) -> (usize, Option<f32>) {
+        let m = codes.len();
+        let mut fetched_sum = 0.0f32;
+        let mut rest: f32 = self.mins.iter().sum();
+        for (s, &c) in codes.iter().enumerate() {
+            rest -= self.mins[s];
+            fetched_sum += self.table[s][c as usize];
+            let bound = fetched_sum + rest;
+            if bound >= threshold && s + 1 < m {
+                return (s + 1, None);
+            }
+        }
+        (m, Some(fetched_sum))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ansmet_vecdata::SynthSpec;
+
+    fn trained() -> (Dataset, Vec<Vec<f32>>, ProductQuantizer) {
+        let (data, queries) = SynthSpec::deep().scaled(400, 4).generate();
+        let pq = ProductQuantizer::train(
+            &data,
+            &PqParams {
+                m: 8,
+                k: 32,
+                iterations: 6,
+                seed: 1,
+            },
+        );
+        (data, queries, pq)
+    }
+
+    #[test]
+    fn encode_decode_reduces_error_with_larger_codebooks() {
+        let (data, _, _) = trained();
+        let small = ProductQuantizer::train(
+            &data,
+            &PqParams {
+                m: 8,
+                k: 4,
+                iterations: 6,
+                seed: 1,
+            },
+        );
+        let big = ProductQuantizer::train(
+            &data,
+            &PqParams {
+                m: 8,
+                k: 64,
+                iterations: 6,
+                seed: 1,
+            },
+        );
+        assert!(big.reconstruction_mse(&data) < small.reconstruction_mse(&data));
+    }
+
+    #[test]
+    fn adc_distance_equals_reconstruction_distance() {
+        // For L2, ADC is exactly the distance between the query and the
+        // decoded reconstruction (subspace distances are additive).
+        let (data, queries, pq) = trained();
+        let q = &queries[0];
+        let t = pq.adc_table(q);
+        for i in 0..50 {
+            let codes = pq.encode(data.vector(i));
+            let adc = t.distance(&codes);
+            let recon = pq.decode(&codes);
+            let expect = data.metric().distance(&recon, q);
+            assert!(
+                (adc - expect).abs() <= expect.abs() * 1e-4 + 1e-3,
+                "vector {i}: adc {adc} vs reconstruction {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn adc_ranking_correlates_with_true_ranking() {
+        let (data, queries, pq) = trained();
+        let q = &queries[0];
+        let t = pq.adc_table(q);
+        // The nearest true vector should rank near the top under ADC.
+        let mut true_order: Vec<(f32, usize)> = (0..data.len())
+            .map(|i| (data.distance_to(i, q), i))
+            .collect();
+        true_order.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mut adc_order: Vec<(f32, usize)> = (0..data.len())
+            .map(|i| (t.distance(&pq.encode(data.vector(i))), i))
+            .collect();
+        adc_order.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let adc_top: std::collections::HashSet<usize> =
+            adc_order.iter().take(40).map(|&(_, i)| i).collect();
+        let hits = true_order
+            .iter()
+            .take(10)
+            .filter(|&&(_, i)| adc_top.contains(&i))
+            .count();
+        assert!(hits >= 6, "only {hits}/10 true neighbors in ADC top-40");
+    }
+
+    #[test]
+    fn lower_bound_is_conservative_and_monotone() {
+        let (data, queries, pq) = trained();
+        let q = &queries[1];
+        let t = pq.adc_table(q);
+        for i in 0..50 {
+            let codes = pq.encode(data.vector(i));
+            let full = t.distance(&codes);
+            let mut last = f32::NEG_INFINITY;
+            for p in 0..=codes.len() {
+                let lb = t.lower_bound(&codes, p);
+                assert!(lb <= full + 1e-4, "prefix {p}: {lb} > {full}");
+                assert!(lb >= last - 1e-4, "bound must be monotone");
+                last = lb;
+            }
+            assert!((t.lower_bound(&codes, codes.len()) - full).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn evaluate_terminates_early_and_soundly() {
+        let (data, queries, pq) = trained();
+        let q = &queries[2];
+        let t = pq.adc_table(q);
+        let mut terminated = 0;
+        for i in 0..200 {
+            let codes = pq.encode(data.vector(i));
+            let full = t.distance(&codes);
+            let thr = full * 0.5;
+            let (read, out) = t.evaluate(&codes, thr);
+            match out {
+                None => {
+                    terminated += 1;
+                    assert!(read < codes.len() || full >= thr);
+                    assert!(full >= thr, "unsound termination");
+                }
+                Some(d) => assert!((d - full).abs() < 1e-4),
+            }
+        }
+        assert!(terminated > 50, "ADC early termination should fire often");
+    }
+
+    #[test]
+    fn works_for_inner_product_metric() {
+        // IP subspace minima may be negative; the bound must still hold.
+        let (data, queries) = SynthSpec::glove().scaled(300, 2).generate();
+        let pq = ProductQuantizer::train(
+            &data,
+            &PqParams {
+                m: 4,
+                k: 16,
+                iterations: 5,
+                seed: 3,
+            },
+        );
+        let t = pq.adc_table(&queries[0]);
+        for i in 0..40 {
+            let codes = pq.encode(data.vector(i));
+            let full = t.distance(&codes);
+            for p in 0..=codes.len() {
+                assert!(t.lower_bound(&codes, p) <= full + 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_dimension_split() {
+        // 96 dims into 7 subspaces: remainder distributed.
+        let (data, _, _) = trained();
+        let pq = ProductQuantizer::train(
+            &data,
+            &PqParams {
+                m: 7,
+                k: 8,
+                iterations: 3,
+                seed: 5,
+            },
+        );
+        let codes = pq.encode(data.vector(0));
+        assert_eq!(codes.len(), 7);
+        assert_eq!(pq.decode(&codes).len(), data.dim());
+    }
+}

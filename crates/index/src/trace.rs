@@ -1,0 +1,140 @@
+//! Search traces: the exact sequence of distance-comparison batches a
+//! query performed, with the threshold in force at each comparison.
+//!
+//! The system simulator (`ansmet-sim`) replays these traces against the
+//! timing substrate: each [`Hop`] is a dependency barrier (HNSW's greedy
+//! loop pops one candidate, evaluates all its unvisited neighbors, then
+//! updates the heaps before the next pop), and each [`Eval`] becomes a
+//! distance-comparison task offloaded to an NDP unit (or executed by the
+//! host CPU in the CPU designs).
+
+/// What kind of traversal step produced a hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopKind {
+    /// Greedy descent through an upper HNSW layer (ef = 1).
+    UpperLayer,
+    /// Beam-search expansion at the HNSW base layer.
+    BaseLayer,
+    /// Distance computation to IVF cluster centroids.
+    Centroid,
+    /// Scan of one IVF inverted list.
+    ListScan,
+}
+
+/// One recorded distance comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Eval {
+    /// Stored vector id compared against the query.
+    pub id: usize,
+    /// Threshold (result-set max distance) in force at this comparison.
+    pub threshold: f32,
+    /// The true distance (always recorded for analysis, even when an
+    /// early-terminating oracle would not have computed it).
+    pub distance: f32,
+    /// Whether the comparison was accepted (distance < threshold).
+    pub accepted: bool,
+}
+
+/// One traversal step: a batch of comparisons that may execute in
+/// parallel, followed by host-side heap/traversal work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hop {
+    /// Step kind.
+    pub kind: HopKind,
+    /// The comparisons issued in this step.
+    pub evals: Vec<Eval>,
+}
+
+impl Hop {
+    /// Create an empty hop of the given kind.
+    pub fn new(kind: HopKind) -> Self {
+        Hop {
+            kind,
+            evals: Vec::new(),
+        }
+    }
+}
+
+/// Complete trace of one query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchTrace {
+    /// Traversal steps in execution order.
+    pub hops: Vec<Hop>,
+}
+
+impl SearchTrace {
+    /// Create an empty trace.
+    pub fn new() -> Self {
+        SearchTrace::default()
+    }
+
+    /// Total number of distance comparisons.
+    pub fn total_evals(&self) -> usize {
+        self.hops.iter().map(|h| h.evals.len()).sum()
+    }
+
+    /// Number of accepted comparisons.
+    pub fn accepted_evals(&self) -> usize {
+        self.hops
+            .iter()
+            .flat_map(|h| &h.evals)
+            .filter(|e| e.accepted)
+            .count()
+    }
+
+    /// Number of rejected comparisons (the paper observes 50–90 % of all
+    /// comparisons are rejected — the early-termination opportunity).
+    pub fn rejected_evals(&self) -> usize {
+        self.total_evals() - self.accepted_evals()
+    }
+
+    /// Fraction of comparisons rejected.
+    pub fn rejection_rate(&self) -> f64 {
+        let t = self.total_evals();
+        if t == 0 {
+            0.0
+        } else {
+            self.rejected_evals() as f64 / t as f64
+        }
+    }
+
+    /// Iterate over all evals in order.
+    pub fn iter_evals(&self) -> impl Iterator<Item = &Eval> {
+        self.hops.iter().flat_map(|h| h.evals.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(d: f32, thr: f32) -> Eval {
+        Eval {
+            id: 0,
+            threshold: thr,
+            distance: d,
+            accepted: d < thr,
+        }
+    }
+
+    #[test]
+    fn counts() {
+        let mut t = SearchTrace::new();
+        let mut h = Hop::new(HopKind::BaseLayer);
+        h.evals.push(eval(1.0, 2.0));
+        h.evals.push(eval(3.0, 2.0));
+        h.evals.push(eval(5.0, 2.0));
+        t.hops.push(h);
+        assert_eq!(t.total_evals(), 3);
+        assert_eq!(t.accepted_evals(), 1);
+        assert_eq!(t.rejected_evals(), 2);
+        assert!((t.rejection_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = SearchTrace::new();
+        assert_eq!(t.total_evals(), 0);
+        assert_eq!(t.rejection_rate(), 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Epoch-based visited set (avoids clearing a bitmap per query).
+
+/// Tracks which vector ids have been visited during one search.
+///
+/// Reusing the set via [`VisitedSet::clear`] is O(1): it bumps an epoch
+/// counter instead of touching every slot.
+#[derive(Debug, Clone)]
+pub struct VisitedSet {
+    marks: Vec<u32>,
+    epoch: u32,
+}
+
+impl VisitedSet {
+    /// Create a set covering ids `0..n`.
+    pub fn new(n: usize) -> Self {
+        VisitedSet {
+            marks: vec![0; n],
+            epoch: 1,
+        }
+    }
+
+    /// Start a fresh query.
+    pub fn clear(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wraparound: reset storage.
+            self.marks.iter_mut().for_each(|m| *m = 0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Mark `id` visited; returns `true` if it was not visited before.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn insert(&mut self, id: usize) -> bool {
+        if self.marks[id] == self.epoch {
+            false
+        } else {
+            self.marks[id] = self.epoch;
+            true
+        }
+    }
+
+    /// Whether `id` has been visited in the current epoch.
+    pub fn contains(&self, id: usize) -> bool {
+        self.marks[id] == self.epoch
+    }
+
+    /// Capacity (number of tracked ids).
+    pub fn capacity(&self) -> usize {
+        self.marks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut v = VisitedSet::new(10);
+        assert!(v.insert(3));
+        assert!(!v.insert(3));
+        assert!(v.contains(3));
+        assert!(!v.contains(4));
+    }
+
+    #[test]
+    fn clear_resets_in_constant_time() {
+        let mut v = VisitedSet::new(4);
+        v.insert(0);
+        v.insert(1);
+        v.clear();
+        assert!(!v.contains(0));
+        assert!(v.insert(0));
+    }
+
+    #[test]
+    fn epoch_wraparound_is_safe() {
+        let mut v = VisitedSet::new(2);
+        v.epoch = u32::MAX - 1;
+        v.insert(0);
+        v.clear(); // epoch becomes MAX
+        v.insert(1);
+        v.clear(); // wraps to 0 → storage reset, epoch 1
+        assert!(!v.contains(0));
+        assert!(!v.contains(1));
+        assert!(v.insert(0));
+    }
+}

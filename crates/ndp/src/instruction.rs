@@ -1,0 +1,340 @@
+//! NDP instruction formats (Fig. 5e).
+//!
+//! NDP units are commanded through specially-encoded DDR commands: every
+//! instruction is a DDR WRITE (or READ, for polls) to a reserved address
+//! range. The operation, target QSHR, and sequence number are encoded in
+//! the **address bits** (as in the paper), and the operands travel in the
+//! 64 B data payload — which lets a set-search instruction carry a full
+//! eight 8-byte comparison tasks. This module provides the concrete,
+//! loss-free binary encoding with round-trip tests: the contract between
+//! the host driver and the buffer-chip command parser.
+
+use ansmet_vecdata::{ElemType, Metric};
+
+/// One distance-comparison task (4 B search-vector address + 4 B distance
+/// threshold); a set-search instruction carries up to eight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchTask {
+    /// Search-vector address (line-aligned, rank-local).
+    pub addr: u32,
+    /// Early-termination threshold for this comparison.
+    pub threshold: f32,
+}
+
+/// Configure-instruction payload: element type, dimension, metric, and
+/// early-termination parameters (common prefix length and the
+/// dual-granularity n_C / T_C / n_F values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigPayload {
+    /// Element datatype.
+    pub dtype: ElemType,
+    /// Vector dimensionality (sub-vector dimensionality under vertical
+    /// partitioning).
+    pub dim: u16,
+    /// Distance metric.
+    pub metric: Metric,
+    /// Eliminated common-prefix length in bits.
+    pub prefix_len: u8,
+    /// Coarse fetch step width.
+    pub n_c: u8,
+    /// Number of coarse steps.
+    pub t_c: u8,
+    /// Fine fetch step width.
+    pub n_f: u8,
+}
+
+/// A decoded NDP instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NdpInstruction {
+    /// Broadcast configuration (DDR WRITE to the reserved config address).
+    Configure(ConfigPayload),
+    /// One 64 B slice of query-vector data into a QSHR (up to 16 of these
+    /// transfer a 1 kB query).
+    SetQuery {
+        /// Target QSHR (0..32).
+        qshr: u8,
+        /// 64 B sequence number within the query buffer (0..16).
+        seq: u8,
+        /// The 64 B of query data.
+        data: [u8; 64],
+    },
+    /// Up to eight comparison tasks for one QSHR.
+    SetSearch {
+        /// Target QSHR.
+        qshr: u8,
+        /// The tasks (1..=8).
+        tasks: Vec<SearchTask>,
+    },
+    /// Result poll (DDR READ of a QSHR's result array).
+    Poll {
+        /// Target QSHR.
+        qshr: u8,
+    },
+}
+
+/// Reserved address prefix marking NDP instructions (upper address bits).
+pub const NDP_ADDR_PREFIX: u64 = 0xA5 << 24;
+
+const OP_CONFIGURE: u64 = 0x1;
+const OP_SET_QUERY: u64 = 0x2;
+const OP_SET_SEARCH: u64 = 0x3;
+const OP_POLL: u64 = 0x4;
+
+fn dtype_code(d: ElemType) -> u8 {
+    match d {
+        ElemType::U8 => 0,
+        ElemType::I8 => 1,
+        ElemType::F32 => 2,
+        ElemType::F16 => 3,
+        ElemType::Bf16 => 4,
+    }
+}
+
+fn dtype_from(code: u8) -> Option<ElemType> {
+    Some(match code {
+        0 => ElemType::U8,
+        1 => ElemType::I8,
+        2 => ElemType::F32,
+        3 => ElemType::F16,
+        4 => ElemType::Bf16,
+        _ => return None,
+    })
+}
+
+fn metric_code(m: Metric) -> u8 {
+    match m {
+        Metric::L2 => 0,
+        Metric::Ip => 1,
+        Metric::Cosine => 2,
+    }
+}
+
+fn metric_from(code: u8) -> Option<Metric> {
+    Some(match code {
+        0 => Metric::L2,
+        1 => Metric::Ip,
+        2 => Metric::Cosine,
+        _ => return None,
+    })
+}
+
+impl NdpInstruction {
+    /// Encode into the DDR command's `(address, 64 B payload)` pair.
+    ///
+    /// Address layout: `NDP_ADDR_PREFIX | opcode << 16 | qshr << 8 | seq`,
+    /// shifted left by 6 so the encoded address stays line-aligned.
+    pub fn encode(&self) -> (u64, [u8; 64]) {
+        let mut p = [0u8; 64];
+        let addr_bits = match self {
+            NdpInstruction::Configure(c) => {
+                p[0] = dtype_code(c.dtype);
+                p[1..3].copy_from_slice(&c.dim.to_le_bytes());
+                p[3] = metric_code(c.metric);
+                p[4] = c.prefix_len;
+                p[5] = c.n_c;
+                p[6] = c.t_c;
+                p[7] = c.n_f;
+                OP_CONFIGURE << 16
+            }
+            NdpInstruction::SetQuery { qshr, seq, data } => {
+                assert!(*qshr < 32 && *seq < 16, "qshr/seq out of range");
+                p.copy_from_slice(data);
+                OP_SET_QUERY << 16 | (*qshr as u64) << 8 | *seq as u64
+            }
+            NdpInstruction::SetSearch { qshr, tasks } => {
+                assert!(*qshr < 32, "qshr out of range");
+                assert!(
+                    (1..=8).contains(&tasks.len()),
+                    "set-search carries 1..=8 tasks"
+                );
+                for (i, t) in tasks.iter().enumerate() {
+                    let off = i * 8;
+                    p[off..off + 4].copy_from_slice(&t.addr.to_le_bytes());
+                    p[off + 4..off + 8].copy_from_slice(&t.threshold.to_le_bytes());
+                }
+                OP_SET_SEARCH << 16 | (*qshr as u64) << 8 | tasks.len() as u64
+            }
+            NdpInstruction::Poll { qshr } => {
+                assert!(*qshr < 32, "qshr out of range");
+                OP_POLL << 16 | (*qshr as u64) << 8
+            }
+        };
+        ((NDP_ADDR_PREFIX | addr_bits) << 6, p)
+    }
+
+    /// Decode a DDR command's `(address, payload)` pair.
+    ///
+    /// Returns `None` if the address lacks the NDP prefix or any field is
+    /// malformed (unknown opcode, out-of-range QSHR id, bad task count,
+    /// invalid type/metric codes).
+    pub fn decode(addr: u64, p: &[u8; 64]) -> Option<NdpInstruction> {
+        let bits = addr >> 6;
+        if bits >> 24 != NDP_ADDR_PREFIX >> 24 {
+            return None;
+        }
+        let opcode = (bits >> 16) & 0xff;
+        let qshr = ((bits >> 8) & 0xff) as u8;
+        let seq = (bits & 0xff) as u8;
+        match opcode {
+            OP_CONFIGURE => {
+                let dtype = dtype_from(p[0])?;
+                let dim = u16::from_le_bytes([p[1], p[2]]);
+                let metric = metric_from(p[3])?;
+                Some(NdpInstruction::Configure(ConfigPayload {
+                    dtype,
+                    dim,
+                    metric,
+                    prefix_len: p[4],
+                    n_c: p[5],
+                    t_c: p[6],
+                    n_f: p[7],
+                }))
+            }
+            OP_SET_QUERY => {
+                if qshr >= 32 || seq >= 16 {
+                    return None;
+                }
+                Some(NdpInstruction::SetQuery {
+                    qshr,
+                    seq,
+                    data: *p,
+                })
+            }
+            OP_SET_SEARCH => {
+                let n = seq as usize;
+                if qshr >= 32 || !(1..=8).contains(&n) {
+                    return None;
+                }
+                let tasks = (0..n)
+                    .map(|i| {
+                        let off = i * 8;
+                        SearchTask {
+                            addr: u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]]),
+                            threshold: f32::from_le_bytes([
+                                p[off + 4],
+                                p[off + 5],
+                                p[off + 6],
+                                p[off + 7],
+                            ]),
+                        }
+                    })
+                    .collect();
+                Some(NdpInstruction::SetSearch { qshr, tasks })
+            }
+            OP_POLL => {
+                if qshr >= 32 {
+                    return None;
+                }
+                Some(NdpInstruction::Poll { qshr })
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of DDR commands this instruction occupies on the channel
+    /// (set-query for a `query_bytes`-long query needs
+    /// `⌈query_bytes/64⌉` WRITEs; everything else is a single command).
+    pub fn ddr_commands_for_query(query_bytes: usize) -> usize {
+        query_bytes.div_ceil(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: NdpInstruction) {
+        let (addr, payload) = i.encode();
+        assert_eq!(NdpInstruction::decode(addr, &payload), Some(i));
+    }
+
+    #[test]
+    fn configure_roundtrip() {
+        roundtrip(NdpInstruction::Configure(ConfigPayload {
+            dtype: ElemType::F32,
+            dim: 960,
+            metric: Metric::L2,
+            prefix_len: 6,
+            n_c: 8,
+            t_c: 1,
+            n_f: 2,
+        }));
+    }
+
+    #[test]
+    fn set_search_roundtrip_full() {
+        let tasks: Vec<SearchTask> = (0..8)
+            .map(|i| SearchTask {
+                addr: 0x1000 + i * 64,
+                threshold: 1.5 * i as f32,
+            })
+            .collect();
+        roundtrip(NdpInstruction::SetSearch { qshr: 31, tasks });
+    }
+
+    #[test]
+    fn set_query_roundtrip() {
+        let mut data = [0u8; 64];
+        for (j, b) in data.iter_mut().enumerate() {
+            *b = j as u8;
+        }
+        roundtrip(NdpInstruction::SetQuery {
+            qshr: 5,
+            seq: 12,
+            data,
+        });
+    }
+
+    #[test]
+    fn poll_roundtrip() {
+        roundtrip(NdpInstruction::Poll { qshr: 0 });
+    }
+
+    #[test]
+    fn addresses_are_line_aligned_and_prefixed() {
+        let (addr, _) = NdpInstruction::Poll { qshr: 3 }.encode();
+        assert_eq!(addr % 64, 0);
+        assert_eq!((addr >> 6) >> 24, NDP_ADDR_PREFIX >> 24);
+    }
+
+    #[test]
+    fn non_ndp_address_rejected() {
+        let p = [0u8; 64];
+        assert_eq!(NdpInstruction::decode(0x1000, &p), None);
+    }
+
+    #[test]
+    fn rejects_malformed_fields() {
+        // Unknown opcode under the NDP prefix.
+        let addr = (NDP_ADDR_PREFIX | (0x9 << 16)) << 6;
+        assert_eq!(NdpInstruction::decode(addr, &[0u8; 64]), None);
+        // Set-search with 0 tasks.
+        let addr = (NDP_ADDR_PREFIX | (OP_SET_SEARCH << 16)) << 6;
+        assert_eq!(NdpInstruction::decode(addr, &[0u8; 64]), None);
+        // Configure with a bad dtype code.
+        let addr = (NDP_ADDR_PREFIX | (OP_CONFIGURE << 16)) << 6;
+        let mut p = [0u8; 64];
+        p[0] = 99;
+        assert_eq!(NdpInstruction::decode(addr, &p), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8 tasks")]
+    fn encode_rejects_too_many_tasks() {
+        let tasks = vec![
+            SearchTask {
+                addr: 0,
+                threshold: 0.0
+            };
+            9
+        ];
+        NdpInstruction::SetSearch { qshr: 0, tasks }.encode();
+    }
+
+    #[test]
+    fn query_upload_command_count() {
+        // A 1 kB query (256-dim FP16 / 512-dim UINT8) takes 16 WRITEs.
+        assert_eq!(NdpInstruction::ddr_commands_for_query(1024), 16);
+        assert_eq!(NdpInstruction::ddr_commands_for_query(100), 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! Load-Reduced DIMM implementation variant (§5.1).
+//!
+//! LRDIMMs have no unified buffer chip: the rank's data path runs through
+//! separate **data buffers** (DBs, one per DRAM-chip group) plus a
+//! register clock driver (RCD). Following MEDAL, ANSMET places a slice of
+//! the distance computing unit in every DB — each DB sees only the bytes
+//! its DRAM chips contribute to a 64 B burst — and adds a hierarchical
+//! inter-chip bus to the RCD, which aggregates the partial sums and makes
+//! the early-termination decision.
+//!
+//! Functionally this computes exactly the same bound (a sum over
+//! dimensions is distributive over byte slices); only latency, area, and
+//! energy change. [`LrdimmUnit::per_line_latency`] exposes the per-fetch
+//! pipeline latency so the system simulator can swap topologies.
+
+use crate::compute::ComputeUnit;
+
+/// LRDIMM NDP topology parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LrdimmConfig {
+    /// Data buffers per rank (DDR4/DDR5 LRDIMMs use 8–10).
+    pub data_buffers: usize,
+    /// NDP-clock cycles per hop on the inter-chip hierarchical bus.
+    pub hop_cycles: u64,
+    /// NDP-clock cycles for the RCD's final aggregate + compare.
+    pub rcd_aggregate_cycles: u64,
+}
+
+impl Default for LrdimmConfig {
+    fn default() -> Self {
+        LrdimmConfig {
+            data_buffers: 8,
+            hop_cycles: 2,
+            rcd_aggregate_cycles: 2,
+        }
+    }
+}
+
+/// The per-rank LRDIMM NDP unit: DB compute slices + RCD aggregation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LrdimmUnit {
+    /// Topology parameters.
+    pub config: LrdimmConfig,
+    /// The compute slice instantiated in each DB (lanes divided by DB
+    /// count relative to the unified design).
+    pub slice: ComputeUnit,
+}
+
+impl LrdimmUnit {
+    /// Build from the unified-buffer compute unit: the 16 lanes are
+    /// distributed across the DBs (at least one lane each).
+    pub fn from_unified(unified: &ComputeUnit, config: LrdimmConfig) -> Self {
+        let mut slice = *unified;
+        slice.lanes = (unified.lanes / config.data_buffers as u32).max(1);
+        // Each DB's area/power scales with its lane share; the RCD adder
+        // tree adds a fixed overhead folded into the aggregate cycles.
+        slice.active_mw = unified.active_mw / config.data_buffers as f64;
+        slice.area_mm2 = unified.area_mm2 / config.data_buffers as f64;
+        LrdimmUnit {
+            config,
+            slice,
+        }
+    }
+
+    /// Elements of one 64 B line processed by each DB (the byte slice its
+    /// DRAM chips drive).
+    pub fn elements_per_db(&self, elements_in_line: usize) -> usize {
+        elements_in_line.div_ceil(self.config.data_buffers)
+    }
+
+    /// NDP-clock latency of one 64 B fetch through the distributed
+    /// pipeline: the slowest DB slice, plus the hierarchical bus to the
+    /// RCD (a binary-tree depth of hops), plus the final aggregation.
+    pub fn per_line_latency(&self, elements_in_line: usize) -> u64 {
+        let db_latency = self.slice.cycles_per_line(self.elements_per_db(elements_in_line));
+        let tree_depth = (self.config.data_buffers as f64).log2().ceil() as u64;
+        db_latency + tree_depth * self.config.hop_cycles + self.config.rcd_aggregate_cycles
+    }
+
+    /// Total active power of the rank's NDP logic in mW (all DB slices;
+    /// the RCD adder tree is folded into the slice budget).
+    pub fn active_mw(&self) -> f64 {
+        self.slice.active_mw * self.config.data_buffers as f64
+    }
+
+    /// Total area in mm² across the DBs.
+    pub fn area_mm2(&self) -> f64 {
+        self.slice.area_mm2 * self.config.data_buffers as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> LrdimmUnit {
+        LrdimmUnit::from_unified(&ComputeUnit::default(), LrdimmConfig::default())
+    }
+
+    #[test]
+    fn lanes_distributed_across_dbs() {
+        let u = unit();
+        assert_eq!(u.slice.lanes, 2); // 16 lanes / 8 DBs
+        assert_eq!(u.elements_per_db(64), 8);
+        assert_eq!(u.elements_per_db(16), 2);
+    }
+
+    #[test]
+    fn power_and_area_are_conserved() {
+        let unified = ComputeUnit::default();
+        let u = unit();
+        assert!((u.active_mw() - unified.active_mw).abs() < 1e-9);
+        assert!((u.area_mm2() - unified.area_mm2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregation_adds_latency_over_unified() {
+        let unified = ComputeUnit::default();
+        let u = unit();
+        for elements in [16usize, 64, 512] {
+            let mono = unified.cycles_per_line(elements);
+            let dist = u.per_line_latency(elements);
+            assert!(
+                dist >= mono.min(dist),
+                "distributed pipeline reported {dist} vs {mono}"
+            );
+            // The tree and RCD overhead is visible for small lines…
+            if elements <= 16 {
+                assert!(dist > mono);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_lines_amortize_the_tree() {
+        // With many elements per line, 8 DBs × 2 lanes beat 16 monolithic
+        // lanes only marginally less; the overhead stays bounded.
+        let unified = ComputeUnit::default();
+        let u = unit();
+        let mono = unified.cycles_per_line(512);
+        let dist = u.per_line_latency(512);
+        assert!(dist <= mono + 12, "distributed {dist} vs unified {mono}");
+    }
+
+    #[test]
+    fn degenerate_single_db() {
+        let u = LrdimmUnit::from_unified(
+            &ComputeUnit::default(),
+            LrdimmConfig {
+                data_buffers: 1,
+                hop_cycles: 0,
+                rcd_aggregate_cycles: 0,
+            },
+        );
+        assert_eq!(u.slice.lanes, 16);
+        assert_eq!(
+            u.per_line_latency(64),
+            ComputeUnit::default().cycles_per_line(64)
+        );
+    }
+}

@@ -1,0 +1,439 @@
+//! Functional (instruction-level) model of one NDP unit (§5.2).
+//!
+//! The unit sits in the DIMM buffer chip of one rank. It consumes decoded
+//! [`NdpInstruction`]s, manages its [`QshrFile`], issues 64 B fetches to
+//! the local rank, restores fetched chunks from the transformed layout,
+//! refines the conservative distance lower bound after every fetch, and
+//! early-terminates tasks whose bound crosses their threshold. This model
+//! is *behavioral*: memory is a callback returning line payloads, and time
+//! is not modeled (the timing composition lives in `ansmet-sim`). Its
+//! value is executable precision — the instruction-level contract between
+//! host driver and buffer chip, testable against the algorithmic engine.
+
+use ansmet_core::{DistanceBounder, FetchSchedule, ValueInterval};
+use ansmet_vecdata::{ElemType, Metric};
+
+use crate::instruction::{ConfigPayload, NdpInstruction};
+use crate::qshr::{QshrFile, QshrState};
+
+/// Outcome of one processed task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskOutcome {
+    /// QSHR that ran the task.
+    pub qshr: usize,
+    /// Task slot within the QSHR.
+    pub slot: usize,
+    /// 64 B fetches performed.
+    pub fetches: u32,
+    /// Final distance if in-bound, else `None` (early-terminated; the
+    /// result field keeps the invalid MAX sentinel).
+    pub distance: Option<f32>,
+}
+
+/// The per-unit configuration established by a configure instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct UnitConfig {
+    dtype: ElemType,
+    dim: usize,
+    metric: Metric,
+    schedule_steps: (u8, u8, u8, u8), // prefix_len, n_c, t_c, n_f
+}
+
+/// One NDP unit: QSHR file + distance pipeline, fed by instructions.
+#[derive(Debug)]
+pub struct NdpUnit {
+    qshrs: QshrFile,
+    config: Option<UnitConfig>,
+    /// Per-dimension on-chip common prefix values (empty when prefix
+    /// elimination is off).
+    dim_prefixes: Vec<u32>,
+}
+
+impl Default for NdpUnit {
+    fn default() -> Self {
+        NdpUnit {
+            qshrs: QshrFile::new(),
+            config: None,
+            dim_prefixes: Vec::new(),
+        }
+    }
+}
+
+impl NdpUnit {
+    /// A fresh, unconfigured unit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Load the on-chip per-dimension common prefix values (delivered at
+    /// preprocessing time alongside the configure instruction).
+    pub fn load_dim_prefixes(&mut self, prefixes: Vec<u32>) {
+        self.dim_prefixes = prefixes;
+    }
+
+    /// The active fetch schedule, if configured.
+    pub fn schedule(&self) -> Option<FetchSchedule> {
+        let c = self.config?;
+        let (prefix_len, n_c, t_c, n_f) = c.schedule_steps;
+        Some(if t_c == 0 {
+            FetchSchedule::uniform_after_prefix(c.dtype, prefix_len as u32, n_f.max(1) as u32)
+        } else {
+            FetchSchedule::dual(
+                c.dtype,
+                prefix_len as u32,
+                n_c.max(1) as u32,
+                t_c as u32,
+                n_f.max(1) as u32,
+            )
+        })
+    }
+
+    /// Execute one host instruction. `Poll` returns the QSHR's result
+    /// array; other instructions return `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on protocol violations the real hardware would reject
+    /// (task/query delivery to a QSHR in the wrong state).
+    pub fn execute(&mut self, instr: &NdpInstruction) -> Option<Vec<f32>> {
+        match instr {
+            NdpInstruction::Configure(c) => {
+                self.apply_config(c);
+                None
+            }
+            NdpInstruction::SetQuery { qshr, seq, .. } => {
+                let q = self.qshrs.get_mut(*qshr as usize);
+                if q.state() == QshrState::Free {
+                    // First slice implies allocation for a full query.
+                    let cfg = self.config.expect("configure before set-query");
+                    let bytes = cfg.dim * cfg.dtype.bytes();
+                    q.allocate(bytes.div_ceil(64).min(16) as u16);
+                }
+                let _ = seq;
+                q.receive_query_slice();
+                None
+            }
+            NdpInstruction::SetSearch { qshr, tasks } => {
+                let q = self.qshrs.get_mut(*qshr as usize);
+                if q.state() == QshrState::Free {
+                    let cfg = self.config.expect("configure before set-search");
+                    let bytes = cfg.dim * cfg.dtype.bytes();
+                    q.allocate(bytes.div_ceil(64).min(16) as u16);
+                }
+                q.receive_tasks(tasks);
+                None
+            }
+            NdpInstruction::Poll { qshr } => {
+                Some(self.qshrs.get(*qshr as usize).poll().to_vec())
+            }
+        }
+    }
+
+    fn apply_config(&mut self, c: &ConfigPayload) {
+        self.config = Some(UnitConfig {
+            dtype: c.dtype,
+            dim: c.dim as usize,
+            metric: c.metric.searched_as(),
+            schedule_steps: (c.prefix_len, c.n_c, c.t_c, c.n_f),
+        });
+    }
+
+    /// Run every ready QSHR to completion.
+    ///
+    /// `fetch_line(addr, line_index)` supplies the 64 B payloads of the
+    /// transformed layout for the search vector at `addr`;
+    /// `query_of(qshr)` supplies the uploaded query values (the behavioral
+    /// model does not reassemble query bytes). Returns the outcomes in
+    /// processing order.
+    pub fn process<F, Q>(&mut self, mut fetch_line: F, query_of: Q) -> Vec<TaskOutcome>
+    where
+        F: FnMut(u32, usize) -> [u8; 64],
+        Q: Fn(usize) -> Vec<f32>,
+    {
+        let cfg = match self.config {
+            Some(c) => c,
+            None => return Vec::new(),
+        };
+        let schedule = self.schedule().expect("configured");
+        let bounder = DistanceBounder::new(cfg.metric);
+        let plan = schedule.line_plan(cfg.dim);
+        let prefix_len = schedule.prefix_len();
+
+        let mut outcomes = Vec::new();
+        for id in 0..crate::qshr::QSHRS_PER_UNIT {
+            {
+                let q = self.qshrs.get_mut(id);
+                if q.ready() {
+                    q.start();
+                }
+            }
+            if self.qshrs.get(id).state() != QshrState::Busy {
+                continue;
+            }
+            let query = query_of(id);
+            assert_eq!(query.len(), cfg.dim, "query/config dimension mismatch");
+            while let Some(task) = self.qshrs.get(id).current_task().copied() {
+                let slot = self.qshrs.get(id).task_index;
+                // Per-dimension recovered prefixes: (value, bits), seeded
+                // with the on-chip common prefix.
+                let mut prefixes: Vec<(u32, u32)> = (0..cfg.dim)
+                    .map(|d| {
+                        if prefix_len > 0 {
+                            (self.dim_prefixes.get(d).copied().unwrap_or(0), prefix_len)
+                        } else {
+                            (0, 0)
+                        }
+                    })
+                    .collect();
+                let bound_of = |prefixes: &[(u32, u32)]| -> f64 {
+                    prefixes
+                        .iter()
+                        .zip(&query)
+                        .map(|(&(v, len), &qv)| {
+                            bounder
+                                .contribution(ValueInterval::from_prefix(cfg.dtype, v, len), qv)
+                        })
+                        .sum()
+                };
+                let mut terminated = false;
+                let mut fetches = 0u32;
+                let mut bound = bound_of(&prefixes);
+                if bound >= task.threshold as f64 {
+                    terminated = true;
+                }
+                if !terminated {
+                    for (li, lp) in plan.iter().enumerate() {
+                        let line = fetch_line(task.addr, li);
+                        self.qshrs.get_mut(id).record_fetch();
+                        fetches += 1;
+                        // Restore the fetched chunk into the per-dimension
+                        // prefixes (the command parser's layout recovery).
+                        let mut off = 0usize;
+                        #[allow(clippy::needless_range_loop)] // indexed dimension-range loops read clearer here
+                        for d in lp.dim_start..lp.dim_end {
+                            let chunk = read_bits(&line, off, lp.bits);
+                            let (v, len) = prefixes[d];
+                            prefixes[d] = ((v << lp.bits) | chunk, len + lp.bits);
+                            off += lp.bits as usize;
+                        }
+                        bound = bound_of(&prefixes);
+                        if bound >= task.threshold as f64 && li + 1 < plan.len() {
+                            terminated = true;
+                            break;
+                        }
+                    }
+                }
+                let distance = if terminated {
+                    None
+                } else {
+                    Some(bound as f32)
+                };
+                outcomes.push(TaskOutcome {
+                    qshr: id,
+                    slot,
+                    fetches,
+                    distance,
+                });
+                if self.qshrs.get_mut(id).finish_task(distance) {
+                    break;
+                }
+            }
+        }
+        outcomes
+    }
+
+    /// Host-side free of a QSHR after polling its results.
+    pub fn free_qshr(&mut self, id: usize) {
+        self.qshrs.get_mut(id).free();
+    }
+
+    /// Direct access to the QSHR file (diagnostics).
+    pub fn qshrs(&self) -> &QshrFile {
+        &self.qshrs
+    }
+}
+
+/// Extract `n` bits starting at bit offset `off` within a 64 B line
+/// (MSB-first, matching `ansmet_core::layout`).
+fn read_bits(line: &[u8; 64], off: usize, n: u32) -> u32 {
+    let mut v = 0u32;
+    for i in 0..n as usize {
+        let bit = off + i;
+        let b = (line[bit / 8] >> (7 - (bit % 8))) & 1;
+        v = (v << 1) | b as u32;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::SearchTask;
+    use crate::qshr::RESULT_INVALID;
+    use ansmet_core::{layout, to_sortable};
+    use ansmet_vecdata::SynthSpec;
+
+    /// Drive the unit end-to-end against a real transformed dataset and
+    /// check it reproduces exact distances and sound terminations.
+    #[test]
+    fn unit_reproduces_exact_distances() {
+        let (data, queries) = SynthSpec::sift().scaled(40, 2).generate();
+        let sched = FetchSchedule::uniform(data.dtype(), 4);
+        let transformed = ansmet_core::TransformedDataset::build(&data, sched.clone());
+
+        let mut unit = NdpUnit::new();
+        unit.execute(&NdpInstruction::Configure(ConfigPayload {
+            dtype: data.dtype(),
+            dim: data.dim() as u16,
+            metric: data.metric(),
+            prefix_len: 0,
+            n_c: 0,
+            t_c: 0,
+            n_f: 4,
+        }));
+
+        // One QSHR, query 0, four tasks with an infinite threshold.
+        let q = 0u8;
+        let slices = (data.dim() * data.dtype().bytes()).div_ceil(64).min(16);
+        let tasks: Vec<SearchTask> = (0..4)
+            .map(|i| SearchTask {
+                addr: i as u32,
+                threshold: f32::INFINITY,
+            })
+            .collect();
+        unit.execute(&NdpInstruction::SetSearch { qshr: q, tasks });
+        for seq in 0..slices {
+            unit.execute(&NdpInstruction::SetQuery {
+                qshr: q,
+                seq: seq as u8,
+                data: [0u8; 64],
+            });
+        }
+
+        let outcomes = unit.process(
+            |addr, line| transformed.vector(addr as usize).lines[line],
+            |_| queries[0].clone(),
+        );
+        assert_eq!(outcomes.len(), 4);
+        for o in &outcomes {
+            let expect = data.distance_to(o.slot, &queries[0]);
+            let got = o.distance.expect("in-bound under infinite threshold");
+            assert!(
+                (got - expect).abs() <= expect.abs() * 1e-5 + 1e-3,
+                "slot {}: {got} vs {expect}",
+                o.slot
+            );
+            assert_eq!(o.fetches as usize, sched.total_lines(data.dim()));
+        }
+        // Poll returns the distances.
+        let results = unit
+            .execute(&NdpInstruction::Poll { qshr: q })
+            .expect("poll returns results");
+        assert!(results[..4].iter().all(|&d| d != RESULT_INVALID));
+    }
+
+    #[test]
+    fn unit_terminates_early_and_soundly() {
+        let (data, queries) = SynthSpec::gist().scaled(30, 2).generate();
+        let sched = FetchSchedule::uniform(data.dtype(), 8);
+        let transformed = ansmet_core::TransformedDataset::build(&data, sched.clone());
+        let mut unit = NdpUnit::new();
+        unit.execute(&NdpInstruction::Configure(ConfigPayload {
+            dtype: data.dtype(),
+            dim: data.dim() as u16,
+            metric: data.metric(),
+            prefix_len: 0,
+            n_c: 0,
+            t_c: 0,
+            n_f: 8,
+        }));
+        let query = &queries[0];
+        // Tight threshold: half the true distance of vector 3.
+        let d3 = data.distance_to(3, query);
+        unit.execute(&NdpInstruction::SetSearch {
+            qshr: 1,
+            tasks: vec![SearchTask {
+                addr: 3,
+                threshold: d3 * 0.5,
+            }],
+        });
+        for seq in 0..16 {
+            unit.execute(&NdpInstruction::SetQuery {
+                qshr: 1,
+                seq,
+                data: [0u8; 64],
+            });
+        }
+        let outcomes = unit.process(
+            |addr, line| transformed.vector(addr as usize).lines[line],
+            |_| query.clone(),
+        );
+        assert_eq!(outcomes.len(), 1);
+        let o = &outcomes[0];
+        assert!(o.distance.is_none(), "must early terminate");
+        assert!(
+            (o.fetches as usize) < sched.total_lines(data.dim()),
+            "termination must save fetches"
+        );
+        // Sentinel preserved in the result array.
+        let res = unit.execute(&NdpInstruction::Poll { qshr: 1 }).expect("poll");
+        assert_eq!(res[0], RESULT_INVALID);
+    }
+
+    #[test]
+    fn unit_uses_on_chip_prefix() {
+        // Constant high bits: 3-bit prefix eliminated; the unit must seed
+        // intervals from the on-chip prefix and still match distances.
+        let values: Vec<f32> = (0..64).map(|i| 64.0 + (i % 16) as f32).collect();
+        let data = ansmet_vecdata::Dataset::from_values(
+            "p",
+            ElemType::U8,
+            Metric::L2,
+            4,
+            values,
+        );
+        let ids: Vec<usize> = (0..data.len()).collect();
+        let spec = ansmet_core::PrefixSpec::choose(&data, &ids, 0.0);
+        assert!(spec.len() >= 3);
+        let sched = FetchSchedule::uniform_after_prefix(data.dtype(), spec.len(), 2);
+        // Transform manually on the payload bits.
+        let sortables: Vec<Vec<u32>> = (0..data.len())
+            .map(|i| {
+                data.raw_vector(i)
+                    .iter()
+                    .map(|&r| to_sortable(data.dtype(), r))
+                    .collect()
+            })
+            .collect();
+        let tvs: Vec<_> = sortables.iter().map(|s| layout::transform(s, &sched)).collect();
+
+        let mut unit = NdpUnit::new();
+        unit.execute(&NdpInstruction::Configure(ConfigPayload {
+            dtype: data.dtype(),
+            dim: 4,
+            metric: Metric::L2,
+            prefix_len: spec.len() as u8,
+            n_c: 0,
+            t_c: 0,
+            n_f: 2,
+        }));
+        unit.load_dim_prefixes(spec.dim_prefixes().to_vec());
+        unit.execute(&NdpInstruction::SetSearch {
+            qshr: 0,
+            tasks: vec![SearchTask {
+                addr: 7,
+                threshold: f32::INFINITY,
+            }],
+        });
+        unit.execute(&NdpInstruction::SetQuery {
+            qshr: 0,
+            seq: 0,
+            data: [0u8; 64],
+        });
+        let query = vec![66.0, 70.0, 64.0, 79.0];
+        let outcomes = unit.process(|addr, line| tvs[addr as usize].lines[line], |_| query.clone());
+        let got = outcomes[0].distance.expect("in-bound");
+        let expect = data.distance_to(7, &query);
+        assert!((got - expect).abs() < 1e-3, "{got} vs {expect}");
+    }
+}

@@ -1,0 +1,117 @@
+//! System energy model (Fig. 7): DRAM + host CPU + NDP compute units.
+
+use ansmet_dram::EnergyModel;
+
+use crate::config::SystemConfig;
+use crate::timing::RunResult;
+
+/// Energy breakdown of one run, in nanojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// DRAM array + I/O energy.
+    pub dram_nj: f64,
+    /// Host CPU energy (active compute + socket background).
+    pub cpu_nj: f64,
+    /// NDP compute-unit energy.
+    pub ndp_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total system energy.
+    pub fn total_nj(&self) -> f64 {
+        self.dram_nj + self.cpu_nj + self.ndp_nj
+    }
+}
+
+/// Combines the component models into system energy.
+#[derive(Debug, Clone)]
+pub struct SystemEnergyModel {
+    dram: EnergyModel,
+    /// Socket background activity fraction while queries run.
+    pub idle_socket_frac: f64,
+}
+
+impl Default for SystemEnergyModel {
+    fn default() -> Self {
+        SystemEnergyModel {
+            dram: EnergyModel::ddr5(),
+            idle_socket_frac: 0.25,
+        }
+    }
+}
+
+impl SystemEnergyModel {
+    /// Compute the energy of `run` under `config`.
+    pub fn compute(&self, run: &RunResult, config: &SystemConfig) -> EnergyBreakdown {
+        let cycle_ns = config.dram.cycle_ns();
+        let dram = self
+            .dram
+            .compute(&run.rank_counts, run.total_cycles, cycle_ns);
+        // Active single-core energy for the host work, plus background
+        // socket power over the run's wall-clock.
+        let cpu_active = config.cpu.energy_nj(run.host_cpu_cycles);
+        let cpu_bg = config.cpu.socket_energy_nj(
+            run.total_cycles,
+            config.dram.clock_mhz,
+            self.idle_socket_frac,
+        );
+        let elements = 64 / config_elem_bytes(run);
+        let ndp = if run.design.is_ndp() {
+            config.compute.energy_nj(run.ndp_compute_lines, elements)
+        } else {
+            0.0
+        };
+        EnergyBreakdown {
+            dram_nj: dram.total_nj(),
+            cpu_nj: cpu_active + cpu_bg,
+            ndp_nj: ndp,
+        }
+    }
+}
+
+fn config_elem_bytes(_run: &RunResult) -> usize {
+    // Elements per line vary by schedule; a representative 4 B element
+    // gives 16 elements per 64 B line for the compute-energy estimate.
+    4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::Design;
+    use crate::timing::run_design;
+    use crate::workload::Workload;
+    use ansmet_vecdata::SynthSpec;
+
+    #[test]
+    fn ndp_consumes_less_energy_than_cpu() {
+        let wl = Workload::prepare(&SynthSpec::sift().scaled(400, 2), 10, Some(40));
+        let cfg = SystemConfig::default();
+        let model = SystemEnergyModel::default();
+        let cpu = model.compute(&run_design(Design::CpuBase, &wl, &cfg), &cfg);
+        let ndp = model.compute(&run_design(Design::NdpBase, &wl, &cfg), &cfg);
+        assert!(ndp.total_nj() < cpu.total_nj());
+    }
+
+    #[test]
+    fn et_saves_energy_on_ndp() {
+        let wl = Workload::prepare(&SynthSpec::sift().scaled(400, 2), 10, Some(40));
+        let cfg = SystemConfig::default();
+        let model = SystemEnergyModel::default();
+        let base = model.compute(&run_design(Design::NdpBase, &wl, &cfg), &cfg);
+        let et = model.compute(&run_design(Design::NdpEtOpt, &wl, &cfg), &cfg);
+        assert!(et.total_nj() <= base.total_nj() * 1.05);
+    }
+
+    #[test]
+    fn components_positive() {
+        let wl = Workload::prepare(&SynthSpec::sift().scaled(300, 1), 10, Some(40));
+        let cfg = SystemConfig::default();
+        let r = run_design(Design::NdpEt, &wl, &cfg);
+        let e = SystemEnergyModel::default().compute(&r, &cfg);
+        assert!(e.dram_nj > 0.0);
+        assert!(e.cpu_nj > 0.0);
+        assert!(e.ndp_nj > 0.0);
+        assert!(e.total_nj() > 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Full-system ANSMET simulator: composes the DRAM simulator, the host
+//! CPU model, the NDP hardware model, and the early-termination engine
+//! into the nine evaluated designs of the paper (§6), and provides the
+//! experiment drivers that regenerate every table and figure of §7.
+//!
+//! The methodology is trace-driven: each query executes once
+//! *functionally* (HNSW/IVF beam search with exact distances, recording a
+//! [`ansmet_index::SearchTrace`]), and the trace is then *replayed* on the
+//! timing substrate once per design — charging each comparison exactly the
+//! 64 B lines that design's fetch schedule and early-termination rule
+//! would move, through the cycle-accurate DDR5 model. This is sound
+//! because ANSMET's early termination is lossless: every design visits
+//! the same vectors and produces the same results; only the data movement
+//! and timing differ.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use ansmet_vecdata::SynthSpec;
+//! use ansmet_sim::{Design, SystemConfig, Workload};
+//!
+//! let wl = Workload::prepare(&SynthSpec::sift().scaled(2000, 4), 10, None);
+//! let cfg = SystemConfig::default();
+//! let base = ansmet_sim::run_design(Design::CpuBase, &wl, &cfg);
+//! let ndp = ansmet_sim::run_design(Design::NdpEtOpt, &wl, &cfg);
+//! assert!(ndp.total_cycles < base.total_cycles);
+//! ```
+
+pub mod config;
+pub mod design;
+pub mod energy;
+pub mod etplan;
+pub mod experiment;
+pub mod report;
+pub mod throughput;
+pub mod timing;
+pub mod workload;
+
+pub use config::SystemConfig;
+pub use design::{Design, DesignPlan, EtKind};
+pub use energy::{EnergyBreakdown, SystemEnergyModel};
+pub use throughput::{run_design_throughput, ThroughputResult};
+pub use timing::{run_design, QueryBreakdown, RunResult};
+pub use workload::Workload;

@@ -1,0 +1,266 @@
+//! Multi-stream throughput simulation.
+//!
+//! [`run_design`](crate::timing::run_design) measures single-query
+//! latency: one search thread, one hop in flight. Real deployments run
+//! one query per host core (Table 1: 16 cores), so the rank-level
+//! parallelism of many NDP units is only exercised when several queries'
+//! comparison batches are in flight together — which is where the
+//! paper's Table 3 scaling (8 → 64 units) comes from.
+//!
+//! This module models that regime with *wave scheduling*: up to
+//! `streams` queries progress in lock-step; each wave merges one hop
+//! from every active query into a single NDP batch executed on the
+//! shared memory system. Host-side costs of different streams run on
+//! different cores, so a wave pays only the slowest stream's host work.
+
+use std::collections::HashMap;
+
+use ansmet_core::EtEngine;
+use ansmet_dram::MemorySystem;
+use ansmet_index::HopKind;
+use ansmet_ndp::{LoadTracker, Partitioner, ReplicaSet};
+
+use crate::config::SystemConfig;
+use crate::design::{Design, DesignPlan};
+use crate::timing::{run_ndp_batch, SubTask};
+use crate::workload::Workload;
+
+/// Result of a throughput run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputResult {
+    /// The design simulated.
+    pub design: Design,
+    /// Wall-clock memory cycles to finish every query.
+    pub total_cycles: u64,
+    /// Number of queries completed.
+    pub queries: usize,
+    /// Concurrent streams used.
+    pub streams: usize,
+}
+
+impl ThroughputResult {
+    /// Queries per second at `mem_clock_mhz`.
+    pub fn qps(&self, mem_clock_mhz: u64) -> f64 {
+        let secs = self.total_cycles as f64 / (mem_clock_mhz as f64 * 1e6);
+        self.queries as f64 / secs.max(1e-12)
+    }
+}
+
+/// Run `design` over `workload` with up to `streams` concurrent query
+/// streams (NDP designs only).
+///
+/// # Panics
+///
+/// Panics for CPU designs (their throughput is `cores ×` the latency
+/// result, already contention-modeled) or `streams == 0`.
+pub fn run_design_throughput(
+    design: Design,
+    workload: &Workload,
+    config: &SystemConfig,
+    streams: usize,
+) -> ThroughputResult {
+    assert!(design.is_ndp(), "throughput waves model the NDP designs");
+    assert!(streams > 0, "need at least one stream");
+    let data = &workload.data;
+    let dim = data.dim();
+    let elem_bytes = data.dtype().bytes();
+    let partitioner = Partitioner::new(config.partition, config.ndp_units(), dim, elem_bytes);
+    let layout_dim = partitioner.dims_per_subvector();
+    let plan = DesignPlan::build_for_layout(design, workload, layout_dim);
+    let engine = plan
+        .et
+        .as_ref()
+        .map(|et| EtEngine::new(&workload.data, et.clone()));
+    let natural_lines = data.vector_lines();
+    let mem_clock = config.dram.clock_mhz;
+    let cpu = &config.cpu;
+    let full_lines = engine
+        .as_ref()
+        .map(|e| e.full_lines())
+        .unwrap_or(natural_lines);
+
+    let replicas = if config.replicate_hot {
+        ReplicaSet::new(workload.hot_ids())
+    } else {
+        ReplicaSet::new([])
+    };
+    let mut loads = LoadTracker::new(config.ndp_units(), partitioner.group_size());
+    let mut mem = MemorySystem::new(config.dram.clone());
+    let ndp_compute_delay = config
+        .compute
+        .to_mem_cycles(config.compute.reduce_cycles, mem_clock)
+        .max(1);
+    let query_bytes = (dim * elem_bytes).min(1024);
+
+    // Stream cursors: (query index, hop index).
+    let mut next_query = 0usize;
+    let mut cursors: Vec<(usize, usize)> = Vec::new();
+    let n_queries = workload.traces.len();
+    let mut uploaded: HashMap<(usize, usize), ()> = HashMap::new();
+    let mut req_base = 0u64;
+    let mut clock = 0u64;
+
+    loop {
+        // Refill streams.
+        while cursors.len() < streams && next_query < n_queries {
+            cursors.push((next_query, 0));
+            next_query += 1;
+        }
+        if cursors.is_empty() {
+            break;
+        }
+
+        // Build one wave: the current hop of every stream. Host work of
+        // different streams runs on different cores; set-query uploads
+        // overlap the fetch batch (§5.2). Waves in a real system are
+        // de-synchronized, so serial host work is charged at its mean.
+        let mut host_serial_sum = 0u64;
+        let mut upload_max = 0u64;
+        let mut subs: Vec<SubTask> = Vec::new();
+        let mut tasks_per_rank: HashMap<usize, usize> = HashMap::new();
+        for (qi, hop_idx) in cursors.iter_mut() {
+            let trace = &workload.traces[*qi];
+            let hop = &trace.hops[*hop_idx];
+            let query = &workload.queries[*qi];
+            let accepted = hop.evals.iter().filter(|e| e.accepted).count();
+            let mut host = cpu.hop_cycles(hop.evals.len(), accepted);
+            let mut upload = 0u64;
+            if hop.kind == HopKind::Centroid {
+                host += cpu.distance_compute_cycles(natural_lines) * hop.evals.len() as u64;
+            } else {
+                for e in &hop.evals {
+                    let placements = if replicas.contains(e.id) {
+                        partitioner.placement_in_group(e.id, loads.least_loaded_group())
+                    } else {
+                        partitioner.placement(e.id)
+                    };
+                    let chunks: Vec<std::ops::Range<usize>> =
+                        placements.iter().map(|p| p.dims.clone()).collect();
+                    let (lines, backup): (Vec<usize>, usize) = match &engine {
+                        None => (
+                            placements
+                                .iter()
+                                .map(|p| (p.dims.len() * elem_bytes).div_ceil(64))
+                                .collect(),
+                            0,
+                        ),
+                        Some(eng) => {
+                            let m = crate::etplan::evaluate_chunked(
+                                eng,
+                                e.id,
+                                query,
+                                &chunks,
+                                e.threshold,
+                            );
+                            (m.lines, m.backup_lines)
+                        }
+                    };
+                    for (pi, (p, l)) in placements.iter().zip(&lines).enumerate() {
+                        let rank = p.rank;
+                        *tasks_per_rank.entry(rank).or_insert(0) += 1;
+                        loads.add(rank, *l as u64);
+                        let base = (e.id as u64)
+                            * (full_lines as u64 + natural_lines as u64 + 2)
+                            + pi as u64;
+                        subs.push(SubTask::new(
+                            rank,
+                            l + if pi == 0 { backup } else { 0 },
+                            base,
+                            ndp_compute_delay,
+                        ));
+                        if uploaded.insert((*qi, rank), ()).is_none() {
+                            upload += cpu.query_upload_cycles(query_bytes);
+                        }
+                    }
+                }
+                let evals = hop.evals.len();
+                host += cpu.offload_cycles(evals.max(1));
+            }
+            host_serial_sum += cpu.to_mem_cycles(host, mem_clock);
+            upload_max = upload_max.max(cpu.to_mem_cycles(upload, mem_clock));
+        }
+
+        clock += host_serial_sum / cursors.len().max(1) as u64;
+        if !subs.is_empty() {
+            let t0 = clock.max(mem.now());
+            let finish = run_ndp_batch(&mut mem, &mut subs, 32, &mut req_base, t0)
+                .max(t0 + upload_max);
+            // One poll round closes the wave (streams poll in parallel on
+            // their own cores).
+            clock = finish + cpu.to_mem_cycles(cpu.poll_cycles(), mem_clock);
+            if mem.now() < clock && !mem.busy() {
+                mem.fast_forward_to(clock);
+            }
+            clock = clock.max(mem.now());
+        }
+
+        // Advance streams; retire finished queries.
+        cursors = cursors
+            .into_iter()
+            .filter_map(|(qi, hop_idx)| {
+                if hop_idx + 1 < workload.traces[qi].hops.len() {
+                    Some((qi, hop_idx + 1))
+                } else {
+                    None
+                }
+            })
+            .collect();
+    }
+
+    ThroughputResult {
+        design,
+        total_cycles: clock.max(1),
+        queries: n_queries,
+        streams,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ansmet_vecdata::SynthSpec;
+
+    #[test]
+    fn more_streams_more_throughput() {
+        let wl = Workload::prepare(&SynthSpec::sift().scaled(600, 6), 10, Some(40));
+        let cfg = SystemConfig::default();
+        let one = run_design_throughput(Design::NdpBase, &wl, &cfg, 1);
+        let many = run_design_throughput(Design::NdpBase, &wl, &cfg, 8);
+        assert!(
+            many.qps(2400) > one.qps(2400),
+            "8 streams {:.0} qps vs 1 stream {:.0} qps",
+            many.qps(2400),
+            one.qps(2400)
+        );
+    }
+
+    #[test]
+    fn more_units_help_under_load() {
+        let wl = Workload::prepare(&SynthSpec::gist().scaled(400, 6), 10, Some(40));
+        let r8 = run_design_throughput(
+            Design::NdpEtOpt,
+            &wl,
+            &SystemConfig::default().with_ndp_units(8),
+            16,
+        );
+        let r32 = run_design_throughput(
+            Design::NdpEtOpt,
+            &wl,
+            &SystemConfig::default().with_ndp_units(32),
+            16,
+        );
+        assert!(
+            r32.total_cycles <= r8.total_cycles,
+            "32 units {} vs 8 units {}",
+            r32.total_cycles,
+            r8.total_cycles
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "NDP designs")]
+    fn cpu_design_rejected() {
+        let wl = Workload::prepare(&SynthSpec::sift().scaled(200, 1), 10, Some(20));
+        run_design_throughput(Design::CpuBase, &wl, &SystemConfig::default(), 4);
+    }
+}

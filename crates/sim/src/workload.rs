@@ -1,0 +1,211 @@
+//! Prepared workloads: dataset + queries + index + functional search
+//! traces + ground truth + sampling profile, shared by every design's
+//! timing replay.
+
+use ansmet_core::{SamplingConfig, SamplingProfile};
+use ansmet_index::{ExactOracle, Hnsw, HnswParams, Ivf, IvfParams, SearchTrace};
+use ansmet_vecdata::{recall::mean_recall_at_k, Dataset, GroundTruth, SynthSpec};
+
+/// Which index structure drives the traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Hierarchical Navigable Small Worlds (the paper's main index).
+    Hnsw,
+    /// Inverted-file clustering (Fig. 1).
+    Ivf,
+}
+
+/// A fully-prepared benchmark workload.
+#[derive(Debug)]
+pub struct Workload {
+    /// Dataset name (Table 2).
+    pub name: String,
+    /// The database.
+    pub data: Dataset,
+    /// Query vectors.
+    pub queries: Vec<Vec<f32>>,
+    /// The HNSW index (present for [`IndexKind::Hnsw`] workloads).
+    pub hnsw: Option<Hnsw>,
+    /// The IVF index (present for [`IndexKind::Ivf`] workloads).
+    pub ivf: Option<Ivf>,
+    /// Result-set size k.
+    pub k: usize,
+    /// Beam width (efSearch / k′) or nprobe, tuned for ≥ 80 % recall
+    /// unless given.
+    pub ef: usize,
+    /// Functional per-query traces (exact search; identical across
+    /// designs by the losslessness of early termination).
+    pub traces: Vec<SearchTrace>,
+    /// Per-query approximate result ids.
+    pub results: Vec<Vec<usize>>,
+    /// Exact ground truth.
+    pub ground_truth: GroundTruth,
+    /// Achieved recall@k.
+    pub recall: f64,
+    /// Sampling-based preprocessing profile (§4.2).
+    pub profile: SamplingProfile,
+    /// Outlier budget for prefix elimination (paper default 0.1 %).
+    pub outlier_frac: f64,
+    /// Wall-clock seconds spent building the index.
+    pub graph_build_secs: f64,
+}
+
+impl Workload {
+    /// Generate, index (HNSW), trace, and profile a workload.
+    ///
+    /// When `ef` is `None`, the beam width is tuned upward until
+    /// recall@k ≥ 80 % (as the paper does).
+    pub fn prepare(spec: &SynthSpec, k: usize, ef: Option<usize>) -> Workload {
+        Self::prepare_with_index(spec, k, ef, IndexKind::Hnsw)
+    }
+
+    /// Generate, index, trace, and profile with a chosen index kind.
+    pub fn prepare_with_index(
+        spec: &SynthSpec,
+        k: usize,
+        ef: Option<usize>,
+        kind: IndexKind,
+    ) -> Workload {
+        let (data, queries) = spec.generate();
+        let t0 = std::time::Instant::now();
+        let (hnsw, ivf) = match kind {
+            IndexKind::Hnsw => {
+                let params = if data.len() <= 5_000 {
+                    HnswParams {
+                        ef_construction: 120,
+                        ..HnswParams::default()
+                    }
+                } else {
+                    HnswParams::default()
+                };
+                (Some(Hnsw::build(&data, params)), None)
+            }
+            IndexKind::Ivf => (None, Some(Ivf::build(&data, IvfParams::default()))),
+        };
+        let graph_build_secs = t0.elapsed().as_secs_f64();
+
+        let ground_truth = GroundTruth::compute(&data, &queries, k);
+        let n_samples = 100.min(data.len() / 2).max(2);
+        let profile =
+            SamplingProfile::build(&data, &SamplingConfig::default().with_samples(n_samples));
+
+        let mut wl = Workload {
+            name: data.name().to_string(),
+            data,
+            queries,
+            hnsw,
+            ivf,
+            k,
+            ef: ef.unwrap_or(k.max(10)),
+            traces: Vec::new(),
+            results: Vec::new(),
+            ground_truth,
+            recall: 0.0,
+            profile,
+            outlier_frac: 0.001,
+            graph_build_secs,
+        };
+        loop {
+            wl.retrace(wl.ef);
+            if ef.is_some() || wl.recall >= 0.80 || wl.ef >= wl.data.len() {
+                break;
+            }
+            wl.ef *= 2;
+        }
+        wl
+    }
+
+    /// Re-run the functional searches with a new beam width / nprobe,
+    /// refreshing traces, results, and recall (used for the Fig. 8
+    /// recall-QPS sweep).
+    pub fn retrace(&mut self, ef: usize) {
+        self.ef = ef;
+        let mut traces = Vec::with_capacity(self.queries.len());
+        let mut results = Vec::with_capacity(self.queries.len());
+        let mut oracle = ExactOracle::new(&self.data);
+        for q in &self.queries {
+            let (r, t) = match (&self.hnsw, &self.ivf) {
+                (Some(h), _) => h.search_traced(q, self.k, ef, &mut oracle),
+                (None, Some(i)) => {
+                    let nprobe = ef.clamp(1, i.n_lists());
+                    i.search_traced(q, self.k, nprobe, &mut oracle)
+                }
+                (None, None) => unreachable!("workload always has an index"),
+            };
+            results.push(r.ids());
+            traces.push(t);
+        }
+        self.recall = mean_recall_at_k(&results, &self.ground_truth.ids, self.k);
+        self.traces = traces;
+        self.results = results;
+    }
+
+    /// Ids of the paper's "hot vectors": nodes of the upper HNSW layers
+    /// (replicated to every rank group in §5.3). Empty for IVF, whose
+    /// centroids are not database vectors.
+    pub fn hot_ids(&self) -> Vec<usize> {
+        match &self.hnsw {
+            Some(h) => h.nodes_at_or_above_layer(1),
+            None => Vec::new(),
+        }
+    }
+
+    /// Mean comparisons per query (the paper reports e.g. 617 vectors per
+    /// query for HNSW-SIFT).
+    pub fn mean_evals_per_query(&self) -> f64 {
+        let total: usize = self.traces.iter().map(SearchTrace::total_evals).sum();
+        total as f64 / self.traces.len().max(1) as f64
+    }
+
+    /// Mean rejection rate across queries (Fig. 1's "rejected" fraction).
+    pub fn mean_rejection_rate(&self) -> f64 {
+        let s: f64 = self.traces.iter().map(SearchTrace::rejection_rate).sum();
+        s / self.traces.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_small_sift() {
+        let wl = Workload::prepare(&SynthSpec::sift().scaled(600, 4), 10, None);
+        assert_eq!(wl.queries.len(), 4);
+        assert_eq!(wl.traces.len(), 4);
+        assert!(wl.recall >= 0.8, "recall {}", wl.recall);
+        assert!(wl.mean_evals_per_query() > 10.0);
+        assert!(wl.mean_rejection_rate() > 0.1);
+        assert!(wl.graph_build_secs > 0.0);
+        assert!(!wl.hot_ids().is_empty());
+    }
+
+    #[test]
+    fn fixed_ef_is_respected() {
+        let wl = Workload::prepare(&SynthSpec::sift().scaled(300, 2), 5, Some(17));
+        assert_eq!(wl.ef, 17);
+    }
+
+    #[test]
+    fn ivf_workload_traces() {
+        let wl = Workload::prepare_with_index(
+            &SynthSpec::sift().scaled(400, 3),
+            10,
+            None,
+            IndexKind::Ivf,
+        );
+        assert!(wl.ivf.is_some());
+        assert!(wl.hnsw.is_none());
+        assert!(wl.recall >= 0.8, "recall {}", wl.recall);
+        assert!(wl.hot_ids().is_empty());
+    }
+
+    #[test]
+    fn retrace_changes_ef_and_recall() {
+        let mut wl = Workload::prepare(&SynthSpec::sift().scaled(500, 3), 10, Some(10));
+        let r_small = wl.recall;
+        wl.retrace(120);
+        assert_eq!(wl.ef, 120);
+        assert!(wl.recall >= r_small);
+    }
+}

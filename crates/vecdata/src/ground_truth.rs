@@ -1,0 +1,151 @@
+//! Exact k-nearest-neighbor ground truth via brute force.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::dataset::Dataset;
+
+/// Exact top-k results for a set of queries: `ids[q]` are the indices of
+/// the k closest database vectors to query `q`, closest first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundTruth {
+    /// Neighbor ids per query, closest first.
+    pub ids: Vec<Vec<usize>>,
+    /// Matching distances per query.
+    pub distances: Vec<Vec<f32>>,
+}
+
+#[derive(Debug, PartialEq)]
+struct HeapItem {
+    dist: f32,
+    id: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap by distance; ties by id for determinism.
+        self.dist
+            .partial_cmp(&other.dist)
+            .unwrap_or(Ordering::Equal)
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Exact top-`k` of `query` against every vector in `data`.
+///
+/// Returns `(ids, distances)` sorted closest-first. `k` is clamped to the
+/// dataset size.
+pub fn brute_force_knn(data: &Dataset, query: &[f32], k: usize) -> (Vec<usize>, Vec<f32>) {
+    let k = k.min(data.len());
+    let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
+    for i in 0..data.len() {
+        let dist = data.distance_to(i, query);
+        if heap.len() < k {
+            heap.push(HeapItem { dist, id: i });
+        } else if let Some(top) = heap.peek() {
+            if dist < top.dist {
+                heap.pop();
+                heap.push(HeapItem { dist, id: i });
+            }
+        }
+    }
+    let mut items: Vec<HeapItem> = heap.into_vec();
+    items.sort();
+    let ids = items.iter().map(|x| x.id).collect();
+    let distances = items.iter().map(|x| x.dist).collect();
+    (ids, distances)
+}
+
+impl GroundTruth {
+    /// Compute exact ground truth for all `queries`.
+    pub fn compute(data: &Dataset, queries: &[Vec<f32>], k: usize) -> Self {
+        let mut ids = Vec::with_capacity(queries.len());
+        let mut distances = Vec::with_capacity(queries.len());
+        for q in queries {
+            let (i, d) = brute_force_knn(data, q, k);
+            ids.push(i);
+            distances.push(d);
+        }
+        GroundTruth { ids, distances }
+    }
+
+    /// Number of queries covered.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether there are no queries.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::ElemType;
+    use crate::metric::Metric;
+    use crate::synth::SynthSpec;
+
+    #[test]
+    fn exact_on_tiny_dataset() {
+        let data = Dataset::from_values(
+            "t",
+            ElemType::F32,
+            Metric::L2,
+            1,
+            vec![0.0, 10.0, 3.0, 7.0],
+        );
+        let (ids, dists) = brute_force_knn(&data, &[2.9], 2);
+        assert_eq!(ids, vec![2, 0]);
+        assert!((dists[0] - 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn k_clamped_to_len() {
+        let data = Dataset::from_values("t", ElemType::F32, Metric::L2, 1, vec![0.0, 1.0]);
+        let (ids, _) = brute_force_knn(&data, &[0.0], 10);
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn results_sorted_ascending() {
+        let (data, queries) = SynthSpec::sift().scaled(300, 3).generate();
+        for q in &queries {
+            let (_, d) = brute_force_knn(&data, q, 10);
+            for w in d.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn ground_truth_matches_direct_call() {
+        let (data, queries) = SynthSpec::deep().scaled(200, 4).generate();
+        let gt = GroundTruth::compute(&data, &queries, 5);
+        assert_eq!(gt.len(), 4);
+        let (ids0, _) = brute_force_knn(&data, &queries[0], 5);
+        assert_eq!(gt.ids[0], ids0);
+    }
+
+    #[test]
+    fn ip_metric_picks_largest_dot() {
+        let data = Dataset::from_values(
+            "ip",
+            ElemType::F32,
+            Metric::Ip,
+            2,
+            vec![1.0, 0.0, 10.0, 10.0, -5.0, -5.0],
+        );
+        let (ids, _) = brute_force_knn(&data, &[1.0, 1.0], 1);
+        assert_eq!(ids, vec![1]);
+    }
+}

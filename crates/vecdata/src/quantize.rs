@@ -1,0 +1,155 @@
+//! Scalar quantization (§4.3): affine conversion of floating-point
+//! datasets to low-precision integers, e.g. FP32 → UINT8.
+//!
+//! The paper notes that early termination "can still estimate the missing
+//! bits/elements for the quantized data type, but quantization reduces
+//! the effectiveness of prefix elimination" — quantization stretches the
+//! value range across the full integer domain, destroying the shared
+//! high-bit prefixes. Both properties are exercised by this module's
+//! tests.
+
+use crate::dataset::Dataset;
+use crate::dtype::ElemType;
+
+/// Affine quantization parameters: `code = round((value − offset) / scale)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalarQuantizer {
+    /// Value mapped to code 0 (unsigned) or the code-domain midpoint
+    /// (signed).
+    pub offset: f32,
+    /// Value units per code step.
+    pub scale: f32,
+    /// Target integer type.
+    pub target: ElemType,
+}
+
+impl ScalarQuantizer {
+    /// Fit min/max calibration over `data` for `target` (U8 or I8).
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-integer targets or an empty dataset.
+    pub fn fit(data: &Dataset, target: ElemType) -> Self {
+        assert!(
+            matches!(target, ElemType::U8 | ElemType::I8),
+            "scalar quantization targets integer types"
+        );
+        assert!(!data.is_empty(), "cannot calibrate on an empty dataset");
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for v in data.iter().flatten() {
+            lo = lo.min(*v);
+            hi = hi.max(*v);
+        }
+        let span = (hi - lo).max(f32::EPSILON);
+        let levels = 255.0;
+        ScalarQuantizer {
+            offset: if target == ElemType::U8 {
+                lo
+            } else {
+                (lo + hi) * 0.5
+            },
+            scale: span / levels,
+            target,
+        }
+    }
+
+    /// Quantize one value to the code domain (as the canonical value of
+    /// the integer code).
+    pub fn quantize(&self, v: f32) -> f32 {
+        let code = (v - self.offset) / self.scale;
+        self.target.decode(self.target.encode(code))
+    }
+
+    /// Map a query into the code domain so distances compare against the
+    /// quantized dataset (codes kept as real numbers — the query is not
+    /// rounded, as in standard asymmetric scalar quantization).
+    pub fn quantize_query(&self, q: &[f32]) -> Vec<f32> {
+        q.iter().map(|&v| (v - self.offset) / self.scale).collect()
+    }
+
+    /// Reconstruct the approximate original value of a code.
+    pub fn dequantize(&self, code: f32) -> f32 {
+        code * self.scale + self.offset
+    }
+}
+
+/// Quantize a whole dataset to `target`, returning the integer dataset
+/// (same name, metric, dimensionality) and the calibration.
+pub fn scalar_quantize(data: &Dataset, target: ElemType) -> (Dataset, ScalarQuantizer) {
+    let sq = ScalarQuantizer::fit(data, target);
+    let values: Vec<f32> = data
+        .iter()
+        .flatten()
+        .map(|&v| (v - sq.offset) / sq.scale)
+        .collect();
+    let q = Dataset::from_values(
+        format!("{}-{}", data.name(), target),
+        target,
+        data.metric(),
+        data.dim(),
+        values,
+    );
+    (q, sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_truth::brute_force_knn;
+    use crate::recall::recall_at_k;
+    use crate::synth::SynthSpec;
+
+    #[test]
+    fn roundtrip_error_bounded_by_one_step() {
+        let (data, _) = SynthSpec::deep().scaled(200, 1).generate();
+        let sq = ScalarQuantizer::fit(&data, ElemType::U8);
+        for v in data.iter().flatten().take(2000) {
+            let rec = sq.dequantize(sq.quantize(*v));
+            assert!(
+                (rec - v).abs() <= sq.scale * 0.51,
+                "value {v} reconstructed to {rec} (step {})",
+                sq.scale
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_search_preserves_most_neighbors() {
+        let (data, queries) = SynthSpec::deep().scaled(500, 8).generate();
+        let (qdata, sq) = scalar_quantize(&data, ElemType::U8);
+        assert_eq!(qdata.dtype(), ElemType::U8);
+        let mut total = 0.0;
+        for q in &queries {
+            let (truth, _) = brute_force_knn(&data, q, 10);
+            let (approx, _) = brute_force_knn(&qdata, &sq.quantize_query(q), 10);
+            total += recall_at_k(&approx, &truth, 10);
+        }
+        let recall = total / queries.len() as f64;
+        assert!(recall >= 0.8, "8-bit scalar quantization recall {recall}");
+    }
+
+    #[test]
+    fn signed_target_centers_codes() {
+        let (data, _) = SynthSpec::glove().scaled(200, 1).generate();
+        let (qdata, _) = scalar_quantize(&data, ElemType::I8);
+        let mean: f32 =
+            qdata.iter().flatten().sum::<f32>() / (qdata.len() * qdata.dim()) as f32;
+        assert!(mean.abs() < 32.0, "signed codes should straddle zero: {mean}");
+    }
+
+    #[test]
+    fn quantization_destroys_common_prefixes() {
+        // §4.3: the stretched code range removes the shared high bits that
+        // prefix elimination exploits — u8 codes span nearly 0..255.
+        let (data, _) = SynthSpec::gist().scaled(300, 1).generate();
+        let (qdata, _) = scalar_quantize(&data, ElemType::U8);
+        let mut lo = 255.0f32;
+        let mut hi = 0.0f32;
+        for v in qdata.iter().flatten() {
+            lo = lo.min(*v);
+            hi = hi.max(*v);
+        }
+        assert!(lo < 16.0 && hi > 239.0, "codes must span the range: [{lo}, {hi}]");
+    }
+}

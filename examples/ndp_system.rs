@@ -1,0 +1,55 @@
+//! Full-system simulation: run the paper's designs over one workload on
+//! the cycle-level DDR5 + NDP model and print speedups, the latency
+//! breakdown, and energy.
+//!
+//! ```text
+//! cargo run --release --example ndp_system
+//! ```
+
+use ansmet::sim::{
+    run_design, Design, SystemConfig, SystemEnergyModel, Workload,
+};
+use ansmet::vecdata::SynthSpec;
+
+fn main() {
+    let wl = Workload::prepare(&SynthSpec::deep().scaled(4_000, 4), 10, None);
+    println!(
+        "workload: {} ({} comparisons/query, {:.0}% rejected, recall {:.3}, ef {})",
+        wl.name,
+        wl.mean_evals_per_query(),
+        wl.mean_rejection_rate() * 100.0,
+        wl.recall,
+        wl.ef
+    );
+
+    let cfg = SystemConfig::default();
+    let energy_model = SystemEnergyModel::default();
+    let base = run_design(Design::CpuBase, &wl, &cfg);
+    let base_energy = energy_model.compute(&base, &cfg).total_nj();
+
+    println!(
+        "\n{:<12} {:>9} {:>9} {:>10} {:>10} {:>8} {:>8}",
+        "design", "speedup", "energy", "traversal", "dist comp", "collect", "pruned"
+    );
+    for d in Design::all() {
+        let r = run_design(d, &wl, &cfg);
+        let e = energy_model.compute(&r, &cfg).total_nj();
+        println!(
+            "{:<12} {:>8.2}x {:>8.3} {:>9.1}% {:>9.1}% {:>7.1}% {:>7.1}%",
+            d.label(),
+            base.total_cycles as f64 / r.total_cycles as f64,
+            e / base_energy,
+            100.0 * r.breakdown.traversal as f64 / r.total_cycles as f64,
+            100.0 * r.breakdown.dist_comp as f64 / r.total_cycles as f64,
+            100.0 * r.breakdown.result_collect as f64 / r.total_cycles as f64,
+            100.0 * r.pruned_evals as f64 / r.total_evals.max(1) as f64,
+        );
+    }
+
+    let opt = run_design(Design::NdpEtOpt, &wl, &cfg);
+    println!(
+        "\nNDP-ETOpt fetch utilization: {:.1}% (NDP-Base: {:.1}%)",
+        opt.fetch_utilization() * 100.0,
+        run_design(Design::NdpBase, &wl, &cfg).fetch_utilization() * 100.0
+    );
+}

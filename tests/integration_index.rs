@@ -1,0 +1,65 @@
+//! Cross-crate integration tests for the index substrates against exact
+//! ground truth.
+
+use ansmet::index::{DistanceOracle, ExactOracle, Hnsw, HnswParams, Ivf, IvfParams};
+use ansmet::vecdata::{recall::mean_recall_at_k, GroundTruth, SynthSpec};
+
+#[test]
+fn hnsw_recall_across_metrics() {
+    for spec in [SynthSpec::sift(), SynthSpec::glove(), SynthSpec::spacev()] {
+        let (data, queries) = spec.scaled(900, 8).generate();
+        let hnsw = Hnsw::build(&data, HnswParams::quick());
+        let gt = GroundTruth::compute(&data, &queries, 10);
+        let mut oracle = ExactOracle::new(&data);
+        let results: Vec<Vec<usize>> = queries
+            .iter()
+            .map(|q| hnsw.search(q, 10, 100, &mut oracle).ids())
+            .collect();
+        let recall = mean_recall_at_k(&results, &gt.ids, 10);
+        assert!(
+            recall >= 0.8,
+            "dataset {}: recall {recall} below the paper's 80% bar",
+            data.name()
+        );
+    }
+}
+
+#[test]
+fn ivf_recall_grows_with_nprobe() {
+    let (data, queries) = SynthSpec::sift().scaled(900, 6).generate();
+    let ivf = Ivf::build(&data, IvfParams::default());
+    let gt = GroundTruth::compute(&data, &queries, 10);
+    let recall_at = |nprobe: usize| {
+        let mut oracle = ExactOracle::new(&data);
+        let results: Vec<Vec<usize>> = queries
+            .iter()
+            .map(|q| ivf.search(q, 10, nprobe, &mut oracle).ids())
+            .collect();
+        mean_recall_at_k(&results, &gt.ids, 10)
+    };
+    let lo = recall_at(1);
+    let hi = recall_at(ivf.n_lists());
+    assert!(hi >= lo);
+    assert!((hi - 1.0).abs() < 1e-9, "full probe must be exact");
+}
+
+#[test]
+fn traces_are_replayable_and_consistent() {
+    let (data, queries) = SynthSpec::deep().scaled(600, 4).generate();
+    let hnsw = Hnsw::build(&data, HnswParams::quick());
+    for q in &queries {
+        let mut o1 = ExactOracle::new(&data);
+        let mut o2 = ExactOracle::new(&data);
+        let (r1, trace) = hnsw.search_traced(q, 10, 60, &mut o1);
+        let r2 = hnsw.search(q, 10, 60, &mut o2);
+        assert_eq!(r1.ids(), r2.ids(), "tracing must not perturb the search");
+        // Replay invariant: accepted evals in the trace are exactly the
+        // evals whose recorded distance beats the recorded threshold.
+        for e in trace.iter_evals() {
+            assert_eq!(e.accepted, e.distance < e.threshold);
+        }
+        // Every accepted base-layer eval's distance must bound the final
+        // results: the k-th result distance is ≤ the largest accepted.
+        assert!(trace.total_evals() as u64 == o1.comparisons());
+    }
+}

@@ -1,0 +1,133 @@
+//! Full-system integration tests: the paper's headline shapes must hold
+//! on the timing substrate.
+
+use ansmet::ndp::PartitionScheme;
+use ansmet::sim::{run_design, Design, SystemConfig, SystemEnergyModel, Workload};
+use ansmet::vecdata::SynthSpec;
+
+fn workload() -> Workload {
+    Workload::prepare(&SynthSpec::deep().scaled(800, 3), 10, Some(50))
+}
+
+#[test]
+fn ndp_speedup_over_cpu() {
+    let wl = workload();
+    let cfg = SystemConfig::default();
+    let cpu = run_design(Design::CpuBase, &wl, &cfg);
+    let ndp = run_design(Design::NdpBase, &wl, &cfg);
+    let speedup = cpu.total_cycles as f64 / ndp.total_cycles as f64;
+    assert!(speedup > 1.5, "NDP speedup only {speedup:.2}x");
+}
+
+#[test]
+fn et_opt_beats_ndp_base() {
+    let wl = workload();
+    let cfg = SystemConfig::default();
+    let base = run_design(Design::NdpBase, &wl, &cfg);
+    let opt = run_design(Design::NdpEtOpt, &wl, &cfg);
+    assert!(opt.total_lines() < base.total_lines());
+    assert!(
+        (opt.total_cycles as f64) < base.total_cycles as f64 * 1.02,
+        "{} vs {}",
+        opt.total_cycles,
+        base.total_cycles
+    );
+    assert!(opt.fetch_utilization() >= base.fetch_utilization());
+}
+
+#[test]
+fn dim_et_useless_on_ip_fp32() {
+    // The paper: partial-dimension ET "does not work for the datasets
+    // with the inner-product metric".
+    let wl = Workload::prepare(&SynthSpec::glove().scaled(700, 3), 10, Some(50));
+    let cfg = SystemConfig::default();
+    let base = run_design(Design::NdpBase, &wl, &cfg);
+    let dim = run_design(Design::NdpDimEt, &wl, &cfg);
+    assert_eq!(dim.pruned_evals, 0, "IP/FP32 admits no dimension-level prune");
+    assert_eq!(dim.total_lines(), base.total_lines());
+    // But the hybrid bit-level scheme does prune.
+    let et = run_design(Design::NdpEt, &wl, &cfg);
+    assert!(et.pruned_evals > 0);
+    assert!(et.total_lines() < base.total_lines());
+}
+
+#[test]
+fn adaptive_polling_beats_conventional() {
+    let wl = workload();
+    let conv = run_design(
+        Design::NdpEtOpt,
+        &wl,
+        &SystemConfig::default().with_conventional_polling(),
+    );
+    let adapt = run_design(Design::NdpEtOpt, &wl, &SystemConfig::default());
+    assert!(
+        adapt.breakdown.result_collect <= conv.breakdown.result_collect,
+        "adaptive {} vs conventional {}",
+        adapt.breakdown.result_collect,
+        conv.breakdown.result_collect
+    );
+}
+
+#[test]
+fn scaling_improves_with_more_units() {
+    let wl = workload();
+    let r8 = run_design(Design::NdpEtOpt, &wl, &SystemConfig::default().with_ndp_units(8));
+    let r32 = run_design(Design::NdpEtOpt, &wl, &SystemConfig::default().with_ndp_units(32));
+    // Single-stream latency saturates once per-hop parallelism (≤ 16
+    // neighbor comparisons) is absorbed; allow a small tolerance. The
+    // Table 3 throughput scaling uses concurrent query streams.
+    assert!(
+        r32.total_cycles as f64 <= r8.total_cycles as f64 * 1.10,
+        "32 units ({}) should not be slower than 8 ({})",
+        r32.total_cycles,
+        r8.total_cycles
+    );
+}
+
+#[test]
+fn partitioning_schemes_all_run() {
+    let wl = Workload::prepare(&SynthSpec::gist().scaled(300, 2), 10, Some(30));
+    for scheme in [
+        PartitionScheme::Vertical,
+        PartitionScheme::Horizontal,
+        PartitionScheme::Hybrid { subvec_bytes: 1024 },
+    ] {
+        let cfg = SystemConfig::default().with_partition(scheme);
+        let r = run_design(Design::NdpEtOpt, &wl, &cfg);
+        assert!(r.total_cycles > 0);
+        assert_eq!(r.queries, 2);
+    }
+}
+
+#[test]
+fn energy_ordering_matches_paper() {
+    let wl = workload();
+    let cfg = SystemConfig::default();
+    let model = SystemEnergyModel::default();
+    let cpu = model.compute(&run_design(Design::CpuBase, &wl, &cfg), &cfg);
+    let ndp = model.compute(&run_design(Design::NdpBase, &wl, &cfg), &cfg);
+    let opt = model.compute(&run_design(Design::NdpEtOpt, &wl, &cfg), &cfg);
+    assert!(ndp.total_nj() < cpu.total_nj(), "NDP must save energy");
+    assert!(opt.total_nj() <= ndp.total_nj() * 1.05, "ET must not cost energy");
+}
+
+#[test]
+fn replication_reduces_imbalance() {
+    let wl = Workload::prepare(&SynthSpec::gist().scaled(400, 3), 10, Some(40));
+    let imbalance = |replicate: bool| {
+        let cfg = SystemConfig {
+            replicate_hot: replicate,
+            ..SystemConfig::default()
+        };
+        let r = run_design(Design::NdpBase, &wl, &cfg);
+        let max = *r.rank_loads.iter().max().unwrap_or(&0) as f64;
+        let avg = r.rank_loads.iter().sum::<u64>() as f64 / r.rank_loads.len() as f64;
+        max / avg.max(1.0)
+    };
+    let without = imbalance(false);
+    let with = imbalance(true);
+    assert!(
+        with <= without + 0.05,
+        "replication should not worsen imbalance: {with:.2} vs {without:.2}"
+    );
+}
