@@ -8,6 +8,13 @@
 
 use ansmet_bench::{run_experiment, Scale, EXPERIMENTS};
 
+fn usage() -> String {
+    format!(
+        "usage: experiments [--quick|--full] [names...]\nexperiments: {}",
+        EXPERIMENTS.join(" ")
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Quick;
@@ -17,12 +24,28 @@ fn main() {
             "--quick" => scale = Scale::Quick,
             "--full" => scale = Scale::Full,
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--quick|--full] [names...]");
-                eprintln!("experiments: {}", EXPERIMENTS.join(" "));
+                println!("{}", usage());
                 return;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown option '{flag}'\n{}", usage());
+                std::process::exit(2);
             }
             name => names.push(name.to_string()),
         }
+    }
+    // Validate every requested name up front so a typo fails fast instead
+    // of surfacing after minutes of earlier experiments.
+    let unknown: Vec<&String> = names
+        .iter()
+        .filter(|n| !EXPERIMENTS.contains(&n.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        for n in &unknown {
+            eprintln!("error: unknown experiment '{n}'");
+        }
+        eprintln!("{}", usage());
+        std::process::exit(2);
     }
     if names.is_empty() {
         names = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
@@ -34,7 +57,11 @@ fn main() {
                 println!("{report}");
                 eprintln!("[{name} finished in {:.1}s]", t0.elapsed().as_secs_f64());
             }
-            None => eprintln!("unknown experiment '{name}' (see --help)"),
+            None => {
+                // Unreachable after validation, but keep the exit honest.
+                eprintln!("error: unknown experiment '{name}'\n{}", usage());
+                std::process::exit(2);
+            }
         }
     }
 }

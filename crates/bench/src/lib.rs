@@ -10,7 +10,7 @@ pub use ansmet_sim::experiment::Scale;
 /// All experiment names accepted by the `experiments` binary.
 pub const EXPERIMENTS: &[&str] = &[
     "table2", "fig1", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "table3", "table4", "table5", "loadbal", "ablation",
+    "table3", "table4", "table5", "loadbal", "ablation", "faults",
 ];
 
 /// Run one experiment by name at the given scale.
@@ -40,6 +40,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Option<String> {
         "table5" => e::table5(scale),
         "loadbal" => e::loadbal(scale),
         "ablation" => e::ablation(scale),
+        "faults" => e::faults(scale),
         _ => return None,
     };
     Some(out)
@@ -56,6 +57,6 @@ mod tests {
 
     #[test]
     fn experiment_list_is_complete() {
-        assert_eq!(EXPERIMENTS.len(), 15);
+        assert_eq!(EXPERIMENTS.len(), 16);
     }
 }

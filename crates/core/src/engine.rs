@@ -247,27 +247,42 @@ impl<'a> EtEngine<'a> {
     }
 
     /// Evaluate one comparison over the full vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len()` differs from the dataset dimensionality
+    /// (a programming error at this level; use [`EtEngine::evaluate_range`]
+    /// for the fallible form).
     pub fn evaluate(&self, id: usize, query: &[f32], threshold: f32) -> EvalCost {
         self.evaluate_range(id, query, 0..self.data.dim(), threshold)
+            .expect("full-range evaluation is in bounds")
     }
 
     /// Evaluate one comparison restricted to the dimension sub-range
     /// `dims` (vertical partitioning: the rank holding these dimensions
     /// can only bound its local contribution, §5.3).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `dims` is out of range or `query.len() != dim`.
+    /// Rejects an out-of-range `dims` or a query whose length differs
+    /// from the dataset dimensionality.
     pub fn evaluate_range(
         &self,
         id: usize,
         query: &[f32],
         dims: std::ops::Range<usize>,
         threshold: f32,
-    ) -> EvalCost {
+    ) -> Result<EvalCost, crate::EtError> {
         let dim = self.data.dim();
-        assert_eq!(query.len(), dim, "query dimension mismatch");
-        assert!(dims.end <= dim, "dimension range out of bounds");
+        if query.len() != dim {
+            return Err(crate::EtError::QueryDimMismatch {
+                expected: dim,
+                got: query.len(),
+            });
+        }
+        if dims.end > dim {
+            return Err(crate::EtError::RangeOutOfBounds { end: dims.end, dim });
+        }
         let sub = dims.len();
         let full = dims.len() == dim;
 
@@ -303,14 +318,14 @@ impl<'a> EtEngine<'a> {
         };
         let mut bound = bound_of(unbounded, finite_sum);
         if bound >= threshold as f64 {
-            return EvalCost {
+            return Ok(EvalCost {
                 lines: 0,
                 backup_lines: 0,
                 pruned: true,
                 distance: None,
                 approx_distance: None,
                 final_bound: bound,
-            };
+            });
         }
 
         // Fetch line by line.
@@ -337,14 +352,14 @@ impl<'a> EtEngine<'a> {
             }
             bound = bound_of(unbounded, finite_sum);
             if bound >= threshold as f64 && lines < plan.len() {
-                return EvalCost {
+                return Ok(EvalCost {
                     lines,
                     backup_lines: 0,
                     pruned: true,
                     distance: None,
                     approx_distance: None,
                     final_bound: bound,
-                };
+                });
             }
         }
 
@@ -352,47 +367,47 @@ impl<'a> EtEngine<'a> {
         if full && self.fully_exact(id) {
             // The compressed form reconstructs the exact vector.
             let distance = self.data.distance_to(id, query);
-            return EvalCost {
+            return Ok(EvalCost {
                 lines,
                 backup_lines: 0,
                 pruned: false,
                 distance: Some(distance),
                 approx_distance: None,
                 final_bound: distance as f64,
-            };
+            });
         }
         if full {
             // Outlier vector: dropped bits → only a bound is known.
             if bound >= threshold as f64 {
                 // Certainly out of bounds; no backup needed.
-                return EvalCost {
+                return Ok(EvalCost {
                     lines,
                     backup_lines: 0,
                     pruned: true,
                     distance: None,
                     approx_distance: None,
                     final_bound: bound,
-                };
+                });
             }
             if self.cfg.backup_recheck {
                 let distance = self.data.distance_to(id, query);
-                return EvalCost {
+                return Ok(EvalCost {
                     lines,
                     backup_lines: self.natural_lines(),
                     pruned: false,
                     distance: Some(distance),
                     approx_distance: None,
                     final_bound: bound,
-                };
+                });
             }
-            return EvalCost {
+            return Ok(EvalCost {
                 lines,
                 backup_lines: 0,
                 pruned: false,
                 distance: None,
                 approx_distance: Some(bound as f32),
                 final_bound: bound,
-            };
+            });
         }
         // Sub-vector evaluation: report the local partial contribution.
         let partial: f64 = dims
@@ -402,14 +417,14 @@ impl<'a> EtEngine<'a> {
                     .contribution(ValueInterval::exact(self.data.vector(id)[d]), query[d])
             })
             .sum();
-        EvalCost {
+        Ok(EvalCost {
             lines,
             backup_lines: 0,
             pruned: false,
             distance: None,
             approx_distance: Some(partial as f32),
             final_bound: partial,
-        }
+        })
     }
 }
 
@@ -616,7 +631,7 @@ mod tests {
         let mut sum = 0.0f64;
         for part in 0..4 {
             let r = part * 240..(part + 1) * 240;
-            let c = e.evaluate_range(5, q, r, f32::INFINITY);
+            let c = e.evaluate_range(5, q, r, f32::INFINITY).expect("in range");
             sum += c.approx_distance.expect("partial sum") as f64;
         }
         assert!((sum - full_d).abs() / full_d.max(1.0) < 1e-3);

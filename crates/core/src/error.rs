@@ -1,0 +1,55 @@
+//! Typed errors for recoverable evaluation-engine misuse.
+
+use std::error::Error;
+use std::fmt;
+
+/// A recoverable early-termination engine error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EtError {
+    /// The query's dimensionality differs from the dataset's.
+    QueryDimMismatch {
+        /// The dataset dimensionality.
+        expected: usize,
+        /// The query length supplied.
+        got: usize,
+    },
+    /// The requested dimension sub-range exceeds the vector.
+    RangeOutOfBounds {
+        /// Exclusive end of the requested range.
+        end: usize,
+        /// The dataset dimensionality.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for EtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtError::QueryDimMismatch { expected, got } => {
+                write!(f, "query dimension mismatch: expected {expected}, got {got}")
+            }
+            EtError::RangeOutOfBounds { end, dim } => {
+                write!(f, "dimension range out of bounds: end {end} > dim {dim}")
+            }
+        }
+    }
+}
+
+impl Error for EtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_reports_both_sides() {
+        let e = EtError::QueryDimMismatch {
+            expected: 128,
+            got: 4,
+        };
+        assert!(e.to_string().contains("128"));
+        assert!(e.to_string().contains('4'));
+        let e = EtError::RangeOutOfBounds { end: 9, dim: 8 };
+        assert!(e.to_string().contains('9'));
+    }
+}

@@ -38,6 +38,7 @@ pub mod analysis;
 pub mod bound;
 pub mod encode;
 pub mod engine;
+pub mod error;
 pub mod exact;
 pub mod interval;
 pub mod layout;
@@ -50,6 +51,7 @@ pub use analysis::{et_frequency_profile, prefix_entropy_profile};
 pub use bound::DistanceBounder;
 pub use encode::{from_sortable, sortable_to_value, to_sortable};
 pub use engine::{EtConfig, EtEngine, EtOracle, EvalCost};
+pub use error::EtError;
 pub use exact::{et_assign, et_knn, ExactScan};
 pub use interval::ValueInterval;
 pub use layout::{TransformedDataset, TransformedVector};

@@ -266,8 +266,8 @@ mod tests {
         let dim = 100;
         let mut got = vec![0u32; dim];
         for lp in s.line_plan(dim) {
-            for d in lp.dim_start..lp.dim_end {
-                got[d] += lp.bits;
+            for g in &mut got[lp.dim_start..lp.dim_end] {
+                *g += lp.bits;
             }
         }
         assert!(got.iter().all(|&b| b == 28));

@@ -1,0 +1,61 @@
+//! Typed errors for recoverable memory-system misuse.
+//!
+//! The memory system used to `assert!` on host-driver protocol mistakes
+//! (fast-forwarding a busy system, rewinding the clock). Those are
+//! recoverable from the host's point of view — a fault-tolerant driver
+//! retries or falls back — so they surface as [`MemoryError`] values
+//! instead of panics.
+
+use std::error::Error;
+use std::fmt;
+
+/// A recoverable memory-system protocol error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryError {
+    /// Fast-forward requested while requests were queued or in flight.
+    Busy {
+        /// The requested target cycle.
+        requested: u64,
+    },
+    /// Fast-forward target earlier than the current cycle.
+    PastCycle {
+        /// The current cycle.
+        now: u64,
+        /// The (earlier) requested target cycle.
+        requested: u64,
+    },
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::Busy { requested } => write!(
+                f,
+                "cannot fast-forward a busy memory system (to cycle {requested})"
+            ),
+            MemoryError::PastCycle { now, requested } => write!(
+                f,
+                "cannot fast-forward into the past (now {now}, requested {requested})"
+            ),
+        }
+    }
+}
+
+impl Error for MemoryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_cycle() {
+        let e = MemoryError::Busy { requested: 42 };
+        assert!(e.to_string().contains("busy"));
+        assert!(e.to_string().contains("42"));
+        let e = MemoryError::PastCycle {
+            now: 10,
+            requested: 5,
+        };
+        assert!(e.to_string().contains("past"));
+    }
+}

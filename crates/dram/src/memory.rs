@@ -238,13 +238,23 @@ impl MemorySystem {
     /// immediately after the jump), which slightly under-counts refresh
     /// energy across long idle gaps — acceptable for this simulator's use.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the system is busy or `cycle` is in the past.
-    pub fn fast_forward_to(&mut self, cycle: u64) {
-        assert!(!self.busy(), "cannot fast-forward a busy memory system");
-        assert!(cycle >= self.now, "cannot fast-forward into the past");
+    /// Returns [`MemoryError::Busy`] if requests are queued or in flight,
+    /// and [`MemoryError::PastCycle`] if `cycle` is behind the clock. The
+    /// clock is unchanged on error.
+    pub fn fast_forward_to(&mut self, cycle: u64) -> Result<(), crate::MemoryError> {
+        if self.busy() {
+            return Err(crate::MemoryError::Busy { requested: cycle });
+        }
+        if cycle < self.now {
+            return Err(crate::MemoryError::PastCycle {
+                now: self.now,
+                requested: cycle,
+            });
+        }
         self.now = cycle;
+        Ok(())
     }
 
     /// Advance one cycle: retire finished bursts, schedule refreshes, and
@@ -622,16 +632,33 @@ mod tests {
     #[test]
     fn fast_forward_when_idle() {
         let mut mem = MemorySystem::new(DramConfig::tiny());
-        mem.fast_forward_to(5000);
+        mem.fast_forward_to(5000).expect("idle system");
         assert_eq!(mem.now(), 5000);
     }
 
     #[test]
-    #[should_panic(expected = "busy")]
-    fn fast_forward_busy_panics() {
+    fn fast_forward_busy_rejected() {
         let mut mem = MemorySystem::new(DramConfig::tiny());
         mem.enqueue(Request::new(0, AccessKind::Read, 0, Port::Host))
             .expect("space");
-        mem.fast_forward_to(10);
+        assert_eq!(
+            mem.fast_forward_to(10),
+            Err(crate::MemoryError::Busy { requested: 10 })
+        );
+        assert_eq!(mem.now(), 0, "clock unchanged on error");
+    }
+
+    #[test]
+    fn fast_forward_past_rejected() {
+        let mut mem = MemorySystem::new(DramConfig::tiny());
+        mem.fast_forward_to(100).expect("idle system");
+        assert_eq!(
+            mem.fast_forward_to(50),
+            Err(crate::MemoryError::PastCycle {
+                now: 100,
+                requested: 50
+            })
+        );
+        assert_eq!(mem.now(), 100);
     }
 }

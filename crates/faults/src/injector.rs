@@ -1,0 +1,284 @@
+//! The stateful, replayable fault injector.
+//!
+//! [`FaultInjector`] consumes a [`FaultPlan`] and answers the host
+//! driver's questions at each protocol step. Per-rank operation counters
+//! advance on every query, so the `at` index in each event addresses the
+//! `at`-th offload / compute / poll on that rank regardless of what the
+//! other ranks do. Every fired fault is tallied in [`FaultStats`].
+
+use crate::plan::{FaultEvent, FaultKind, FaultPlan};
+
+/// What the compute step of one batch suffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComputeFault {
+    /// Healthy compute.
+    None,
+    /// Completion delayed by the given cycles.
+    Stall(u64),
+    /// The batch never completes.
+    Hang,
+}
+
+/// Counters of every fault actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// NDP instructions silently dropped.
+    pub dropped_instructions: u64,
+    /// Compute stalls injected.
+    pub stalls: u64,
+    /// Compute hangs injected.
+    pub hangs: u64,
+    /// Poll payloads with a flipped bit.
+    pub corrupted_results: u64,
+    /// Result slots lost (sentinel in place of a distance).
+    pub lost_results: u64,
+    /// Transient poll misses.
+    pub poll_misses: u64,
+    /// Total added stall cycles.
+    pub stall_cycles: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.dropped_instructions
+            + self.stalls
+            + self.hangs
+            + self.corrupted_results
+            + self.lost_results
+            + self.poll_misses
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct RankCounters {
+    offloads: u64,
+    computes: u64,
+    polls: u64,
+}
+
+/// Replays a [`FaultPlan`] against the driver's protocol steps.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    events: Vec<(FaultEvent, bool)>, // (event, fired)
+    counters: Vec<RankCounters>,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// An injector replaying `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            events: plan.events().iter().map(|&e| (e, false)).collect(),
+            counters: Vec::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// An injector that injects nothing.
+    pub fn disabled() -> Self {
+        Self::new(FaultPlan::none())
+    }
+
+    /// Counters of faults injected so far.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    fn counters(&mut self, rank: usize) -> &mut RankCounters {
+        if rank >= self.counters.len() {
+            self.counters.resize_with(rank + 1, RankCounters::default);
+        }
+        &mut self.counters[rank]
+    }
+
+    /// Find the not-yet-fired event matching `(rank, op_index, step)` and
+    /// mark it fired.
+    fn take(
+        &mut self,
+        rank: usize,
+        op_index: u64,
+        step: fn(&FaultKind) -> bool,
+    ) -> Option<FaultKind> {
+        let slot = self
+            .events
+            .iter_mut()
+            .find(|(e, fired)| !fired && e.rank == rank && e.at == op_index && step(&e.kind))?;
+        slot.1 = true;
+        Some(slot.0.kind)
+    }
+
+    /// The driver is about to send one NDP instruction batch (offload) to
+    /// `rank`. Returns `true` when the instruction is dropped: the unit
+    /// never sees it and the batch will never complete.
+    pub fn drop_instruction(&mut self, rank: usize) -> bool {
+        let n = self.counters(rank).offloads;
+        self.counters(rank).offloads += 1;
+        match self.take(rank, n, FaultKind::is_offload_fault) {
+            Some(FaultKind::DropInstruction) => {
+                self.stats.dropped_instructions += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The unit on `rank` is computing one batch. Returns the compute
+    /// fault (healthy, stalled by N cycles, or hung).
+    pub fn compute_fault(&mut self, rank: usize) -> ComputeFault {
+        let n = self.counters(rank).computes;
+        self.counters(rank).computes += 1;
+        match self.take(rank, n, FaultKind::is_compute_fault) {
+            Some(FaultKind::Stall { cycles }) => {
+                self.stats.stalls += 1;
+                self.stats.stall_cycles += cycles;
+                ComputeFault::Stall(cycles)
+            }
+            Some(FaultKind::Hang) => {
+                self.stats.hangs += 1;
+                ComputeFault::Hang
+            }
+            _ => ComputeFault::None,
+        }
+    }
+
+    /// The host polls `rank`; `payload` is the DDR line the poll READ
+    /// returns. At most one poll fault fires per poll: a flipped bit
+    /// (payload mutated in place), a lost result slot, or a transient
+    /// miss. Returns what happened so the caller can model a lost slot
+    /// (re-encode with the sentinel) or a stale read.
+    pub fn poll_fault(&mut self, rank: usize, payload: &mut [u8; 64]) -> Option<FaultKind> {
+        let n = self.counters(rank).polls;
+        self.counters(rank).polls += 1;
+        let kind = self.take(rank, n, FaultKind::is_poll_fault)?;
+        match kind {
+            FaultKind::CorruptResult { bit } => {
+                let bit = bit as usize % 512;
+                payload[bit / 8] ^= 1 << (bit % 8);
+                self.stats.corrupted_results += 1;
+            }
+            FaultKind::LostResult => self.stats.lost_results += 1,
+            FaultKind::PollMiss => self.stats.poll_misses += 1,
+            _ => unreachable!("is_poll_fault filtered"),
+        }
+        Some(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultRates;
+
+    #[test]
+    fn events_fire_once_at_their_index() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                rank: 0,
+                at: 1,
+                kind: FaultKind::DropInstruction,
+            },
+            FaultEvent {
+                rank: 2,
+                at: 0,
+                kind: FaultKind::Hang,
+            },
+        ]);
+        let mut inj = FaultInjector::new(plan);
+        assert!(!inj.drop_instruction(0)); // offload 0: clean
+        assert!(inj.drop_instruction(0)); // offload 1: dropped
+        assert!(!inj.drop_instruction(0)); // offload 2: clean again
+        assert_eq!(inj.compute_fault(2), ComputeFault::Hang);
+        assert_eq!(inj.compute_fault(2), ComputeFault::None);
+        assert_eq!(inj.stats().dropped_instructions, 1);
+        assert_eq!(inj.stats().hangs, 1);
+        assert_eq!(inj.stats().total(), 2);
+    }
+
+    #[test]
+    fn rank_counters_are_independent() {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            rank: 1,
+            at: 0,
+            kind: FaultKind::DropInstruction,
+        }]);
+        let mut inj = FaultInjector::new(plan);
+        // Rank 0 traffic does not consume rank 1's event.
+        for _ in 0..5 {
+            assert!(!inj.drop_instruction(0));
+        }
+        assert!(inj.drop_instruction(1));
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_bit() {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            rank: 0,
+            at: 0,
+            kind: FaultKind::CorruptResult { bit: 77 },
+        }]);
+        let mut inj = FaultInjector::new(plan);
+        let mut payload = [0u8; 64];
+        let got = inj.poll_fault(0, &mut payload);
+        assert_eq!(got, Some(FaultKind::CorruptResult { bit: 77 }));
+        let ones: u32 = payload.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1);
+        assert_eq!(payload[77 / 8], 1 << (77 % 8));
+    }
+
+    #[test]
+    fn stall_accumulates_cycles() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                rank: 0,
+                at: 0,
+                kind: FaultKind::Stall { cycles: 500 },
+            },
+            FaultEvent {
+                rank: 0,
+                at: 1,
+                kind: FaultKind::Stall { cycles: 700 },
+            },
+        ]);
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.compute_fault(0), ComputeFault::Stall(500));
+        assert_eq!(inj.compute_fault(0), ComputeFault::Stall(700));
+        assert_eq!(inj.stats().stall_cycles, 1200);
+    }
+
+    #[test]
+    fn disabled_injector_never_fires() {
+        let mut inj = FaultInjector::disabled();
+        let mut payload = [7u8; 64];
+        for rank in 0..4 {
+            assert!(!inj.drop_instruction(rank));
+            assert_eq!(inj.compute_fault(rank), ComputeFault::None);
+            assert_eq!(inj.poll_fault(rank, &mut payload), None);
+        }
+        assert_eq!(payload, [7u8; 64]);
+        assert_eq!(inj.stats().total(), 0);
+    }
+
+    #[test]
+    fn random_plan_replays_deterministically() {
+        let plan = FaultPlan::random(99, 4, 64, FaultRates::mixed());
+        let run = |plan: FaultPlan| {
+            let mut inj = FaultInjector::new(plan);
+            let mut log = Vec::new();
+            for op in 0..64u64 {
+                for rank in 0..4 {
+                    log.push((inj.drop_instruction(rank), inj.compute_fault(rank)));
+                    let mut p = [0u8; 64];
+                    log.push((inj.poll_fault(rank, &mut p).is_some(), ComputeFault::None));
+                    let _ = op;
+                }
+            }
+            (log, *inj.stats())
+        };
+        let (log_a, stats_a) = run(plan.clone());
+        let (log_b, stats_b) = run(plan);
+        assert_eq!(log_a, log_b);
+        assert_eq!(stats_a, stats_b);
+        assert!(stats_a.total() > 0, "mixed rates must inject something");
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic fault injection for the ANSMET NDP stack.
+//!
+//! Real near-data processing hardware fails in ways a conventional memory
+//! system never exposes to software: a buffer-chip compute unit can stall
+//! behind a refresh storm or hang outright, a DDR-encoded NDP instruction
+//! can be dropped by the command parser, a QSHR result slot can be
+//! corrupted on the return path, and a poll can race the completion it is
+//! looking for. This crate models those faults as *data*: a declarative
+//! [`FaultPlan`] names which rank-local operation each fault hits, and a
+//! [`FaultInjector`] replays the plan deterministically while the
+//! simulated host driver runs, counting every injection in
+//! [`FaultStats`].
+//!
+//! The injector is pull-based: the driver asks it at each protocol step
+//! (offload, compute, poll) whether a fault fires there. Nothing here
+//! depends on the rest of the workspace, so the same plans can drive the
+//! functional NDP model, the timing simulator, or a property test.
+//!
+//! # Example
+//!
+//! ```
+//! use ansmet_faults::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
+//!
+//! let plan = FaultPlan::new(vec![
+//!     FaultEvent { rank: 0, at: 0, kind: FaultKind::DropInstruction },
+//!     FaultEvent { rank: 1, at: 2, kind: FaultKind::CorruptResult { bit: 37 } },
+//! ]);
+//! let mut inj = FaultInjector::new(plan);
+//! assert!(inj.drop_instruction(0)); // first offload to rank 0 vanishes
+//! assert!(!inj.drop_instruction(0)); // the fault was one-shot
+//! assert_eq!(inj.stats().dropped_instructions, 1);
+//! ```
+
+pub mod injector;
+pub mod plan;
+
+pub use injector::{ComputeFault, FaultInjector, FaultStats};
+pub use plan::{FaultEvent, FaultKind, FaultPlan, FaultRates};

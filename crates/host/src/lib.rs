@@ -19,6 +19,8 @@
 
 pub mod cache;
 pub mod cpu;
+pub mod recovery;
 
 pub use cache::{AccessResult, Cache, CacheConfig, CacheHierarchy};
 pub use cpu::{CpuModel, HostCosts};
+pub use recovery::RetryPolicy;

@@ -1,0 +1,120 @@
+//! Host-side recovery policy for offloaded NDP work.
+//!
+//! When an offloaded batch times out (stalled or hung unit, dropped
+//! instruction) or its polled result payload fails its CRC, the host
+//! driver retries under a [`RetryPolicy`]: each retry waits an
+//! exponentially growing but capped backoff before the batch is
+//! re-issued, and a bounded retry budget guarantees the driver eventually
+//! stops trusting the NDP path and computes the affected distances itself
+//! (the exact-fallback guarantee — faults cost cycles, never accuracy).
+
+/// Bounded exponential-backoff retry policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed after the initial attempt (0 disables retrying:
+    /// the first failure goes straight to host fallback).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in memory cycles.
+    pub base_backoff: u64,
+    /// Upper bound on any single backoff, in memory cycles.
+    pub max_backoff: u64,
+}
+
+impl RetryPolicy {
+    /// The default NDP recovery policy: three retries backing off from
+    /// 256 cycles, each wait capped at 16 k cycles (≈ 6.7 µs at DDR5-4800
+    /// — long enough for a refresh storm to drain, short enough that a
+    /// dead rank costs less than a handful of comparisons).
+    pub fn default_ndp() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: 256,
+            max_backoff: 16_384,
+        }
+    }
+
+    /// No retries: every failure falls back to the host immediately.
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff: 0,
+            max_backoff: 0,
+        }
+    }
+
+    /// Backoff before the `attempt`-th retry (0-based):
+    /// `base_backoff · 2^attempt`, saturating, capped at `max_backoff`.
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+
+    /// Whether `retries_done` retries have exhausted the budget.
+    pub fn exhausted(&self, retries_done: u32) -> bool {
+        retries_done >= self.max_retries
+    }
+
+    /// Total backoff cycles if the whole budget is consumed (the
+    /// worst-case recovery delay one batch can add before fallback).
+    pub fn total_backoff(&self) -> u64 {
+        (0..self.max_retries).fold(0u64, |acc, a| acc.saturating_add(self.backoff(a)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_until_cap() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_backoff: 100,
+            max_backoff: 1_000,
+        };
+        assert_eq!(p.backoff(0), 100);
+        assert_eq!(p.backoff(1), 200);
+        assert_eq!(p.backoff(2), 400);
+        assert_eq!(p.backoff(3), 800);
+        assert_eq!(p.backoff(4), 1_000, "capped");
+        assert_eq!(p.backoff(63), 1_000);
+        assert_eq!(p.backoff(200), 1_000, "huge attempts saturate at the cap");
+    }
+
+    #[test]
+    fn budget_exhaustion() {
+        let p = RetryPolicy::default_ndp();
+        assert!(!p.exhausted(0));
+        assert!(!p.exhausted(2));
+        assert!(p.exhausted(3));
+        assert!(p.exhausted(99));
+    }
+
+    #[test]
+    fn no_retries_policy() {
+        let p = RetryPolicy::no_retries();
+        assert!(p.exhausted(0));
+        assert_eq!(p.backoff(0), 0);
+        assert_eq!(p.total_backoff(), 0);
+    }
+
+    #[test]
+    fn total_backoff_sums_the_schedule() {
+        let p = RetryPolicy {
+            max_retries: 3,
+            base_backoff: 256,
+            max_backoff: 16_384,
+        };
+        assert_eq!(p.total_backoff(), 256 + 512 + 1024);
+    }
+
+    #[test]
+    fn default_is_bounded() {
+        let p = RetryPolicy::default_ndp();
+        // The worst-case added delay of one failing batch stays far below
+        // a millisecond of DDR5-4800 cycles.
+        assert!(p.total_backoff() < 2_400_000);
+    }
+}

@@ -239,6 +239,93 @@ impl NdpInstruction {
     }
 }
 
+/// CRC-8 (polynomial 0x07, init 0x00, MSB-first) over `data`.
+///
+/// The same polynomial DDR5 uses for write CRC; cheap enough for the
+/// buffer chip to compute per result slot.
+pub fn crc8(data: &[u8]) -> u8 {
+    let mut crc = 0u8;
+    for &b in data {
+        crc ^= b;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// The DDR-encoded 64 B payload a poll READ returns (the QSHR result
+/// array), with per-slot integrity protection.
+///
+/// Layout: byte 0 holds the slot count `n` (0..=8) and byte 1 its CRC-8;
+/// each slot `i` then occupies 5 bytes at offset `2 + 5i` — the f32
+/// result little-endian followed by a CRC-8 over `[i, b0, b1, b2, b3]`
+/// (the slot index participates so a swapped or aliased slot is caught,
+/// not just flipped bits). Unused bytes are zero.
+///
+/// The fault injector flips bits in this payload on the simulated return
+/// path; [`ResultPayload::decode`] is how the host driver notices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResultPayload;
+
+impl ResultPayload {
+    /// Bytes occupied by one protected slot.
+    pub const SLOT_BYTES: usize = 5;
+    /// Offset of slot 0 within the payload.
+    pub const SLOTS_OFF: usize = 2;
+
+    /// Encode up to eight result distances into the protected payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics on more than eight results (a QSHR holds eight task slots).
+    pub fn encode(results: &[f32]) -> [u8; 64] {
+        assert!(
+            results.len() <= crate::qshr::TASKS_PER_QSHR,
+            "at most 8 result slots"
+        );
+        let mut p = [0u8; 64];
+        p[0] = results.len() as u8;
+        p[1] = crc8(&p[..1]);
+        for (i, r) in results.iter().enumerate() {
+            let off = Self::SLOTS_OFF + i * Self::SLOT_BYTES;
+            let b = r.to_le_bytes();
+            p[off..off + 4].copy_from_slice(&b);
+            p[off + 4] = crc8(&[i as u8, b[0], b[1], b[2], b[3]]);
+        }
+        p
+    }
+
+    /// Decode and verify a polled payload from `qshr`.
+    ///
+    /// # Errors
+    ///
+    /// [`NdpError::CorruptHeader`](crate::NdpError::CorruptHeader) when
+    /// the slot count fails its CRC (nothing can be trusted), and
+    /// [`NdpError::CorruptResult`](crate::NdpError::CorruptResult) naming
+    /// the first slot whose CRC fails.
+    pub fn decode(qshr: u8, p: &[u8; 64]) -> Result<Vec<f32>, crate::NdpError> {
+        if crc8(&p[..1]) != p[1] || p[0] as usize > crate::qshr::TASKS_PER_QSHR {
+            return Err(crate::NdpError::CorruptHeader { qshr });
+        }
+        let n = p[0] as usize;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = Self::SLOTS_OFF + i * Self::SLOT_BYTES;
+            let b = [p[off], p[off + 1], p[off + 2], p[off + 3]];
+            if crc8(&[i as u8, b[0], b[1], b[2], b[3]]) != p[off + 4] {
+                return Err(crate::NdpError::CorruptResult { qshr, slot: i });
+            }
+            out.push(f32::from_le_bytes(b));
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,5 +423,75 @@ mod tests {
         // A 1 kB query (256-dim FP16 / 512-dim UINT8) takes 16 WRITEs.
         assert_eq!(NdpInstruction::ddr_commands_for_query(1024), 16);
         assert_eq!(NdpInstruction::ddr_commands_for_query(100), 2);
+    }
+
+    #[test]
+    fn result_payload_roundtrip() {
+        let results = [1.5f32, -2.25, f32::MAX, 0.0, 42.0];
+        let p = ResultPayload::encode(&results);
+        assert_eq!(ResultPayload::decode(3, &p), Ok(results.to_vec()));
+        // Empty result array is legal (no tasks finished yet).
+        let p = ResultPayload::encode(&[]);
+        assert_eq!(ResultPayload::decode(0, &p), Ok(vec![]));
+    }
+
+    #[test]
+    fn result_payload_detects_flipped_bits() {
+        let results = [1.0f32, 2.0, 3.0];
+        let mut p = ResultPayload::encode(&results);
+        // Flip one bit in slot 1's value bytes.
+        p[ResultPayload::SLOTS_OFF + ResultPayload::SLOT_BYTES] ^= 0x10;
+        assert_eq!(
+            ResultPayload::decode(7, &p),
+            Err(crate::NdpError::CorruptResult { qshr: 7, slot: 1 })
+        );
+    }
+
+    #[test]
+    fn result_payload_detects_corrupt_count() {
+        let mut p = ResultPayload::encode(&[1.0f32]);
+        p[0] ^= 0x04;
+        assert_eq!(
+            ResultPayload::decode(2, &p),
+            Err(crate::NdpError::CorruptHeader { qshr: 2 })
+        );
+        // A count CRC that "matches" an out-of-range count is also caught.
+        let mut p = ResultPayload::encode(&[1.0f32]);
+        p[0] = 9;
+        p[1] = crc8(&[9]);
+        assert!(ResultPayload::decode(2, &p).is_err());
+    }
+
+    #[test]
+    fn result_payload_detects_slot_swap() {
+        // Slot CRCs bind the slot index, so swapping two intact slots is
+        // detected even though each slot's bits are self-consistent.
+        let results = [10.0f32, 20.0];
+        let mut p = ResultPayload::encode(&results);
+        let (a, b) = (
+            ResultPayload::SLOTS_OFF,
+            ResultPayload::SLOTS_OFF + ResultPayload::SLOT_BYTES,
+        );
+        for i in 0..ResultPayload::SLOT_BYTES {
+            p.swap(a + i, b + i);
+        }
+        assert!(matches!(
+            ResultPayload::decode(0, &p),
+            Err(crate::NdpError::CorruptResult { slot: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn crc8_known_properties() {
+        assert_eq!(crc8(&[]), 0);
+        // Any single-bit flip changes the CRC.
+        let base = crc8(&[0xA5, 0x5A]);
+        for byte in 0..2 {
+            for bit in 0..8 {
+                let mut d = [0xA5u8, 0x5A];
+                d[byte] ^= 1 << bit;
+                assert_ne!(crc8(&d), base, "flip {byte}.{bit} undetected");
+            }
+        }
     }
 }

@@ -22,6 +22,7 @@
 //! ```
 
 pub mod compute;
+pub mod error;
 pub mod instruction;
 pub mod lrdimm;
 pub mod partition;
@@ -30,9 +31,10 @@ pub mod qshr;
 pub mod unit;
 
 pub use compute::ComputeUnit;
-pub use instruction::{ConfigPayload, NdpInstruction, SearchTask};
+pub use error::NdpError;
+pub use instruction::{crc8, ConfigPayload, NdpInstruction, ResultPayload, SearchTask};
 pub use lrdimm::{LrdimmConfig, LrdimmUnit};
 pub use partition::{LoadTracker, PartitionScheme, Partitioner, Placement, ReplicaSet};
-pub use polling::{PollingPolicy, PollingStats};
+pub use polling::{PollDeadline, PollOutcome, PollingPolicy, PollingStats};
 pub use qshr::{Qshr, QshrFile, QshrState};
 pub use unit::{NdpUnit, TaskOutcome};

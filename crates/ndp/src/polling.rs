@@ -124,6 +124,86 @@ pub struct PollingStats {
     pub wasted_delay: u64,
 }
 
+/// Completion deadline for one offloaded batch: the host declares the
+/// batch lost when either bound is hit, instead of polling forever into
+/// a stalled or hung NDP unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollDeadline {
+    /// Cycles after batch issue at which the batch is declared lost.
+    pub cycles: u64,
+    /// Maximum poll attempts before declaring the batch lost.
+    pub max_polls: u32,
+}
+
+/// Outcome of polling one batch under a deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollOutcome {
+    /// The batch was observed complete in time.
+    Completed(PollingStats),
+    /// The deadline (cycle budget or poll budget) passed first.
+    TimedOut {
+        /// Polls issued before giving up.
+        polls: u32,
+        /// Cycle (after issue) at which the host gave up.
+        gave_up_at: u64,
+    },
+}
+
+impl PollOutcome {
+    /// The completion stats, if the batch finished in time.
+    pub fn completed(&self) -> Option<PollingStats> {
+        match self {
+            PollOutcome::Completed(s) => Some(*s),
+            PollOutcome::TimedOut { .. } => None,
+        }
+    }
+}
+
+impl PollingPolicy {
+    /// The default deadline for a batch of `tasks` comparisons: several
+    /// times the expected completion time plus fixed slack, so healthy
+    /// stragglers are never declared lost, and a bounded poll count so a
+    /// hung unit cannot absorb unlimited DDR commands.
+    pub fn deadline(&self, tasks: usize) -> PollDeadline {
+        let expected = self.expected_batch_latency(tasks).max(1);
+        PollDeadline {
+            cycles: expected.saturating_mul(8).saturating_add(2_000),
+            max_polls: 64,
+        }
+    }
+
+    /// Poll under a deadline. `actual` is the cycle (after issue) at
+    /// which the batch really finished, or `None` for a batch that never
+    /// completes (hung unit, dropped instruction).
+    pub fn observe_with_deadline(
+        &self,
+        tasks: usize,
+        actual: Option<u64>,
+        deadline: PollDeadline,
+    ) -> PollOutcome {
+        let mut attempt = 0u32;
+        loop {
+            let t = self.poll_time(tasks, attempt);
+            if t > deadline.cycles || attempt >= deadline.max_polls {
+                return PollOutcome::TimedOut {
+                    polls: attempt,
+                    gave_up_at: t.min(deadline.cycles),
+                };
+            }
+            if let Some(a) = actual {
+                if t >= a {
+                    return PollOutcome::Completed(PollingStats {
+                        polls: attempt + 1,
+                        observed_at: t,
+                        wasted_delay: t - a,
+                    });
+                }
+            }
+            attempt += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +269,63 @@ mod tests {
         let s = p.observe(4, expect / 2);
         assert_eq!(s.polls, 1);
         assert_eq!(s.wasted_delay, expect - expect / 2);
+    }
+
+    #[test]
+    fn deadline_clears_healthy_batches() {
+        for p in [adaptive(), PollingPolicy::conventional_100ns()] {
+            let dl = p.deadline(8);
+            // A batch finishing on expectation (or a bit late) completes
+            // well inside the deadline.
+            for slack in [0, 17, 100] {
+                let actual = p.expected_batch_latency(8) + slack;
+                let got = p.observe_with_deadline(8, Some(actual), dl);
+                let direct = p.observe(8, actual);
+                assert_eq!(got, PollOutcome::Completed(direct));
+            }
+        }
+    }
+
+    #[test]
+    fn hung_batch_times_out() {
+        let p = adaptive();
+        let dl = p.deadline(4);
+        let got = p.observe_with_deadline(4, None, dl);
+        match got {
+            PollOutcome::TimedOut { polls, gave_up_at } => {
+                assert!(polls > 0, "at least one poll before giving up");
+                assert!(polls <= dl.max_polls);
+                assert!(gave_up_at <= dl.cycles);
+            }
+            PollOutcome::Completed(_) => panic!("hung batch cannot complete"),
+        }
+        assert!(got.completed().is_none());
+    }
+
+    #[test]
+    fn stalled_batch_past_deadline_times_out() {
+        let p = adaptive();
+        let dl = p.deadline(2);
+        // Finishes eventually, but far beyond the deadline (stalled unit).
+        let got = p.observe_with_deadline(2, Some(dl.cycles * 10), dl);
+        assert!(matches!(got, PollOutcome::TimedOut { .. }));
+    }
+
+    #[test]
+    fn poll_budget_bounds_ddr_traffic() {
+        let p = PollingPolicy::Conventional { period: 1 };
+        let dl = PollDeadline {
+            cycles: u64::MAX,
+            max_polls: 5,
+        };
+        let got = p.observe_with_deadline(1, None, dl);
+        assert_eq!(
+            got,
+            PollOutcome::TimedOut {
+                polls: 5,
+                gave_up_at: 6
+            }
+        );
     }
 
     #[test]

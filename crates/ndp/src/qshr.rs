@@ -98,15 +98,25 @@ impl Qshr {
     /// set-search before the query finishes uploading, so this is legal in
     /// the loading state.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on more than eight tasks.
-    pub fn receive_tasks(&mut self, tasks: &[SearchTask]) {
-        assert!(self.state == QshrState::Loading, "not loading");
-        assert!(tasks.len() <= TASKS_PER_QSHR, "at most 8 tasks per QSHR");
+    /// Rejects delivery to a non-loading QSHR and deliveries that would
+    /// overfill the eight task slots; the QSHR is unchanged on error.
+    pub fn receive_tasks(&mut self, tasks: &[SearchTask]) -> Result<(), crate::NdpError> {
+        if self.state != QshrState::Loading {
+            return Err(crate::NdpError::BadState {
+                expected: QshrState::Loading,
+                actual: self.state,
+            });
+        }
+        let total = self.tasks.len() + tasks.len();
+        if total > TASKS_PER_QSHR {
+            return Err(crate::NdpError::TooManyTasks { total });
+        }
         self.tasks.extend_from_slice(tasks);
         self.results
             .extend(std::iter::repeat_n(RESULT_INVALID, tasks.len()));
+        Ok(())
     }
 
     /// Whether both the query and at least one task have arrived.
@@ -117,9 +127,16 @@ impl Qshr {
     }
 
     /// Begin processing (query + tasks present).
-    pub fn start(&mut self) {
-        assert!(self.ready(), "QSHR not ready");
+    ///
+    /// # Errors
+    ///
+    /// Rejects a start while the query or the tasks are still missing.
+    pub fn start(&mut self) -> Result<(), crate::NdpError> {
+        if !self.ready() {
+            return Err(crate::NdpError::NotReady { state: self.state });
+        }
         self.state = QshrState::Busy;
+        Ok(())
     }
 
     /// The task currently being processed.
@@ -239,12 +256,12 @@ mod tests {
         assert_eq!(q.state(), QshrState::Free);
         q.allocate(2);
         assert_eq!(q.state(), QshrState::Loading);
-        q.receive_tasks(&[task(0), task(64)]);
+        q.receive_tasks(&[task(0), task(64)]).expect("loading");
         assert!(!q.ready(), "query not yet uploaded");
         q.receive_query_slice();
         q.receive_query_slice();
         assert!(q.ready());
-        q.start();
+        q.start().expect("ready");
         assert_eq!(q.current_task().map(|t| t.addr), Some(0));
         q.record_fetch();
         assert_eq!(q.fetches_in_task, 1);
@@ -262,7 +279,7 @@ mod tests {
         // §5.2 optimization: tasks can arrive before the query finishes.
         let mut q = Qshr::default();
         q.allocate(16);
-        q.receive_tasks(&[task(0)]);
+        q.receive_tasks(&[task(0)]).expect("loading");
         for _ in 0..16 {
             q.receive_query_slice();
         }
@@ -278,12 +295,40 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at most 8 tasks")]
-    fn too_many_tasks_panics() {
+    fn too_many_tasks_rejected() {
         let mut q = Qshr::default();
         q.allocate(1);
         let tasks: Vec<SearchTask> = (0..9).map(|i| task(i * 64)).collect();
-        q.receive_tasks(&tasks);
+        assert_eq!(
+            q.receive_tasks(&tasks),
+            Err(crate::NdpError::TooManyTasks { total: 9 })
+        );
+        assert!(q.tasks().is_empty(), "QSHR unchanged on rejection");
+        // Overfill across two deliveries is also rejected.
+        q.receive_tasks(&tasks[..5]).expect("first five fit");
+        assert_eq!(
+            q.receive_tasks(&tasks[..4]),
+            Err(crate::NdpError::TooManyTasks { total: 9 })
+        );
+        assert_eq!(q.tasks().len(), 5);
+    }
+
+    #[test]
+    fn tasks_to_wrong_state_rejected() {
+        let mut q = Qshr::default();
+        assert_eq!(
+            q.receive_tasks(&[task(0)]),
+            Err(crate::NdpError::BadState {
+                expected: QshrState::Loading,
+                actual: QshrState::Free,
+            })
+        );
+        assert_eq!(
+            q.start(),
+            Err(crate::NdpError::NotReady {
+                state: QshrState::Free
+            })
+        );
     }
 
     #[test]
@@ -292,8 +337,8 @@ mod tests {
         assert_eq!(f.find_free(), Some(0));
         f.get_mut(0).allocate(1);
         f.get_mut(0).receive_query_slice();
-        f.get_mut(0).receive_tasks(&[task(0)]);
-        f.get_mut(0).start();
+        f.get_mut(0).receive_tasks(&[task(0)]).expect("loading");
+        f.get_mut(0).start().expect("ready");
         assert_eq!(f.find_free(), Some(1));
         assert_eq!(f.busy_ids(), vec![0]);
     }

@@ -13,6 +13,7 @@
 use ansmet_core::{DistanceBounder, FetchSchedule, ValueInterval};
 use ansmet_vecdata::{ElemType, Metric};
 
+use crate::error::NdpError;
 use crate::instruction::{ConfigPayload, NdpInstruction};
 use crate::qshr::{QshrFile, QshrState};
 
@@ -91,40 +92,51 @@ impl NdpUnit {
     /// Execute one host instruction. `Poll` returns the QSHR's result
     /// array; other instructions return `None`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on protocol violations the real hardware would reject
-    /// (task/query delivery to a QSHR in the wrong state).
-    pub fn execute(&mut self, instr: &NdpInstruction) -> Option<Vec<f32>> {
+    /// Rejects protocol violations the real hardware would reject
+    /// (data-path instructions before a configure, task/query delivery to
+    /// a QSHR in the wrong state, overfilled task slots). The unit state
+    /// is unchanged on error, so the host driver can retry or recover.
+    pub fn execute(&mut self, instr: &NdpInstruction) -> Result<Option<Vec<f32>>, NdpError> {
         match instr {
             NdpInstruction::Configure(c) => {
                 self.apply_config(c);
-                None
+                Ok(None)
             }
             NdpInstruction::SetQuery { qshr, seq, .. } => {
+                let cfg = self.config.ok_or(NdpError::NotConfigured)?;
                 let q = self.qshrs.get_mut(*qshr as usize);
-                if q.state() == QshrState::Free {
-                    // First slice implies allocation for a full query.
-                    let cfg = self.config.expect("configure before set-query");
-                    let bytes = cfg.dim * cfg.dtype.bytes();
-                    q.allocate(bytes.div_ceil(64).min(16) as u16);
+                match q.state() {
+                    QshrState::Free => {
+                        // First slice implies allocation for a full query.
+                        let bytes = cfg.dim * cfg.dtype.bytes();
+                        q.allocate(bytes.div_ceil(64).min(16) as u16);
+                    }
+                    QshrState::Loading => {}
+                    other => {
+                        return Err(NdpError::BadState {
+                            expected: QshrState::Loading,
+                            actual: other,
+                        })
+                    }
                 }
                 let _ = seq;
                 q.receive_query_slice();
-                None
+                Ok(None)
             }
             NdpInstruction::SetSearch { qshr, tasks } => {
+                let cfg = self.config.ok_or(NdpError::NotConfigured)?;
                 let q = self.qshrs.get_mut(*qshr as usize);
                 if q.state() == QshrState::Free {
-                    let cfg = self.config.expect("configure before set-search");
                     let bytes = cfg.dim * cfg.dtype.bytes();
                     q.allocate(bytes.div_ceil(64).min(16) as u16);
                 }
-                q.receive_tasks(tasks);
-                None
+                q.receive_tasks(tasks)?;
+                Ok(None)
             }
             NdpInstruction::Poll { qshr } => {
-                Some(self.qshrs.get(*qshr as usize).poll().to_vec())
+                Ok(Some(self.qshrs.get(*qshr as usize).poll().to_vec()))
             }
         }
     }
@@ -164,7 +176,7 @@ impl NdpUnit {
             {
                 let q = self.qshrs.get_mut(id);
                 if q.ready() {
-                    q.start();
+                    q.start().expect("ready QSHR starts");
                 }
             }
             if self.qshrs.get(id).state() != QshrState::Busy {
@@ -290,7 +302,8 @@ mod tests {
             n_c: 0,
             t_c: 0,
             n_f: 4,
-        }));
+        }))
+        .expect("configure accepted");
 
         // One QSHR, query 0, four tasks with an infinite threshold.
         let q = 0u8;
@@ -301,13 +314,15 @@ mod tests {
                 threshold: f32::INFINITY,
             })
             .collect();
-        unit.execute(&NdpInstruction::SetSearch { qshr: q, tasks });
+        unit.execute(&NdpInstruction::SetSearch { qshr: q, tasks })
+            .expect("set-search accepted");
         for seq in 0..slices {
             unit.execute(&NdpInstruction::SetQuery {
                 qshr: q,
                 seq: seq as u8,
                 data: [0u8; 64],
-            });
+            })
+            .expect("set-query accepted");
         }
 
         let outcomes = unit.process(
@@ -328,6 +343,7 @@ mod tests {
         // Poll returns the distances.
         let results = unit
             .execute(&NdpInstruction::Poll { qshr: q })
+            .expect("poll accepted")
             .expect("poll returns results");
         assert!(results[..4].iter().all(|&d| d != RESULT_INVALID));
     }
@@ -346,7 +362,8 @@ mod tests {
             n_c: 0,
             t_c: 0,
             n_f: 8,
-        }));
+        }))
+        .expect("configure accepted");
         let query = &queries[0];
         // Tight threshold: half the true distance of vector 3.
         let d3 = data.distance_to(3, query);
@@ -356,13 +373,15 @@ mod tests {
                 addr: 3,
                 threshold: d3 * 0.5,
             }],
-        });
+        })
+        .expect("set-search accepted");
         for seq in 0..16 {
             unit.execute(&NdpInstruction::SetQuery {
                 qshr: 1,
                 seq,
                 data: [0u8; 64],
-            });
+            })
+            .expect("set-query accepted");
         }
         let outcomes = unit.process(
             |addr, line| transformed.vector(addr as usize).lines[line],
@@ -376,7 +395,10 @@ mod tests {
             "termination must save fetches"
         );
         // Sentinel preserved in the result array.
-        let res = unit.execute(&NdpInstruction::Poll { qshr: 1 }).expect("poll");
+        let res = unit
+            .execute(&NdpInstruction::Poll { qshr: 1 })
+            .expect("poll accepted")
+            .expect("poll");
         assert_eq!(res[0], RESULT_INVALID);
     }
 
@@ -416,7 +438,8 @@ mod tests {
             n_c: 0,
             t_c: 0,
             n_f: 2,
-        }));
+        }))
+        .expect("configure accepted");
         unit.load_dim_prefixes(spec.dim_prefixes().to_vec());
         unit.execute(&NdpInstruction::SetSearch {
             qshr: 0,
@@ -424,12 +447,14 @@ mod tests {
                 addr: 7,
                 threshold: f32::INFINITY,
             }],
-        });
+        })
+        .expect("set-search accepted");
         unit.execute(&NdpInstruction::SetQuery {
             qshr: 0,
             seq: 0,
             data: [0u8; 64],
-        });
+        })
+        .expect("set-query accepted");
         let query = vec![66.0, 70.0, 64.0, 79.0];
         let outcomes = unit.process(|addr, line| tvs[addr as usize].lines[line], |_| query.clone());
         let got = outcomes[0].distance.expect("in-bound");

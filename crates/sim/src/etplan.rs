@@ -66,7 +66,9 @@ pub fn evaluate_chunked(
     let mut local: Vec<Local> = Vec::with_capacity(chunks.len());
     for dims in chunks {
         let share = threshold * (dims.len() as f32 / dim as f32);
-        let c = engine.evaluate_range(id, query, dims.clone(), share);
+        let c = engine
+            .evaluate_range(id, query, dims.clone(), share)
+            .expect("planner chunks are in range");
         bounds_sum += c.final_bound;
         local.push(Local {
             lines: c.lines,
@@ -85,7 +87,9 @@ pub fn evaluate_chunked(
             let old_sum = bounds_sum;
             for l in local.iter_mut().filter(|l| l.stopped) {
                 let residual = (threshold as f64 - (old_sum - l.bound)) as f32;
-                let c = engine.evaluate_range(id, query, l.dims.clone(), residual);
+                let c = engine
+                    .evaluate_range(id, query, l.dims.clone(), residual)
+                    .expect("planner chunks are in range");
                 bounds_sum += c.final_bound - l.bound;
                 l.bound = c.final_bound;
                 l.lines = l.lines.max(c.lines);

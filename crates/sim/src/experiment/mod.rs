@@ -8,10 +8,12 @@
 //! fall. `EXPERIMENTS.md` records paper-vs-measured for each entry.
 
 mod ablation;
+mod faults;
 mod figures;
 mod tables;
 
 pub use ablation::ablation;
+pub use faults::faults;
 pub use figures::{fig1, fig10, fig11, fig12, fig3, fig6, fig7, fig8, fig9, loadbal};
 pub use tables::{table2, table3, table4, table5};
 

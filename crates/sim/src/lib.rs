@@ -27,8 +27,10 @@
 //! ```
 
 pub mod config;
+pub mod degraded;
 pub mod design;
 pub mod energy;
+pub mod error;
 pub mod etplan;
 pub mod experiment;
 pub mod report;
@@ -37,7 +39,9 @@ pub mod timing;
 pub mod workload;
 
 pub use config::SystemConfig;
+pub use degraded::{run_degraded, DegradedRunResult, FaultyNdpOracle, RecoveryReport};
 pub use design::{Design, DesignPlan, EtKind};
+pub use error::AnsmetError;
 pub use energy::{EnergyBreakdown, SystemEnergyModel};
 pub use throughput::{run_design_throughput, ThroughputResult};
 pub use timing::{run_design, QueryBreakdown, RunResult};

@@ -189,7 +189,7 @@ pub fn run_design_throughput(
             // their own cores).
             clock = finish + cpu.to_mem_cycles(cpu.poll_cycles(), mem_clock);
             if mem.now() < clock && !mem.busy() {
-                mem.fast_forward_to(clock);
+                mem.fast_forward_to(clock).expect("idle fast-forward");
             }
             clock = clock.max(mem.now());
         }

@@ -175,7 +175,7 @@ pub(crate) fn run_ndp_batch(
 ) -> u64 {
     debug_assert!(mem.now() <= t0 || !mem.busy());
     if mem.now() < t0 {
-        mem.fast_forward_to(t0);
+        mem.fast_forward_to(t0).expect("idle fast-forward");
     }
     let mut finish_max = t0;
     // Zero-line sub-tasks finish immediately.
@@ -239,7 +239,7 @@ pub(crate) fn run_ndp_batch(
     }
     // Let the memory system settle past the final compute.
     if mem.now() < finish_max && !mem.busy() {
-        mem.fast_forward_to(finish_max);
+        mem.fast_forward_to(finish_max).expect("idle fast-forward");
     }
     finish_max
 }
@@ -496,7 +496,7 @@ pub fn run_design(design: Design, workload: &Workload, config: &SystemConfig) ->
                     finish += extra;
                     bd.offload += extra;
                     if mem.now() < finish && !mem.busy() {
-                        mem.fast_forward_to(finish);
+                        mem.fast_forward_to(finish).expect("idle fast-forward");
                     }
                 }
                 // A residual round is an extra host round-trip: the host
@@ -508,7 +508,7 @@ pub fn run_design(design: Design, workload: &Workload, config: &SystemConfig) ->
                         mem_clock,
                     ) + 200;
                     if mem.now() < finish && !mem.busy() {
-                        mem.fast_forward_to(finish);
+                        mem.fast_forward_to(finish).expect("idle fast-forward");
                     }
                 }
                 bd.dist_comp += finish - t0;
@@ -542,7 +542,7 @@ pub fn run_design(design: Design, workload: &Workload, config: &SystemConfig) ->
                 bd.result_collect += after_poll - finish;
                 clock = after_poll;
                 if mem.now() < clock && !mem.busy() {
-                    mem.fast_forward_to(clock);
+                    mem.fast_forward_to(clock).expect("idle fast-forward");
                 }
                 clock = clock.max(mem.now());
             } else {
@@ -569,7 +569,7 @@ pub fn run_design(design: Design, workload: &Workload, config: &SystemConfig) ->
                         + p.backup;
                     if lines > 0 {
                         if mem.now() < clock && !mem.busy() {
-                            mem.fast_forward_to(clock);
+                            mem.fast_forward_to(clock).expect("idle fast-forward");
                         }
                         let start = mem.now();
                         let base_line =
@@ -599,7 +599,7 @@ pub fn run_design(design: Design, workload: &Workload, config: &SystemConfig) ->
                         let bw_floor = lines as u64 * contention;
                         clock += drained.max(bw_floor) + llc_mem;
                         if mem.now() < clock && !mem.busy() {
-                            mem.fast_forward_to(clock);
+                            mem.fast_forward_to(clock).expect("idle fast-forward");
                         }
                         clock = clock.max(mem.now());
                     }

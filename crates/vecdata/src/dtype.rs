@@ -196,7 +196,7 @@ mod tests {
 
     #[test]
     fn f32_roundtrip_exact() {
-        for v in [0.0f32, -1.5, 3.14159, 1e-20, -1e20] {
+        for v in [0.0f32, -1.5, std::f32::consts::PI, 1e-20, -1e20] {
             assert_eq!(ElemType::F32.decode(ElemType::F32.encode(v)), v);
         }
     }

@@ -1,0 +1,123 @@
+//! Integration tests for the fault-injection subsystem: searches that
+//! survive stalled units, hung units, dropped instructions, and corrupted
+//! or lost QSHR results must return top-k results bit-identical to a
+//! fault-free run — recovery costs cycles, never accuracy.
+
+use std::sync::OnceLock;
+
+use ansmet_faults::{FaultEvent, FaultKind, FaultPlan, FaultRates};
+use ansmet_host::RetryPolicy;
+use ansmet_sim::{run_degraded, SystemConfig, Workload};
+use ansmet_vecdata::SynthSpec;
+
+fn workload() -> &'static Workload {
+    static WL: OnceLock<Workload> = OnceLock::new();
+    WL.get_or_init(|| Workload::prepare(&SynthSpec::sift().scaled(500, 3), 10, Some(40)))
+}
+
+/// The acceptance scenario: a stalled unit, a corrupted QSHR result, and
+/// a dropped instruction in one plan. The run completes without
+/// panicking, reports nonzero retry/fallback counters, and produces
+/// top-k results identical to the faults-disabled run.
+#[test]
+fn mixed_fault_plan_recovers_exactly() {
+    let wl = workload();
+    let cfg = SystemConfig::default();
+    let retry = RetryPolicy::default_ndp();
+    let clean = run_degraded(wl, &cfg, FaultPlan::none(), retry);
+    assert!(!clean.report.any_recovery());
+
+    // Hit the first ranks' earliest operations so the faults are certain
+    // to land inside this workload's comparison stream.
+    let mut events = Vec::new();
+    for rank in 0..4 {
+        for at in 0..4 {
+            events.push(FaultEvent {
+                rank,
+                at,
+                kind: FaultKind::Stall { cycles: 1_000_000 }, // beyond any deadline
+            });
+            events.push(FaultEvent {
+                rank,
+                at,
+                kind: FaultKind::CorruptResult {
+                    bit: (2 * 8 + at as u16) % 512, // inside slot 0's value bytes
+                },
+            });
+            events.push(FaultEvent {
+                rank,
+                at: at + 4,
+                kind: FaultKind::DropInstruction,
+            });
+        }
+    }
+    let plan = FaultPlan::new(events);
+    assert!(!plan.is_empty());
+
+    let faulty = run_degraded(wl, &cfg, plan, retry);
+    let r = &faulty.report;
+    assert!(r.injected.stalls > 0, "stalls must fire: {r:?}");
+    assert!(r.injected.corrupted_results > 0, "corruption must fire: {r:?}");
+    assert!(r.injected.dropped_instructions > 0, "drops must fire: {r:?}");
+    assert!(r.timeouts > 0, "{r:?}");
+    assert!(r.crc_rejections > 0, "{r:?}");
+    assert!(r.retries > 0, "{r:?}");
+    assert!(r.retries + r.host_fallbacks > 0, "{r:?}");
+    assert!(r.added_latency_cycles > 0, "{r:?}");
+
+    assert_eq!(faulty.results, clean.results, "recovery must be exact");
+    assert_eq!(faulty.recall, clean.recall);
+}
+
+/// Retries exhausted on a dead rank: the host fallback keeps results
+/// exact even when the NDP path never answers.
+#[test]
+fn dead_ranks_degrade_to_host_without_accuracy_loss() {
+    let wl = workload();
+    let cfg = SystemConfig::default();
+    let retry = RetryPolicy::no_retries();
+    let clean = run_degraded(wl, &cfg, FaultPlan::none(), retry);
+    // Hang every early compute on half the ranks.
+    let mut events = Vec::new();
+    for rank in 0..cfg.ndp_units() / 2 {
+        for at in 0..32 {
+            events.push(FaultEvent {
+                rank,
+                at,
+                kind: FaultKind::Hang,
+            });
+        }
+    }
+    let faulty = run_degraded(wl, &cfg, FaultPlan::new(events), retry);
+    assert!(faulty.report.host_fallbacks > 0);
+    assert_eq!(faulty.report.retries, 0, "no-retries policy");
+    assert_eq!(faulty.results, clean.results);
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For arbitrary seed-generated fault schedules (covering every
+        /// fault kind at mixed rates), the recovered search results equal
+        /// the fault-free oracle exactly.
+        fn recovered_results_match_fault_free_oracle(
+            seed in 0u64..10_000,
+            ops in 16u64..128,
+        ) {
+            let wl = workload();
+            let cfg = SystemConfig::default();
+            let retry = RetryPolicy::default_ndp();
+            let clean = run_degraded(wl, &cfg, FaultPlan::none(), retry);
+            let plan = FaultPlan::random(seed, cfg.ndp_units(), ops, FaultRates::mixed());
+            let faulty = run_degraded(wl, &cfg, plan, retry);
+            prop_assert_eq!(&faulty.results, &clean.results);
+            prop_assert!(
+                faulty.report.injected.total() == 0 || faulty.report.added_latency_cycles > 0,
+                "injected faults must cost latency: {:?}",
+                faulty.report
+            );
+        }
+    }
+}

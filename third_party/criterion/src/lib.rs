@@ -1,0 +1,177 @@
+//! Minimal, offline, API-compatible stand-in for `criterion`.
+//!
+//! Provides the subset the workspace's benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`], `bench_function` /
+//! `bench_with_input`, [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Benches run a
+//! small fixed warm-up plus measured iteration count and print mean
+//! wall-clock time per iteration — enough to compare kernels locally
+//! without the statistics machinery.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque identifier printed for parameterized benches.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `function` benched at `parameter`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Prevent the compiler from optimizing a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing loop handed to bench closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean time per iteration of the last `iter` call.
+    pub last_mean: Duration,
+}
+
+const WARMUP_ITERS: u32 = 3;
+const MEASURE_ITERS: u32 = 10;
+
+impl Bencher {
+    /// Run `f` repeatedly, timing the measured iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(f());
+        }
+        self.last_mean = start.elapsed() / MEASURE_ITERS;
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    fn run(&mut self, label: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher::default();
+        f(&mut b);
+        println!("{}/{}: {:?}/iter", self.name, label, b.last_mean);
+    }
+
+    /// Bench a closure under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    /// Bench a closure that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (parity with real criterion).
+    pub fn finish(self) {}
+}
+
+/// The bench harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Bench a standalone closure.
+    pub fn bench_function(
+        &mut self,
+        name: impl fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        println!("{}: {:?}/iter", name, b.last_mean);
+        self
+    }
+}
+
+/// Collect bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` from bench groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures() {
+        let mut b = Bencher::default();
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+        });
+        assert!(b.last_mean <= Duration::from_secs(1));
+        assert!(acc >= 13); // warmup + measured iterations ran
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("f", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("in", 4), &4u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+}
