@@ -1,28 +1,93 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick|--full] [names...]
+//! experiments [--quick|--full] [--threads N] [--json FILE] [names...]
 //! experiments --quick fig6 fig9      # selected experiments
 //! experiments --full                 # everything, full scale
+//! experiments --quick --threads 4 --json BENCH_timing.json
 //! ```
+
+use std::fmt::Write as _;
 
 use ansmet_bench::{run_experiment, Scale, EXPERIMENTS};
 
 fn usage() -> String {
     format!(
-        "usage: experiments [--quick|--full] [names...]\nexperiments: {}",
+        "usage: experiments [--quick|--full] [--threads N] [--json FILE] [names...]\n\
+         experiments: {}",
         EXPERIMENTS.join(" ")
     )
+}
+
+/// Per-experiment wall-clock record for the `--json` timing report.
+struct TimingRecord {
+    name: String,
+    seconds: f64,
+    queries: u64,
+}
+
+/// Hand-rolled JSON (the repo deliberately carries no serde dependency).
+fn timing_json(scale: Scale, threads: usize, records: &[TimingRecord]) -> String {
+    let mut s = String::new();
+    let total: f64 = records.iter().map(|r| r.seconds).sum();
+    s.push_str("{\n");
+    let _ = writeln!(
+        s,
+        "  \"scale\": \"{}\",",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    );
+    let _ = writeln!(s, "  \"threads\": {threads},");
+    let _ = writeln!(s, "  \"total_seconds\": {total:.3},");
+    s.push_str("  \"experiments\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let qps = if r.seconds > 0.0 {
+            r.queries as f64 / r.seconds
+        } else {
+            0.0
+        };
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"seconds\": {:.3}, \"queries_simulated\": {}, \
+             \"queries_per_sec\": {:.1}}}",
+            r.name, r.seconds, r.queries, qps
+        );
+        s.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Quick;
     let mut names: Vec<String> = Vec::new();
-    for a in &args {
+    let mut json_path: Option<String> = None;
+    let mut threads: usize = 1;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => scale = Scale::Quick,
             "--full" => scale = Scale::Full,
+            "--threads" => {
+                let v = it.next().and_then(|v| v.parse::<usize>().ok());
+                match v {
+                    Some(n) if n >= 1 => threads = n,
+                    _ => {
+                        eprintln!("error: --threads needs a positive integer\n{}", usage());
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--json" => match it.next() {
+                Some(path) => json_path = Some(path.clone()),
+                None => {
+                    eprintln!("error: --json needs a file path\n{}", usage());
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
                 println!("{}", usage());
                 return;
@@ -34,6 +99,7 @@ fn main() {
             name => names.push(name.to_string()),
         }
     }
+    ansmet_sim::set_default_threads(threads);
     // Validate every requested name up front so a typo fails fast instead
     // of surfacing after minutes of earlier experiments.
     let unknown: Vec<&String> = names
@@ -50,12 +116,20 @@ fn main() {
     if names.is_empty() {
         names = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
+    let mut records: Vec<TimingRecord> = Vec::with_capacity(names.len());
     for name in &names {
         let t0 = std::time::Instant::now();
+        let q0 = ansmet_sim::queries_simulated();
         match run_experiment(name, scale) {
             Some(report) => {
                 println!("{report}");
-                eprintln!("[{name} finished in {:.1}s]", t0.elapsed().as_secs_f64());
+                let seconds = t0.elapsed().as_secs_f64();
+                eprintln!("[{name} finished in {seconds:.1}s]");
+                records.push(TimingRecord {
+                    name: name.clone(),
+                    seconds,
+                    queries: ansmet_sim::queries_simulated() - q0,
+                });
             }
             None => {
                 // Unreachable after validation, but keep the exit honest.
@@ -63,5 +137,13 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(path) = json_path {
+        let body = timing_json(scale, threads, &records);
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[timing report written to {path}]");
     }
 }

@@ -104,6 +104,41 @@ impl EvalCost {
     }
 }
 
+/// Reusable buffers for [`EtEngine`] evaluations.
+///
+/// One comparison needs a per-dimension contribution array and (for
+/// sub-vector ranges) a line plan of the sub-range. Allocating them per
+/// comparison dominates the replay's host time; threading one scratch
+/// through a query's thousands of evaluations amortizes the cost to zero.
+#[derive(Debug, Default)]
+pub struct EtScratch {
+    /// Per-dimension lower-bound contributions (f64, as in the engine).
+    contribs: Vec<f64>,
+    /// Sub-range line plan buffer.
+    subplan: Vec<LinePlan>,
+}
+
+impl EtScratch {
+    /// Create an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Blocked 4-accumulator f64 sum (keeps independent addition chains).
+fn sum4(xs: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let mut it = xs.chunks_exact(4);
+    for c in &mut it {
+        acc[0] += c[0];
+        acc[1] += c[1];
+        acc[2] += c[2];
+        acc[3] += c[3];
+    }
+    let tail: f64 = it.remainder().iter().sum();
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
 /// Per-vector precomputed prefix-elimination state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum VectorClass {
@@ -125,6 +160,9 @@ pub struct EtEngine<'a> {
     sortable: Vec<u32>,
     /// Full-vector line plan.
     plan: Vec<LinePlan>,
+    /// Cumulative payload bits per schedule step (hoisted out of the
+    /// per-comparison hot path).
+    cumulative: Vec<u32>,
     /// Per-vector format class.
     class: Vec<VectorClass>,
     /// Per-element matched prefix length (only for outlier vectors).
@@ -169,6 +207,7 @@ impl<'a> EtEngine<'a> {
             }
         };
         let plan = cfg.schedule.line_plan(dim);
+        let cumulative = cfg.schedule.cumulative_bits();
         let bounder = DistanceBounder::new(data.metric());
         EtEngine {
             data,
@@ -176,6 +215,7 @@ impl<'a> EtEngine<'a> {
             bounder,
             sortable,
             plan,
+            cumulative,
             class,
             matched,
         }
@@ -202,10 +242,12 @@ impl<'a> EtEngine<'a> {
     }
 
     /// Effective known prefix length of element `(id, d)` after
-    /// `payload_bits` of its stored payload have been fetched.
-    fn known_prefix(&self, id: usize, d: usize, payload_bits: u32) -> u32 {
+    /// `payload_bits` of its stored payload have been fetched. The
+    /// vector's format class is passed in (hoisted once per comparison
+    /// instead of re-read per element).
+    fn known_prefix_for(&self, class: VectorClass, id: usize, d: usize, payload_bits: u32) -> u32 {
         let bits = self.data.dtype().bits();
-        match self.class[id] {
+        match class {
             VectorClass::Plain => payload_bits.min(bits),
             VectorClass::Normal => {
                 let prefix = self.cfg.prefix.as_ref().expect("normal implies prefix");
@@ -254,7 +296,23 @@ impl<'a> EtEngine<'a> {
     /// (a programming error at this level; use [`EtEngine::evaluate_range`]
     /// for the fallible form).
     pub fn evaluate(&self, id: usize, query: &[f32], threshold: f32) -> EvalCost {
-        self.evaluate_range(id, query, 0..self.data.dim(), threshold)
+        self.evaluate_with(id, query, threshold, &mut EtScratch::new())
+    }
+
+    /// [`EtEngine::evaluate`] reusing caller-provided scratch buffers
+    /// (the allocation-free hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len()` differs from the dataset dimensionality.
+    pub fn evaluate_with(
+        &self,
+        id: usize,
+        query: &[f32],
+        threshold: f32,
+        scratch: &mut EtScratch,
+    ) -> EvalCost {
+        self.evaluate_range_with(id, query, 0..self.data.dim(), threshold, scratch)
             .expect("full-range evaluation is in bounds")
     }
 
@@ -273,6 +331,24 @@ impl<'a> EtEngine<'a> {
         dims: std::ops::Range<usize>,
         threshold: f32,
     ) -> Result<EvalCost, crate::EtError> {
+        self.evaluate_range_with(id, query, dims, threshold, &mut EtScratch::new())
+    }
+
+    /// [`EtEngine::evaluate_range`] reusing caller-provided scratch
+    /// buffers (the allocation-free hot path).
+    ///
+    /// # Errors
+    ///
+    /// Rejects an out-of-range `dims` or a query whose length differs
+    /// from the dataset dimensionality.
+    pub fn evaluate_range_with(
+        &self,
+        id: usize,
+        query: &[f32],
+        dims: std::ops::Range<usize>,
+        threshold: f32,
+        scratch: &mut EtScratch,
+    ) -> Result<EvalCost, crate::EtError> {
         let dim = self.data.dim();
         if query.len() != dim {
             return Err(crate::EtError::QueryDimMismatch {
@@ -285,30 +361,40 @@ impl<'a> EtEngine<'a> {
         }
         let sub = dims.len();
         let full = dims.len() == dim;
+        let class = self.class[id];
+        let EtScratch { contribs, subplan } = scratch;
 
         // Line plan: the transformed layout of the sub-vector only.
-        let plan: std::borrow::Cow<'_, [LinePlan]> = if full {
-            std::borrow::Cow::Borrowed(&self.plan)
+        let plan: &[LinePlan] = if full {
+            &self.plan
         } else {
-            std::borrow::Cow::Owned(self.cfg.schedule.line_plan(sub))
+            self.cfg.schedule.line_plan_into(sub, subplan);
+            subplan
         };
 
         // Initial contributions with zero payload fetched. Unbounded
         // dimensions (−∞, e.g. unfetched FP32 under inner product) are
         // counted separately so incremental updates stay well-defined.
-        let mut contribs = vec![0.0f64; sub];
-        let mut finite_sum = 0.0f64;
+        contribs.clear();
+        contribs.resize(sub, 0.0);
         let mut unbounded = 0usize;
         for (j, d) in dims.clone().enumerate() {
-            let known = self.known_prefix(id, d, 0);
+            let known = self.known_prefix_for(class, id, d, 0);
             let c = self.bounder.contribution(self.interval(id, d, known), query[d]);
             contribs[j] = c;
             if c == f64::NEG_INFINITY {
                 unbounded += 1;
-            } else {
-                finite_sum += c;
             }
         }
+        // Blocked 4-wide reduction of the finite contributions.
+        let mut finite_sum = if unbounded == 0 {
+            sum4(contribs)
+        } else {
+            contribs
+                .iter()
+                .filter(|&&c| c != f64::NEG_INFINITY)
+                .sum::<f64>()
+        };
         let bound_of = |unbounded: usize, finite_sum: f64| {
             if unbounded > 0 {
                 f64::NEG_INFINITY
@@ -328,28 +414,30 @@ impl<'a> EtEngine<'a> {
             });
         }
 
-        // Fetch line by line.
-        let cumulative = self.cfg.schedule.cumulative_bits();
+        // Fetch line by line, refining each covered dimension's interval
+        // and accumulating bound deltas in four independent f64 chains.
         let mut lines = 0usize;
         for lp in plan.iter() {
             lines += 1;
-            let payload_after = cumulative[lp.step];
+            let payload_after = self.cumulative[lp.step];
+            let mut delta = [0.0f64; 4];
             #[allow(clippy::needless_range_loop)] // indexed dimension-range loops read clearer here
             for j in lp.dim_start..lp.dim_end {
                 let d = dims.start + j;
-                let known = self.known_prefix(id, d, payload_after);
+                let known = self.known_prefix_for(class, id, d, payload_after);
                 let c = self.bounder.contribution(self.interval(id, d, known), query[d]);
                 let old = contribs[j];
                 contribs[j] = c;
                 if old == f64::NEG_INFINITY {
                     if c != f64::NEG_INFINITY {
                         unbounded -= 1;
-                        finite_sum += c;
+                        delta[j & 3] += c;
                     }
                 } else {
-                    finite_sum += c - old;
+                    delta[j & 3] += c - old;
                 }
             }
+            finite_sum += (delta[0] + delta[1]) + (delta[2] + delta[3]);
             bound = bound_of(unbounded, finite_sum);
             if bound >= threshold as f64 && lines < plan.len() {
                 return Ok(EvalCost {

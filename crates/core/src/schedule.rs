@@ -159,6 +159,14 @@ impl FetchSchedule {
     /// The full fetch plan: one [`LinePlan`] per 64 B line, in fetch order.
     pub fn line_plan(&self, dim: usize) -> Vec<LinePlan> {
         let mut plan = Vec::new();
+        self.line_plan_into(dim, &mut plan);
+        plan
+    }
+
+    /// [`FetchSchedule::line_plan`] writing into a reusable buffer
+    /// (cleared first), so hot evaluation paths avoid re-allocating.
+    pub fn line_plan_into(&self, dim: usize, plan: &mut Vec<LinePlan>) {
+        plan.clear();
         for (i, &n) in self.steps.iter().enumerate() {
             let per_line = Self::dims_per_line(n);
             let mut d = 0;
@@ -173,7 +181,6 @@ impl FetchSchedule {
                 d = end;
             }
         }
-        plan
     }
 
     /// Cumulative fetched bits per dimension after each whole step

@@ -84,7 +84,7 @@ impl PartialOrd for PendingDone {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Channel {
     ranks: Vec<Rank>,
     host_queue: Vec<Request>,
@@ -119,7 +119,7 @@ impl Channel {
 /// Drive it by calling [`MemorySystem::enqueue`] and [`MemorySystem::tick`];
 /// completed requests appear via [`MemorySystem::completed`] /
 /// [`MemorySystem::take_completed`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MemorySystem {
     config: DramConfig,
     addr_map: AddrMap,
@@ -128,6 +128,9 @@ pub struct MemorySystem {
     pending: BinaryHeap<Reverse<PendingDone>>,
     completed: Vec<Response>,
     stats: MemoryStats,
+    /// Counter used to sample skip-ahead audits in debug builds.
+    #[cfg(debug_assertions)]
+    skip_audits: u64,
 }
 
 impl MemorySystem {
@@ -143,6 +146,8 @@ impl MemorySystem {
             pending: BinaryHeap::new(),
             completed: Vec::new(),
             stats: MemoryStats::default(),
+            #[cfg(debug_assertions)]
+            skip_audits: 0,
         }
     }
 
@@ -255,6 +260,135 @@ impl MemorySystem {
         }
         self.now = cycle;
         Ok(())
+    }
+
+    /// Lower bound on the earliest cycle at which `req` (queued on `ch`)
+    /// could have its next command issued, given the current frozen state.
+    /// Never later than the true issue cycle; may be earlier (e.g. while a
+    /// refresh drain suppresses activates).
+    fn earliest_request_issue(&self, ch: &Channel, req: &Request, host: bool) -> Option<u64> {
+        let t = &self.config.timing;
+        let rank = &ch.ranks[req.loc.rank];
+        let is_read = req.kind == AccessKind::Read;
+        let kind = rank.needed_command(req.loc.bank_group, req.loc.bank, req.loc.row, is_read);
+        let bank = rank.bank(req.loc.bank_group, req.loc.bank);
+        let mut e = bank.earliest(kind);
+        match kind {
+            CommandKind::Activate => {
+                if self.config.refresh_enabled && rank.refresh_pending() {
+                    // Unissuable until the refresh fires, which is itself
+                    // a tracked event — contribute nothing.
+                    return None;
+                }
+                e = e.max(rank.earliest_act(req.loc.bank_group, t));
+            }
+            CommandKind::Read | CommandKind::Write => {
+                e = e.max(rank.earliest_cas(req.loc.bank_group, kind, t));
+                // Data-bus backpressure: a CAS issued at cycle x starts its
+                // burst at x + CL/CWL, which must not precede bus release.
+                let lead = if kind == CommandKind::Read { t.cl } else { t.cwl };
+                let needed = if host {
+                    if ch.host_bus_last_rank.is_some()
+                        && ch.host_bus_last_rank != Some(req.loc.rank)
+                    {
+                        ch.host_bus_free + t.rank_switch
+                    } else {
+                        ch.host_bus_free
+                    }
+                } else {
+                    rank.local_bus_free
+                };
+                e = e.max(needed.saturating_sub(lead));
+            }
+            CommandKind::Precharge | CommandKind::Refresh => {}
+        }
+        Some(e)
+    }
+
+    /// The earliest future cycle at which the system state can change: the
+    /// next pending burst retirement, the earliest issue opportunity of any
+    /// queued request, or a refresh deadline/drain step. Returns `None`
+    /// only when the system is idle with refresh disabled. The value is a
+    /// lower bound: ticking any cycle strictly before it is a no-op.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        let mut next = u64::MAX;
+        if let Some(Reverse(head)) = self.pending.peek() {
+            next = next.min(head.finish);
+        }
+        for ch in &self.channels {
+            if self.config.refresh_enabled {
+                for rank in &ch.ranks {
+                    next = next.min(rank.next_refresh_event());
+                }
+            }
+            for req in &ch.host_queue {
+                if let Some(e) = self.earliest_request_issue(ch, req, true) {
+                    next = next.min(e);
+                }
+            }
+            for q in &ch.ndp_queues {
+                for req in q {
+                    if let Some(e) = self.earliest_request_issue(ch, req, false) {
+                        next = next.min(e);
+                    }
+                }
+            }
+        }
+        if next == u64::MAX {
+            None
+        } else {
+            Some(next)
+        }
+    }
+
+    /// Jump the clock forward to `min(limit, next_event_cycle())` without
+    /// ticking, skipping cycles in which nothing can happen. A no-op when
+    /// the target is not ahead of the clock. In debug builds a sampled
+    /// audit replays the skipped span cycle-by-cycle on a clone and asserts
+    /// that no observable state changed.
+    pub fn skip_to_event(&mut self, limit: u64) {
+        let target = match self.next_event_cycle() {
+            Some(e) => e.min(limit),
+            None => limit,
+        };
+        if target <= self.now || target == u64::MAX {
+            return;
+        }
+        #[cfg(debug_assertions)]
+        self.audit_skip(target);
+        self.now = target;
+    }
+
+    /// Sampled cross-check that the span `[now, target)` is truly dead:
+    /// a per-cycle shadow replay must leave all observable state unchanged.
+    #[cfg(debug_assertions)]
+    fn audit_skip(&mut self, target: u64) {
+        let jump = target - self.now;
+        if jump <= 8 || jump > 4096 {
+            return;
+        }
+        self.skip_audits += 1;
+        if self.skip_audits % 64 != 1 {
+            return;
+        }
+        let mut shadow = self.clone();
+        while shadow.now < target {
+            shadow.tick();
+        }
+        assert_eq!(
+            shadow.stats, self.stats,
+            "skip-ahead to {target} jumped over an acting cycle (stats)"
+        );
+        assert_eq!(
+            shadow.completed.len(),
+            self.completed.len(),
+            "skip-ahead to {target} jumped over a retirement"
+        );
+        assert_eq!(
+            shadow.rank_command_counts(),
+            self.rank_command_counts(),
+            "skip-ahead to {target} jumped over a command issue"
+        );
     }
 
     /// Advance one cycle: retire finished bursts, schedule refreshes, and
@@ -452,8 +586,14 @@ impl MemorySystem {
     /// Returns the number of cycles stepped.
     pub fn drain(&mut self, max_cycles: u64) -> u64 {
         let start = self.now;
-        while self.busy() && self.now - start < max_cycles {
+        let limit = start.saturating_add(max_cycles);
+        while self.busy() && self.now < limit {
             self.tick();
+            if self.busy() {
+                // Event-driven skip: jump over cycles in which no command
+                // can issue and no burst retires.
+                self.skip_to_event(limit);
+            }
         }
         self.now - start
     }

@@ -252,6 +252,67 @@ impl Rank {
     ) -> CommandKind {
         self.bank(bank_group, bank).needed_command(row, is_read)
     }
+
+    /// Earliest cycle an ACT to `bank_group` satisfies the rank-level
+    /// constraints (tRRD_S, tRRD_L, tFAW). Bank-level tRC/tRP are layered
+    /// on top by the caller; refresh draining is not considered.
+    pub fn earliest_act(&self, bank_group: usize, t: &Timing) -> u64 {
+        let mut e = 0;
+        if let Some(last) = self.last_act_rank {
+            e = e.max(last + t.rrd_s);
+        }
+        if let Some(last) = self.last_act_group[bank_group] {
+            e = e.max(last + t.rrd_l);
+        }
+        if self.faw_window.len() == 4 {
+            let oldest = *self.faw_window.front().expect("len checked");
+            e = e.max(oldest + t.faw);
+        }
+        e
+    }
+
+    /// Earliest cycle a CAS of `kind` to `bank_group` satisfies the
+    /// rank-level constraints (tCCD_S, tCCD_L, read/write turnaround).
+    /// Bank-level tRCD and data-bus availability are layered on top by the
+    /// caller.
+    pub fn earliest_cas(&self, bank_group: usize, kind: CommandKind, t: &Timing) -> u64 {
+        let is_read = kind == CommandKind::Read;
+        let mut e = 0;
+        if let Some((last, _)) = self.last_cas_rank {
+            e = e.max(last + t.ccd_s);
+        }
+        if let Some((last, _)) = self.last_cas_group[bank_group] {
+            e = e.max(last + t.ccd_l);
+        }
+        if is_read {
+            e = e.max(self.next_read_after_write);
+        } else {
+            e = e.max(self.next_write_after_read);
+        }
+        e
+    }
+
+    /// Cycle of the next refresh-related state change: the refresh deadline
+    /// when none is pending, otherwise the next drain precharge or the
+    /// refresh command itself. Used by event-driven skip-ahead.
+    pub fn next_refresh_event(&self) -> u64 {
+        if !self.refresh_pending {
+            return self.next_refresh;
+        }
+        if self.all_precharged() {
+            // The refresh command gates only on bank 0 timing (the
+            // controller issues it with bank coordinates (0, 0)).
+            self.banks[0].earliest(CommandKind::Refresh)
+        } else {
+            // The next controller-forced drain precharge.
+            self.banks
+                .iter()
+                .filter(|b| !b.is_precharged())
+                .map(|b| b.earliest(CommandKind::Precharge))
+                .min()
+                .unwrap_or(self.next_refresh)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -75,6 +75,11 @@ impl MinDistHeap {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Remove all candidates, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
 }
 
 /// Bounded max-heap by distance: the paper's *result set* of the k′ (ef)
@@ -148,6 +153,26 @@ impl MaxDistHeap {
         let mut v = self.heap.into_vec();
         v.sort();
         v
+    }
+
+    /// Empty the heap and rebound it to `capacity`, keeping the backing
+    /// allocation (scratch reuse across searches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn reset(&mut self, capacity: usize) {
+        assert!(capacity > 0, "capacity must be positive");
+        self.heap.clear();
+        self.capacity = capacity;
+    }
+
+    /// Drain all kept entries into `out` (cleared first), closest first,
+    /// leaving the heap empty but its allocation intact.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<Neighbor>) {
+        out.clear();
+        out.extend(self.heap.drain());
+        out.sort();
     }
 
     /// Iterate over kept entries in arbitrary order.

@@ -280,7 +280,21 @@ impl Hnsw {
         ef: usize,
         oracle: &mut O,
     ) -> SearchResult {
-        self.search_inner(query, k, ef, oracle, None)
+        let mut scratch = crate::scratch::SearchScratch::new(self.len());
+        self.search_inner(query, k, ef, oracle, None, &mut scratch)
+    }
+
+    /// [`Hnsw::search`] reusing caller-provided scratch buffers
+    /// (bit-identical results, no per-query allocation).
+    pub fn search_with<O: DistanceOracle>(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        oracle: &mut O,
+        scratch: &mut crate::scratch::SearchScratch,
+    ) -> SearchResult {
+        self.search_inner(query, k, ef, oracle, None, scratch)
     }
 
     /// Search while recording the full comparison trace.
@@ -291,8 +305,21 @@ impl Hnsw {
         ef: usize,
         oracle: &mut O,
     ) -> (SearchResult, SearchTrace) {
+        let mut scratch = crate::scratch::SearchScratch::new(self.len());
+        self.search_traced_with(query, k, ef, oracle, &mut scratch)
+    }
+
+    /// [`Hnsw::search_traced`] reusing caller-provided scratch buffers.
+    pub fn search_traced_with<O: DistanceOracle>(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        oracle: &mut O,
+        scratch: &mut crate::scratch::SearchScratch,
+    ) -> (SearchResult, SearchTrace) {
         let mut trace = SearchTrace::new();
-        let r = self.search_inner(query, k, ef, oracle, Some(&mut trace));
+        let r = self.search_inner(query, k, ef, oracle, Some(&mut trace), scratch);
         (r, trace)
     }
 
@@ -303,6 +330,7 @@ impl Hnsw {
         ef: usize,
         oracle: &mut O,
         mut trace: Option<&mut SearchTrace>,
+        scratch: &mut crate::scratch::SearchScratch,
     ) -> SearchResult {
         assert!(k > 0, "k must be positive");
         let ef = ef.max(k);
@@ -357,11 +385,15 @@ impl Hnsw {
             }
         }
 
-        // Beam search at the base layer.
-        let mut visited = VisitedSet::new(self.levels.len());
+        // Beam search at the base layer, on reused scratch buffers.
+        scratch.ensure_ids(self.levels.len());
+        let visited = &mut scratch.visited;
+        visited.clear();
         visited.insert(curr);
-        let mut candidates = MinDistHeap::new();
-        let mut results = MaxDistHeap::new(ef);
+        let candidates = &mut scratch.candidates;
+        candidates.clear();
+        let results = &mut scratch.results;
+        results.reset(ef);
         let start = Neighbor::new(curr_dist, curr);
         candidates.push(start);
         results.push(start);
@@ -398,9 +430,11 @@ impl Hnsw {
             }
         }
 
-        let mut sorted = results.into_sorted();
-        sorted.truncate(k);
-        SearchResult { neighbors: sorted }
+        results.drain_sorted_into(&mut scratch.sorted);
+        scratch.sorted.truncate(k);
+        SearchResult {
+            neighbors: scratch.sorted.clone(),
+        }
     }
 
     /// Number of indexed vectors.

@@ -6,7 +6,7 @@ use rand::{Rng, SeedableRng};
 
 use ansmet_vecdata::{Dataset, Metric};
 
-use crate::heap::{MaxDistHeap, Neighbor};
+use crate::heap::Neighbor;
 use crate::oracle::{DistanceOracle, DistanceOutcome};
 use crate::trace::{Eval, Hop, HopKind, SearchTrace};
 
@@ -161,7 +161,21 @@ impl Ivf {
         nprobe: usize,
         oracle: &mut O,
     ) -> crate::hnsw::SearchResult {
-        self.search_inner(query, k, nprobe, oracle, None)
+        let mut scratch = crate::scratch::SearchScratch::new(0);
+        self.search_inner(query, k, nprobe, oracle, None, &mut scratch)
+    }
+
+    /// [`Ivf::search`] reusing caller-provided scratch buffers
+    /// (bit-identical results, no per-query allocation).
+    pub fn search_with<O: DistanceOracle>(
+        &self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        oracle: &mut O,
+        scratch: &mut crate::scratch::SearchScratch,
+    ) -> crate::hnsw::SearchResult {
+        self.search_inner(query, k, nprobe, oracle, None, scratch)
     }
 
     /// Search while recording the comparison trace.
@@ -172,8 +186,21 @@ impl Ivf {
         nprobe: usize,
         oracle: &mut O,
     ) -> (crate::hnsw::SearchResult, SearchTrace) {
+        let mut scratch = crate::scratch::SearchScratch::new(0);
+        self.search_traced_with(query, k, nprobe, oracle, &mut scratch)
+    }
+
+    /// [`Ivf::search_traced`] reusing caller-provided scratch buffers.
+    pub fn search_traced_with<O: DistanceOracle>(
+        &self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        oracle: &mut O,
+        scratch: &mut crate::scratch::SearchScratch,
+    ) -> (crate::hnsw::SearchResult, SearchTrace) {
         let mut t = SearchTrace::new();
-        let r = self.search_inner(query, k, nprobe, oracle, Some(&mut t));
+        let r = self.search_inner(query, k, nprobe, oracle, Some(&mut t), scratch);
         (r, t)
     }
 
@@ -184,17 +211,20 @@ impl Ivf {
         nprobe: usize,
         oracle: &mut O,
         mut trace: Option<&mut SearchTrace>,
+        scratch: &mut crate::scratch::SearchScratch,
     ) -> crate::hnsw::SearchResult {
         assert!(k > 0, "k must be positive");
         let nprobe = nprobe.clamp(1, self.lists.len());
 
         // Rank centroids (host-side work; centroids are replicated/cached).
-        let mut order: Vec<(f32, usize)> = self
-            .centroids
-            .iter()
-            .enumerate()
-            .map(|(c, centroid)| (ansmet_vecdata::metric::l2_squared(query, centroid), c))
-            .collect();
+        let order = &mut scratch.order;
+        order.clear();
+        order.extend(
+            self.centroids
+                .iter()
+                .enumerate()
+                .map(|(c, centroid)| (ansmet_vecdata::metric::l2_squared(query, centroid), c)),
+        );
         order.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         if let Some(t) = trace.as_deref_mut() {
             let mut hop = Hop::new(HopKind::Centroid);
@@ -209,7 +239,8 @@ impl Ivf {
             t.hops.push(hop);
         }
 
-        let mut results = MaxDistHeap::new(k);
+        let results = &mut scratch.results;
+        results.reset(k);
         for &(_, c) in order.iter().take(nprobe) {
             let mut hop = Hop::new(HopKind::ListScan);
             for &id in &self.lists[c] {
@@ -235,8 +266,8 @@ impl Ivf {
                 }
             }
         }
-        let sorted = results.into_sorted();
-        crate::hnsw::SearchResult::from_neighbors(sorted)
+        results.drain_sorted_into(&mut scratch.sorted);
+        crate::hnsw::SearchResult::from_neighbors(scratch.sorted.clone())
     }
 }
 

@@ -26,6 +26,7 @@ pub mod hnsw;
 pub mod ivf;
 pub mod oracle;
 pub mod pq;
+pub mod scratch;
 pub mod trace;
 pub mod visited;
 
@@ -34,5 +35,6 @@ pub use hnsw::{Hnsw, HnswParams, SearchResult};
 pub use ivf::{Ivf, IvfParams};
 pub use oracle::{DistanceOracle, DistanceOutcome, ExactOracle};
 pub use pq::{AdcTable, PqParams, ProductQuantizer};
+pub use scratch::SearchScratch;
 pub use trace::{Eval, Hop, HopKind, SearchTrace};
 pub use visited::VisitedSet;

@@ -1,0 +1,71 @@
+//! Reusable per-search working memory.
+//!
+//! One beam search needs a visited set sized to the database, two heaps,
+//! and (for IVF) a centroid ordering buffer. Allocating — and for the
+//! visited set, zeroing — all of them per query dominates host-side
+//! search time on small-k workloads; a [`SearchScratch`] threaded through
+//! consecutive searches amortizes that setup to an O(1) epoch bump.
+
+use crate::heap::{MaxDistHeap, MinDistHeap, Neighbor};
+use crate::visited::VisitedSet;
+
+/// Reusable buffers for [`Hnsw::search_with`](crate::Hnsw::search_with)
+/// and [`Ivf::search_with`](crate::Ivf::search_with).
+///
+/// A scratch is tied to no particular index: capacities grow on demand,
+/// so one scratch may serve searches over different datasets. Results are
+/// bit-identical to the allocating entry points.
+#[derive(Debug)]
+pub struct SearchScratch {
+    /// Visited markers for ids `0..n` (epoch-cleared).
+    pub(crate) visited: VisitedSet,
+    /// The unbounded candidate (search) set.
+    pub(crate) candidates: MinDistHeap,
+    /// The bounded result set (rebounded to ef / k per search).
+    pub(crate) results: MaxDistHeap,
+    /// Sorted drain buffer for the result set.
+    pub(crate) sorted: Vec<Neighbor>,
+    /// IVF centroid ordering: `(distance, list)` pairs.
+    pub(crate) order: Vec<(f32, usize)>,
+}
+
+impl SearchScratch {
+    /// Create a scratch for searches over up to `n` vectors (grown
+    /// automatically if a larger index is searched later).
+    pub fn new(n: usize) -> Self {
+        SearchScratch {
+            visited: VisitedSet::new(n),
+            candidates: MinDistHeap::new(),
+            results: MaxDistHeap::new(1),
+            sorted: Vec::new(),
+            order: Vec::new(),
+        }
+    }
+
+    /// Make sure the visited set covers ids `0..n`.
+    pub(crate) fn ensure_ids(&mut self, n: usize) {
+        if self.visited.capacity() < n {
+            self.visited = VisitedSet::new(n);
+        }
+    }
+}
+
+impl Default for SearchScratch {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_on_demand() {
+        let mut s = SearchScratch::new(4);
+        s.ensure_ids(2);
+        assert_eq!(s.visited.capacity(), 4);
+        s.ensure_ids(100);
+        assert_eq!(s.visited.capacity(), 100);
+    }
+}

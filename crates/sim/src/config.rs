@@ -4,6 +4,32 @@ use ansmet_dram::DramConfig;
 use ansmet_host::CpuModel;
 use ansmet_ndp::{ComputeUnit, PartitionScheme, PollingPolicy};
 
+/// How many worker threads the trace replay may use.
+///
+/// Queries are independent traces replayed on private memory-system
+/// state, so any thread count produces bit-identical aggregate results;
+/// this knob only trades wall-clock time for cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Use the process-wide default set by
+    /// [`crate::parallel::set_default_threads`] (1 unless overridden,
+    /// e.g. by the experiments binary's `--threads` flag).
+    #[default]
+    Auto,
+    /// Use exactly this many worker threads (clamped to at least 1).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// Resolve to a concrete thread count.
+    pub fn resolve(self) -> usize {
+        match self {
+            Parallelism::Auto => crate::parallel::default_threads(),
+            Parallelism::Threads(n) => n.max(1),
+        }
+    }
+}
+
 /// Full-system parameters.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -21,6 +47,8 @@ pub struct SystemConfig {
     /// Replicate hot vectors (top HNSW layers / IVF centroids) to all
     /// rank groups.
     pub replicate_hot: bool,
+    /// Worker threads for query-parallel trace replay.
+    pub parallelism: Parallelism,
 }
 
 impl Default for SystemConfig {
@@ -32,6 +60,7 @@ impl Default for SystemConfig {
             partition: PartitionScheme::Hybrid { subvec_bytes: 1024 },
             polling: None,
             replicate_hot: true,
+            parallelism: Parallelism::Auto,
         }
     }
 }

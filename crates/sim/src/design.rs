@@ -233,6 +233,7 @@ fn pick_measured(
     let _ = (frac, range);
     let mut best = None;
     let mut best_cost = u64::MAX;
+    let mut scratch = ansmet_core::EtScratch::new();
     for cfg in candidates {
         let engine = EtEngine::new(data, cfg.clone());
         let mut cost = 0u64;
@@ -243,6 +244,7 @@ fn pick_measured(
                 &workload.queries[qi],
                 &chunks,
                 thr,
+                &mut scratch,
             );
             cost += m.total_lines() as u64;
         }

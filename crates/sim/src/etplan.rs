@@ -4,7 +4,7 @@
 //! exact accuracy (§5.3). Used by the timing replay and by the empirical
 //! layout selection so both see identical fetch behavior.
 
-use ansmet_core::EtEngine;
+use ansmet_core::{EtEngine, EtScratch};
 
 /// Per-chunk line counts and the sound rejection verdict.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,11 +43,12 @@ pub fn evaluate_chunked(
     query: &[f32],
     chunks: &[std::ops::Range<usize>],
     threshold: f32,
+    scratch: &mut EtScratch,
 ) -> MultiEval {
     assert!(!chunks.is_empty(), "need at least one chunk");
     let dim = engine.dataset().dim();
     if chunks.len() == 1 && chunks[0] == (0..dim) {
-        let c = engine.evaluate(id, query, threshold);
+        let c = engine.evaluate_with(id, query, threshold, scratch);
         return MultiEval {
             lines: vec![c.lines],
             backup_lines: c.backup_lines,
@@ -67,7 +68,7 @@ pub fn evaluate_chunked(
     for dims in chunks {
         let share = threshold * (dims.len() as f32 / dim as f32);
         let c = engine
-            .evaluate_range(id, query, dims.clone(), share)
+            .evaluate_range_with(id, query, dims.clone(), share, scratch)
             .expect("planner chunks are in range");
         bounds_sum += c.final_bound;
         local.push(Local {
@@ -88,7 +89,7 @@ pub fn evaluate_chunked(
             for l in local.iter_mut().filter(|l| l.stopped) {
                 let residual = (threshold as f64 - (old_sum - l.bound)) as f32;
                 let c = engine
-                    .evaluate_range(id, query, l.dims.clone(), residual)
+                    .evaluate_range_with(id, query, l.dims.clone(), residual, scratch)
                     .expect("planner chunks are in range");
                 bounds_sum += c.final_bound - l.bound;
                 l.bound = c.final_bound;
@@ -131,10 +132,11 @@ mod tests {
         );
         let chunks: Vec<std::ops::Range<usize>> =
             (0..4).map(|i| i * 240..(i + 1) * 240).collect();
+        let mut scratch = EtScratch::new();
         for q in &queries {
             for id in 0..40 {
                 let d = data.distance_to(id, q);
-                let m = evaluate_chunked(&engine, id, q, &chunks, d * 0.7);
+                let m = evaluate_chunked(&engine, id, q, &chunks, d * 0.7, &mut scratch);
                 if m.pruned {
                     assert!(d >= d * 0.7);
                 } else {
@@ -159,7 +161,8 @@ mod tests {
         let dim = data.dim();
         #[allow(clippy::single_range_in_vec_init)] // one whole-vector chunk is the point
         let chunks = [0..dim];
-        let m = evaluate_chunked(&engine, 5, &queries[0], &chunks, f32::INFINITY);
+        let mut scratch = EtScratch::new();
+        let m = evaluate_chunked(&engine, 5, &queries[0], &chunks, f32::INFINITY, &mut scratch);
         let c = engine.evaluate(5, &queries[0], f32::INFINITY);
         assert_eq!(m.lines[0], c.lines);
         assert_eq!(m.pruned, c.pruned);
@@ -177,9 +180,10 @@ mod tests {
         let q = &queries[0];
         let full = engine.config().schedule.total_lines(240) * 4;
         let mut saved = false;
+        let mut scratch = EtScratch::new();
         for id in 0..60 {
             let d = data.distance_to(id, q);
-            let m = evaluate_chunked(&engine, id, q, &chunks, d * 0.5);
+            let m = evaluate_chunked(&engine, id, q, &chunks, d * 0.5, &mut scratch);
             if m.pruned && m.total_lines() < full {
                 saved = true;
             }

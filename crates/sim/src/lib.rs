@@ -33,12 +33,14 @@ pub mod energy;
 pub mod error;
 pub mod etplan;
 pub mod experiment;
+pub mod parallel;
 pub mod report;
 pub mod throughput;
 pub mod timing;
 pub mod workload;
 
-pub use config::SystemConfig;
+pub use config::{Parallelism, SystemConfig};
+pub use parallel::{default_threads, queries_simulated, set_default_threads};
 pub use degraded::{run_degraded, DegradedRunResult, FaultyNdpOracle, RecoveryReport};
 pub use design::{Design, DesignPlan, EtKind};
 pub use error::AnsmetError;

@@ -1,0 +1,33 @@
+//! Process-wide parallelism default and simulation counters.
+//!
+//! Experiment entry points construct [`crate::SystemConfig`] internally,
+//! so the `--threads` flag of the experiments binary is plumbed through a
+//! process-wide default that [`crate::config::Parallelism::Auto`]
+//! resolves to. Explicit [`crate::config::Parallelism::Threads`] values
+//! bypass the default entirely.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(1);
+static QUERIES_SIMULATED: AtomicU64 = AtomicU64::new(0);
+
+/// Set the thread count `Parallelism::Auto` resolves to (clamped ≥ 1).
+pub fn set_default_threads(n: usize) {
+    DEFAULT_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The thread count `Parallelism::Auto` currently resolves to.
+pub fn default_threads() -> usize {
+    DEFAULT_THREADS.load(Ordering::Relaxed)
+}
+
+/// Total queries replayed by [`crate::run_design`] since process start.
+/// Monotonic; benchmark harnesses read deltas around timed sections to
+/// derive queries-per-second.
+pub fn queries_simulated() -> u64 {
+    QUERIES_SIMULATED.load(Ordering::Relaxed)
+}
+
+pub(crate) fn record_queries(n: u64) {
+    QUERIES_SIMULATED.fetch_add(n, Ordering::Relaxed);
+}

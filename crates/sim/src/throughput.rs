@@ -99,6 +99,7 @@ pub fn run_design_throughput(
     let mut uploaded: HashMap<(usize, usize), ()> = HashMap::new();
     let mut req_base = 0u64;
     let mut clock = 0u64;
+    let mut et_scratch = ansmet_core::EtScratch::new();
 
     loop {
         // Refill streams.
@@ -151,6 +152,7 @@ pub fn run_design_throughput(
                                 query,
                                 &chunks,
                                 e.threshold,
+                                &mut et_scratch,
                             );
                             (m.lines, m.backup_lines)
                         }

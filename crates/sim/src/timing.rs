@@ -8,6 +8,7 @@
 //! All data movement goes through the cycle-accurate DDR5 simulator.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use ansmet_core::EtEngine;
 use ansmet_dram::{AccessKind, Location, MemorySystem, Port, Request};
@@ -46,7 +47,7 @@ impl QueryBreakdown {
 }
 
 /// Result of running one design over a workload.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// The design simulated.
     pub design: Design,
@@ -194,6 +195,10 @@ pub(crate) fn run_ndp_batch(
     while remaining > 0 {
         let now = mem.now();
         // Admit waiting sub-tasks up to the QSHR limit, then issue fetches.
+        // Track the earliest compute-gap expiry among admitted sub-tasks
+        // so the event skip below never jumps past an issuable fetch.
+        let mut wake = u64::MAX;
+        let mut blocked = false;
         for (i, s) in subs.iter_mut().enumerate() {
             if s.finished_at.is_some() {
                 continue;
@@ -206,20 +211,32 @@ pub(crate) fn run_ndp_batch(
                     continue;
                 }
             }
-            if s.outstanding.is_none() && s.ready_at <= now && s.lines_left > 0 {
-                let addr = rank_line_addr(mem, s.rank, s.next_line);
-                let id = *req_base;
-                let req = Request::new(id, AccessKind::Read, addr, Port::Ndp);
-                if mem.enqueue(req).is_ok() {
-                    *req_base += 1;
-                    s.outstanding = Some(id);
-                    inflight.insert(id, i);
+            if s.outstanding.is_none() && s.lines_left > 0 {
+                if s.ready_at <= now {
+                    let addr = rank_line_addr(mem, s.rank, s.next_line);
+                    let id = *req_base;
+                    let req = Request::new(id, AccessKind::Read, addr, Port::Ndp);
+                    if mem.enqueue(req).is_ok() {
+                        *req_base += 1;
+                        s.outstanding = Some(id);
+                        inflight.insert(id, i);
+                    } else {
+                        blocked = true;
+                    }
+                } else {
+                    wake = wake.min(s.ready_at);
                 }
             }
         }
         mem.tick();
         let now = mem.now();
-        for resp in mem.take_completed() {
+        let responses = mem.take_completed();
+        if responses.is_empty() && !blocked {
+            // Dead cycles until the DRAM model can act again or a compute
+            // gap elapses — jump straight there.
+            mem.skip_to_event(wake);
+        }
+        for resp in responses {
             if let Some(&i) = inflight.get(&resp.id) {
                 inflight.remove(&resp.id);
                 let s = &mut subs[i];
@@ -244,71 +261,154 @@ pub(crate) fn run_ndp_batch(
     finish_max
 }
 
+/// Immutable per-run state shared (read-only) by all worker threads.
+struct RunPrep<'a> {
+    design: Design,
+    workload: &'a Workload,
+    config: &'a SystemConfig,
+    partitioner: Partitioner,
+    engine: Option<EtEngine<'a>>,
+    replicas: ReplicaSet,
+    polling: PollingPolicy,
+    natural_lines: usize,
+    full_lines: usize,
+    ndp_compute_delay: u64,
+    query_bytes: usize,
+    elem_bytes: usize,
+    mem_clock: u64,
+}
+
+impl<'a> RunPrep<'a> {
+    fn new(design: Design, workload: &'a Workload, config: &'a SystemConfig) -> Self {
+        let data = &workload.data;
+        let dim = data.dim();
+        let elem_bytes = data.dtype().bytes();
+
+        // NDP-side structures.
+        let partitioner = Partitioner::new(config.partition, config.ndp_units(), dim, elem_bytes);
+        let layout_dim = if design.is_ndp() {
+            partitioner.dims_per_subvector()
+        } else {
+            dim
+        };
+        let plan = DesignPlan::build_for_layout(design, workload, layout_dim);
+        let engine = plan
+            .et
+            .as_ref()
+            .map(|et| EtEngine::new(&workload.data, et.clone()));
+        let natural_lines = data.vector_lines();
+        let mem_clock = config.dram.clock_mhz;
+
+        let replicas = if config.replicate_hot && design.is_ndp() {
+            ReplicaSet::new(workload.hot_ids())
+        } else {
+            ReplicaSet::new([])
+        };
+
+        // Compute delay per fetched line in memory cycles. The 16 lanes
+        // consume elements while the burst streams in and while the next
+        // fetch's DRAM access latency elapses, so only the reduce/compare
+        // tail gates the decision to issue the next fetch.
+        let ndp_compute_delay = config
+            .compute
+            .to_mem_cycles(config.compute.reduce_cycles, mem_clock)
+            .max(1);
+
+        // Polling policy.
+        let polling = config.polling.clone().unwrap_or_else(|| {
+            let hist = line_histogram(&plan, workload, natural_lines);
+            PollingPolicy::Adaptive {
+                latency_histogram: hist,
+                cycles_per_line: 60,
+                task_overhead: 50 + ndp_compute_delay,
+                retry_period: 60,
+            }
+        });
+
+        // Lines one full (non-terminated) comparison fetches.
+        let full_lines = engine
+            .as_ref()
+            .map(|e| e.full_lines())
+            .unwrap_or(natural_lines);
+
+        RunPrep {
+            design,
+            workload,
+            config,
+            partitioner,
+            engine,
+            replicas,
+            polling,
+            natural_lines,
+            full_lines,
+            ndp_compute_delay,
+            query_bytes: (dim * elem_bytes).min(1024),
+            elem_bytes,
+            mem_clock,
+        }
+    }
+}
+
+/// Per-query simulation output, merged in query order so aggregates are
+/// independent of worker scheduling.
+#[derive(Debug, Default)]
+struct QueryStats {
+    breakdown: QueryBreakdown,
+    effectual_lines: u64,
+    ineffectual_lines: u64,
+    backup_lines: u64,
+    pruned_evals: u64,
+    total_evals: u64,
+    host_cpu_cycles: u64,
+    ndp_compute_lines: u64,
+    polls: u64,
+    rank_counts: Vec<(u64, u64, u64, u64, u64)>,
+    rank_loads: Vec<u64>,
+}
+
+/// Fold one query's stats into the aggregate. Addition is performed in
+/// query order, so serial and parallel runs produce bit-identical results.
+fn merge_query(agg: &mut RunResult, qs: QueryStats) {
+    agg.total_cycles += qs.breakdown.total();
+    agg.breakdown.add(&qs.breakdown);
+    agg.effectual_lines += qs.effectual_lines;
+    agg.ineffectual_lines += qs.ineffectual_lines;
+    agg.backup_lines += qs.backup_lines;
+    agg.pruned_evals += qs.pruned_evals;
+    agg.total_evals += qs.total_evals;
+    agg.host_cpu_cycles += qs.host_cpu_cycles;
+    agg.ndp_compute_lines += qs.ndp_compute_lines;
+    agg.polls += qs.polls;
+    if agg.rank_counts.is_empty() {
+        agg.rank_counts = qs.rank_counts;
+    } else {
+        for (a, b) in agg.rank_counts.iter_mut().zip(&qs.rank_counts) {
+            a.0 += b.0;
+            a.1 += b.1;
+            a.2 += b.2;
+            a.3 += b.3;
+            a.4 += b.4;
+        }
+    }
+    if agg.rank_loads.is_empty() {
+        agg.rank_loads = qs.rank_loads;
+    } else {
+        for (a, b) in agg.rank_loads.iter_mut().zip(&qs.rank_loads) {
+            *a += b;
+        }
+    }
+}
+
 /// Run `design` over `workload` under `config`.
+///
+/// Queries are independent traces replayed on private per-query memory
+/// state, so they shard freely across worker threads
+/// (`config.parallelism`); per-query stats are merged in query order, so
+/// the result is bit-identical for every thread count.
 pub fn run_design(design: Design, workload: &Workload, config: &SystemConfig) -> RunResult {
-    let data = &workload.data;
-    let dim = data.dim();
-    let elem_bytes = data.dtype().bytes();
-
-    // NDP-side structures.
-    let partitioner = Partitioner::new(config.partition, config.ndp_units(), dim, elem_bytes);
-    let layout_dim = if design.is_ndp() {
-        partitioner.dims_per_subvector()
-    } else {
-        dim
-    };
-    let plan = DesignPlan::build_for_layout(design, workload, layout_dim);
-    let engine = plan
-        .et
-        .as_ref()
-        .map(|et| EtEngine::new(&workload.data, et.clone()));
-    let natural_lines = data.vector_lines();
-    let mem_clock = config.dram.clock_mhz;
-
-    let mut mem = MemorySystem::new(config.dram.clone());
-    let cpu = &config.cpu;
-    let replicas = if config.replicate_hot && design.is_ndp() {
-        ReplicaSet::new(workload.hot_ids())
-    } else {
-        ReplicaSet::new([])
-    };
-    let mut loads = LoadTracker::new(config.ndp_units(), partitioner.group_size());
-
-    // Compute delay per fetched line in memory cycles.
-    let elements_per_line = match &plan.et {
-        None => 64 / elem_bytes,
-        Some(et) => {
-            let min_step = et.schedule.steps().iter().copied().min().unwrap_or(8);
-            ansmet_core::FetchSchedule::dims_per_line(min_step).min(dim)
-        }
-    };
-    // The 16 lanes consume elements while the burst streams in and while
-    // the next fetch's DRAM access latency elapses, so only the
-    // reduce/compare tail gates the decision to issue the next fetch.
-    let _ = elements_per_line;
-    let ndp_compute_delay = config
-        .compute
-        .to_mem_cycles(config.compute.reduce_cycles, mem_clock)
-        .max(1);
-
-    // Polling policy.
-    let polling = config.polling.clone().unwrap_or_else(|| {
-        let hist = line_histogram(&plan, workload, natural_lines);
-        PollingPolicy::Adaptive {
-            latency_histogram: hist,
-            cycles_per_line: 60,
-            task_overhead: 50 + ndp_compute_delay,
-            retry_period: 60,
-        }
-    });
-
-    // Lines one full (non-terminated) comparison fetches.
-    let full_lines = engine
-        .as_ref()
-        .map(|e| e.full_lines())
-        .unwrap_or(natural_lines);
-
-    let mut result = RunResult {
+    let prep = RunPrep::new(design, workload, config);
+    let n = workload.traces.len();
+    let mut agg = RunResult {
         design,
         total_cycles: 0,
         breakdown: QueryBreakdown::default(),
@@ -324,301 +424,360 @@ pub fn run_design(design: Design, workload: &Workload, config: &SystemConfig) ->
         polls: 0,
         queries: workload.queries.len(),
     };
+    let threads = config.parallelism.resolve().min(n.max(1));
+    if threads <= 1 {
+        for qi in 0..n {
+            let qs = run_query(&prep, qi);
+            merge_query(&mut agg, qs);
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let mut parts: Vec<(usize, QueryStats)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let prep = &prep;
+                    let next = &next;
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let qi = next.fetch_add(1, Ordering::Relaxed);
+                            if qi >= n {
+                                break;
+                            }
+                            out.push((qi, run_query(prep, qi)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("simulation worker panicked"))
+                .collect()
+        });
+        parts.sort_by_key(|p| p.0);
+        for (_, qs) in parts {
+            merge_query(&mut agg, qs);
+        }
+    }
+    crate::parallel::record_queries(n as u64);
+    agg
+}
 
+/// Replay one query's trace on fresh per-query memory/NDP state.
+///
+/// Purity is the determinism contract: everything mutated here (memory
+/// system, load tracker, request ids, the adaptive-polling EWMA) is local
+/// to this call, so the result depends only on `(prep, qi)` — never on
+/// which other queries ran before or concurrently.
+fn run_query(prep: &RunPrep, qi: usize) -> QueryStats {
+    let config = prep.config;
+    let workload = prep.workload;
+    let design = prep.design;
+    let cpu = &config.cpu;
+    let mem_clock = prep.mem_clock;
+    let engine = &prep.engine;
+    let natural_lines = prep.natural_lines;
+    let full_lines = prep.full_lines;
+    let ndp_compute_delay = prep.ndp_compute_delay;
+    let query_bytes = prep.query_bytes;
+    let elem_bytes = prep.elem_bytes;
+    let partitioner = &prep.partitioner;
+    let replicas = &prep.replicas;
+    let polling = &prep.polling;
+
+    let mut mem = MemorySystem::new(config.dram.clone());
+    let mut loads = LoadTracker::new(config.ndp_units(), partitioner.group_size());
+    let mut qs = QueryStats::default();
     let mut req_base: u64 = 0;
-    let query_bytes = (dim * elem_bytes).min(1024);
+    let mut et_scratch = ansmet_core::EtScratch::new();
     // Running estimate of per-hop batch latency for adaptive polling,
     // seeded from the sampling-profile expectation and refined with an
     // exponential moving average of observed batches (the sampled
     // distribution fixes the shape; the EWMA absorbs service-time
-    // queueing the offline model cannot see).
+    // queueing the offline model cannot see). Reset per query so results
+    // do not depend on query execution order.
     let mut batch_ewma: f64 = polling.expected_batch_latency(1) as f64;
 
-    for (qi, trace) in workload.traces.iter().enumerate() {
-        let query = &workload.queries[qi];
-        let mut clock = mem.now();
-        let mut bd = QueryBreakdown::default();
-        let mut uploaded = vec![false; config.ndp_units()];
+    let trace = &workload.traces[qi];
+    let query = &workload.queries[qi];
+    let mut clock = mem.now();
+    let mut bd = QueryBreakdown::default();
+    let mut uploaded = vec![false; config.ndp_units()];
 
-        for hop in &trace.hops {
-            // Host traversal work for this hop.
-            let accepted = hop.evals.iter().filter(|e| e.accepted).count();
-            let hop_cpu = cpu.hop_cycles(hop.evals.len(), accepted);
-            result.host_cpu_cycles += hop_cpu;
-            let hop_mem = cpu.to_mem_cycles(hop_cpu, mem_clock);
-            clock += hop_mem;
-            bd.traversal += hop_mem;
+    for hop in &trace.hops {
+        // Host traversal work for this hop.
+        let accepted = hop.evals.iter().filter(|e| e.accepted).count();
+        let hop_cpu = cpu.hop_cycles(hop.evals.len(), accepted);
+        qs.host_cpu_cycles += hop_cpu;
+        let hop_mem = cpu.to_mem_cycles(hop_cpu, mem_clock);
+        clock += hop_mem;
+        bd.traversal += hop_mem;
 
-            if hop.evals.is_empty() {
-                continue;
-            }
-            // Centroid hops are host-side arithmetic on cached centroids.
-            if hop.kind == HopKind::Centroid {
-                let c = cpu.distance_compute_cycles(natural_lines) * hop.evals.len() as u64;
-                result.host_cpu_cycles += c;
-                let m = cpu.to_mem_cycles(c, mem_clock);
-                clock += m;
-                bd.traversal += m;
-                continue;
-            }
+        if hop.evals.is_empty() {
+            continue;
+        }
+        // Centroid hops are host-side arithmetic on cached centroids.
+        if hop.kind == HopKind::Centroid {
+            let c = cpu.distance_compute_cycles(natural_lines) * hop.evals.len() as u64;
+            qs.host_cpu_cycles += c;
+            let m = cpu.to_mem_cycles(c, mem_clock);
+            clock += m;
+            bd.traversal += m;
+            continue;
+        }
 
-            // Per-eval fetch plans.
-            struct EvalPlanned {
-                id: usize,
-                lines_by_placement: Vec<(usize, usize)>, // (rank, lines)
-                backup: usize,
-            }
-            let mut planned: Vec<EvalPlanned> = Vec::with_capacity(hop.evals.len());
-            let mut resumed = false;
-            for e in &hop.evals {
-                let placements = if replicas.contains(e.id) {
-                    partitioner.placement_in_group(e.id, loads.least_loaded_group())
-                } else {
-                    partitioner.placement(e.id)
+        // Per-eval fetch plans.
+        struct EvalPlanned {
+            id: usize,
+            lines_by_placement: Vec<(usize, usize)>, // (rank, lines)
+            backup: usize,
+        }
+        let mut planned: Vec<EvalPlanned> = Vec::with_capacity(hop.evals.len());
+        let mut resumed = false;
+        for e in &hop.evals {
+            let placements = if replicas.contains(e.id) {
+                partitioner.placement_in_group(e.id, loads.least_loaded_group())
+            } else {
+                partitioner.placement(e.id)
+            };
+            let mut lines_by_placement = Vec::with_capacity(placements.len());
+            let mut backup = 0usize;
+            let mut pruned = false;
+            if placements.len() == 1 || !design.is_ndp() {
+                // Whole vector evaluated in one place (CPU designs
+                // always see the whole vector).
+                let (lines, bk, pr) = match &engine {
+                    None => (natural_lines, 0, false),
+                    Some(eng) => {
+                        let c = eng.evaluate_with(e.id, query, e.threshold, &mut et_scratch);
+                        (c.lines, c.backup_lines, c.pruned)
+                    }
                 };
-                let mut lines_by_placement = Vec::with_capacity(placements.len());
-                let mut backup = 0usize;
-                let mut pruned = false;
-                if placements.len() == 1 || !design.is_ndp() {
-                    // Whole vector evaluated in one place (CPU designs
-                    // always see the whole vector).
-                    let (lines, bk, pr) = match &engine {
-                        None => (natural_lines, 0, false),
-                        Some(eng) => {
-                            let c = eng.evaluate(e.id, query, e.threshold);
-                            (c.lines, c.backup_lines, c.pruned)
+                pruned = pr;
+                backup = bk;
+                let rank = placements[0].rank;
+                lines_by_placement.push((rank, lines));
+            } else {
+                // Vertical sub-vectors: local ET with proportional
+                // threshold shares, aggregated soundly by the host
+                // (see `etplan`).
+                match &engine {
+                    None => {
+                        for p in &placements {
+                            let lines = (p.dims.len() * elem_bytes).div_ceil(64);
+                            lines_by_placement.push((p.rank, lines));
                         }
-                    };
-                    pruned = pr;
-                    backup = bk;
-                    let rank = placements[0].rank;
-                    lines_by_placement.push((rank, lines));
-                } else {
-                    // Vertical sub-vectors: local ET with proportional
-                    // threshold shares, aggregated soundly by the host
-                    // (see `etplan`).
-                    match &engine {
-                        None => {
-                            for p in &placements {
-                                let lines = (p.dims.len() * elem_bytes).div_ceil(64);
-                                lines_by_placement.push((p.rank, lines));
-                            }
-                        }
-                        Some(eng) => {
-                            let chunks: Vec<std::ops::Range<usize>> =
-                                placements.iter().map(|p| p.dims.clone()).collect();
-                            let m = crate::etplan::evaluate_chunked(
+                    }
+                    Some(eng) => {
+                        let chunks: Vec<std::ops::Range<usize>> =
+                            placements.iter().map(|p| p.dims.clone()).collect();
+                        let m =
+                            crate::etplan::evaluate_chunked(
                                 eng,
                                 e.id,
                                 query,
                                 &chunks,
                                 e.threshold,
+                                &mut et_scratch,
                             );
-                            pruned = m.pruned;
-                            backup = m.backup_lines;
-                            resumed |= m.resumed;
-                            for (p, l) in placements.iter().zip(&m.lines) {
-                                lines_by_placement.push((p.rank, *l));
-                            }
+                        pruned = m.pruned;
+                        backup = m.backup_lines;
+                        resumed |= m.resumed;
+                        for (p, l) in placements.iter().zip(&m.lines) {
+                            lines_by_placement.push((p.rank, *l));
                         }
                     }
                 }
-                let total: usize =
-                    lines_by_placement.iter().map(|&(_, l)| l).sum::<usize>() + backup;
-                if e.accepted {
-                    result.effectual_lines += (total - backup) as u64;
-                } else {
-                    result.ineffectual_lines += (total - backup) as u64;
-                }
-                result.backup_lines += backup as u64;
-                result.total_evals += 1;
-                if pruned {
-                    result.pruned_evals += 1;
-                }
-                result.ndp_compute_lines += total as u64;
-                for &(rank, lines) in &lines_by_placement {
-                    loads.add(rank, lines as u64);
-                }
-                planned.push(EvalPlanned {
-                    id: e.id,
-                    lines_by_placement,
-                    backup,
-                });
             }
-            if design.is_ndp() {
-                // Offload: upload query to first-touched ranks, then
-                // set-search writes (≤ 8 tasks each).
-                let mut tasks_per_rank: HashMap<usize, usize> = HashMap::new();
-                for p in &planned {
-                    for &(rank, _) in &p.lines_by_placement {
-                        *tasks_per_rank.entry(rank).or_insert(0) += 1;
-                    }
-                }
-                // §5.2: set-search is issued before set-query, so the
-                // NDP unit starts fetching the search vector while the
-                // query uploads — the upload overlaps the batch below.
-                let mut offload_cpu = 0u64;
-                let mut upload_cpu = 0u64;
-                for (&rank, &tasks) in &tasks_per_rank {
-                    if !uploaded[rank] {
-                        uploaded[rank] = true;
-                        upload_cpu += cpu.query_upload_cycles(query_bytes);
-                    }
-                    offload_cpu += cpu.offload_cycles(tasks);
-                }
-                result.host_cpu_cycles += offload_cpu + upload_cpu;
-                let offload_mem = cpu.to_mem_cycles(offload_cpu, mem_clock);
-                let upload_mem = cpu.to_mem_cycles(upload_cpu, mem_clock);
-                clock += offload_mem;
-                bd.offload += offload_mem;
-
-                // Build sub-tasks and execute.
-                let mut subs: Vec<SubTask> = Vec::new();
-                for p in &planned {
-                    for (pi, &(rank, lines)) in p.lines_by_placement.iter().enumerate() {
-                        let base =
-                            (p.id as u64) * (full_lines as u64 + natural_lines as u64 + 2)
-                                + pi as u64;
-                        subs.push(SubTask::new(
-                            rank,
-                            lines + if pi == 0 { p.backup } else { 0 },
-                            base,
-                            ndp_compute_delay,
-                        ));
-                    }
-                }
-                let t0 = clock.max(mem.now());
-                let mut finish =
-                    run_ndp_batch(&mut mem, &mut subs, 32, &mut req_base, t0);
-                // The overlapped query upload may outlast the fetches.
-                if t0 + upload_mem > finish {
-                    let extra = t0 + upload_mem - finish;
-                    finish += extra;
-                    bd.offload += extra;
-                    if mem.now() < finish && !mem.busy() {
-                        mem.fast_forward_to(finish).expect("idle fast-forward");
-                    }
-                }
-                // A residual round is an extra host round-trip: the host
-                // polls the partial bounds, re-offloads to the terminated
-                // ranks, and waits for another rank-local fetch burst.
-                if resumed {
-                    finish += cpu.to_mem_cycles(
-                        cpu.offload_cycles(8) + cpu.poll_cycles(),
-                        mem_clock,
-                    ) + 200;
-                    if mem.now() < finish && !mem.busy() {
-                        mem.fast_forward_to(finish).expect("idle fast-forward");
-                    }
-                }
-                bd.dist_comp += finish - t0;
-
-                // Polling. Tasks on one rank occupy distinct QSHRs and
-                // run in parallel, so the expected batch latency is that
-                // of one task; stragglers are caught by the retry period.
-                let actual = finish - t0;
-                let stats = match &polling {
-                    PollingPolicy::Conventional { .. } => polling.observe(1, actual),
-                    PollingPolicy::Adaptive { retry_period, .. } => {
-                        // Poll slightly ahead of the expectation and let
-                        // short retries catch the tail: wasted delay stays
-                        // below one retry period on average. The first
-                        // poll never waits longer than the conventional
-                        // period, so adaptive polling cannot lose to it on
-                        // short batches either.
-                        let first = (batch_ewma.ceil() as u64).min(240);
-                        batch_ewma = 0.7 * batch_ewma + 0.3 * actual as f64;
-                        observe_at(first, (*retry_period).min(40), actual)
-                    }
-                };
-                result.polls += stats.polls as u64;
-                // Intermediate "not ready" polls only read a status word;
-                // result parsing happens once, on the final poll.
-                let poll_cpu = cpu.costs.offload_command * (stats.polls as u64 - 1)
-                    + cpu.poll_cycles();
-                result.host_cpu_cycles += poll_cpu;
-                let observe_abs = t0 + stats.observed_at;
-                let after_poll = observe_abs + cpu.to_mem_cycles(poll_cpu, mem_clock);
-                bd.result_collect += after_poll - finish;
-                clock = after_poll;
-                if mem.now() < clock && !mem.busy() {
-                    mem.fast_forward_to(clock).expect("idle fast-forward");
-                }
-                clock = clock.max(mem.now());
+            let total: usize = lines_by_placement.iter().map(|&(_, l)| l).sum::<usize>() + backup;
+            if e.accepted {
+                qs.effectual_lines += (total - backup) as u64;
             } else {
-                // CPU path: comparisons execute serially on one core;
-                // within one comparison the vector lines stream with
-                // memory-level parallelism. Two additional effects make
-                // the host memory-bound as in the paper's measurements:
-                // every vector fetch traverses the cache hierarchy (an
-                // LLC miss costs its lookup latency before DRAM), and the
-                // four channels are shared by all sixteen active cores,
-                // so per-core streaming bandwidth is capped at
-                // channels/cores of the peak.
-                let hop_start = clock;
-                let llc_mem = cpu.to_mem_cycles(60, mem_clock);
-                let burst = config.dram.timing.burst_cycles;
-                let contention =
-                    cpu.cores as u64 * burst / config.dram.channels as u64;
-                for p in &planned {
-                    let lines: usize = p
-                        .lines_by_placement
-                        .iter()
-                        .map(|&(_, l)| l)
-                        .sum::<usize>()
-                        + p.backup;
-                    if lines > 0 {
-                        if mem.now() < clock && !mem.busy() {
-                            mem.fast_forward_to(clock).expect("idle fast-forward");
-                        }
-                        let start = mem.now();
-                        let base_line =
-                            (p.id as u64) * (full_lines as u64 + natural_lines as u64 + 2);
-                        let mut pending = 0usize;
-                        for l in 0..lines as u64 {
-                            let addr = (base_line + l) * 64;
-                            let req =
-                                Request::new(req_base, AccessKind::Read, addr, Port::Host);
-                            req_base += 1;
-                            if mem.enqueue(req).is_ok() {
-                                pending += 1;
-                            }
-                            // Respect queue capacity.
-                            while !mem.can_accept((base_line + l + 1) * 64, Port::Host)
-                                && pending > 0
-                            {
-                                mem.tick();
-                                pending -= mem.take_completed().len();
-                            }
-                        }
-                        while pending > 0 {
-                            mem.tick();
-                            pending -= mem.take_completed().len();
-                        }
-                        let drained = mem.now() - start;
-                        let bw_floor = lines as u64 * contention;
-                        clock += drained.max(bw_floor) + llc_mem;
-                        if mem.now() < clock && !mem.busy() {
-                            mem.fast_forward_to(clock).expect("idle fast-forward");
-                        }
-                        clock = clock.max(mem.now());
-                    }
-                    let c = cpu.distance_compute_cycles(lines.max(1));
-                    result.host_cpu_cycles += c;
-                    clock += cpu.to_mem_cycles(c, mem_clock);
-                }
-                bd.dist_comp += clock - hop_start;
+                qs.ineffectual_lines += (total - backup) as u64;
             }
+            qs.backup_lines += backup as u64;
+            qs.total_evals += 1;
+            if pruned {
+                qs.pruned_evals += 1;
+            }
+            qs.ndp_compute_lines += total as u64;
+            for &(rank, lines) in &lines_by_placement {
+                loads.add(rank, lines as u64);
+            }
+            planned.push(EvalPlanned {
+                id: e.id,
+                lines_by_placement,
+                backup,
+            });
         }
+        if design.is_ndp() {
+            // Offload: upload query to first-touched ranks, then
+            // set-search writes (≤ 8 tasks each).
+            let mut tasks_per_rank: HashMap<usize, usize> = HashMap::new();
+            for p in &planned {
+                for &(rank, _) in &p.lines_by_placement {
+                    *tasks_per_rank.entry(rank).or_insert(0) += 1;
+                }
+            }
+            // §5.2: set-search is issued before set-query, so the
+            // NDP unit starts fetching the search vector while the
+            // query uploads — the upload overlaps the batch below.
+            let mut offload_cpu = 0u64;
+            let mut upload_cpu = 0u64;
+            for (&rank, &tasks) in &tasks_per_rank {
+                if !uploaded[rank] {
+                    uploaded[rank] = true;
+                    upload_cpu += cpu.query_upload_cycles(query_bytes);
+                }
+                offload_cpu += cpu.offload_cycles(tasks);
+            }
+            qs.host_cpu_cycles += offload_cpu + upload_cpu;
+            let offload_mem = cpu.to_mem_cycles(offload_cpu, mem_clock);
+            let upload_mem = cpu.to_mem_cycles(upload_cpu, mem_clock);
+            clock += offload_mem;
+            bd.offload += offload_mem;
 
-        result.total_cycles += bd.total();
-        result.breakdown.add(&bd);
-        let _ = clock;
+            // Build sub-tasks and execute.
+            let mut subs: Vec<SubTask> = Vec::new();
+            for p in &planned {
+                for (pi, &(rank, lines)) in p.lines_by_placement.iter().enumerate() {
+                    let base =
+                        (p.id as u64) * (full_lines as u64 + natural_lines as u64 + 2) + pi as u64;
+                    subs.push(SubTask::new(
+                        rank,
+                        lines + if pi == 0 { p.backup } else { 0 },
+                        base,
+                        ndp_compute_delay,
+                    ));
+                }
+            }
+            let t0 = clock.max(mem.now());
+            let mut finish = run_ndp_batch(&mut mem, &mut subs, 32, &mut req_base, t0);
+            // The overlapped query upload may outlast the fetches.
+            if t0 + upload_mem > finish {
+                let extra = t0 + upload_mem - finish;
+                finish += extra;
+                bd.offload += extra;
+                if mem.now() < finish && !mem.busy() {
+                    mem.fast_forward_to(finish).expect("idle fast-forward");
+                }
+            }
+            // A residual round is an extra host round-trip: the host
+            // polls the partial bounds, re-offloads to the terminated
+            // ranks, and waits for another rank-local fetch burst.
+            if resumed {
+                finish +=
+                    cpu.to_mem_cycles(cpu.offload_cycles(8) + cpu.poll_cycles(), mem_clock) + 200;
+                if mem.now() < finish && !mem.busy() {
+                    mem.fast_forward_to(finish).expect("idle fast-forward");
+                }
+            }
+            bd.dist_comp += finish - t0;
+
+            // Polling. Tasks on one rank occupy distinct QSHRs and
+            // run in parallel, so the expected batch latency is that
+            // of one task; stragglers are caught by the retry period.
+            let actual = finish - t0;
+            let stats = match &polling {
+                PollingPolicy::Conventional { .. } => polling.observe(1, actual),
+                PollingPolicy::Adaptive { retry_period, .. } => {
+                    // Poll slightly ahead of the expectation and let
+                    // short retries catch the tail: wasted delay stays
+                    // below one retry period on average. The first
+                    // poll never waits longer than the conventional
+                    // period, so adaptive polling cannot lose to it on
+                    // short batches either.
+                    let first = (batch_ewma.ceil() as u64).min(240);
+                    batch_ewma = 0.7 * batch_ewma + 0.3 * actual as f64;
+                    observe_at(first, (*retry_period).min(40), actual)
+                }
+            };
+            qs.polls += stats.polls as u64;
+            // Intermediate "not ready" polls only read a status word;
+            // result parsing happens once, on the final poll.
+            let poll_cpu = cpu.costs.offload_command * (stats.polls as u64 - 1) + cpu.poll_cycles();
+            qs.host_cpu_cycles += poll_cpu;
+            let observe_abs = t0 + stats.observed_at;
+            let after_poll = observe_abs + cpu.to_mem_cycles(poll_cpu, mem_clock);
+            bd.result_collect += after_poll - finish;
+            clock = after_poll;
+            if mem.now() < clock && !mem.busy() {
+                mem.fast_forward_to(clock).expect("idle fast-forward");
+            }
+            clock = clock.max(mem.now());
+        } else {
+            // CPU path: comparisons execute serially on one core;
+            // within one comparison the vector lines stream with
+            // memory-level parallelism. Two additional effects make
+            // the host memory-bound as in the paper's measurements:
+            // every vector fetch traverses the cache hierarchy (an
+            // LLC miss costs its lookup latency before DRAM), and the
+            // four channels are shared by all sixteen active cores,
+            // so per-core streaming bandwidth is capped at
+            // channels/cores of the peak.
+            let hop_start = clock;
+            let llc_mem = cpu.to_mem_cycles(60, mem_clock);
+            let burst = config.dram.timing.burst_cycles;
+            let contention = cpu.cores as u64 * burst / config.dram.channels as u64;
+            for p in &planned {
+                let lines: usize =
+                    p.lines_by_placement.iter().map(|&(_, l)| l).sum::<usize>() + p.backup;
+                if lines > 0 {
+                    if mem.now() < clock && !mem.busy() {
+                        mem.fast_forward_to(clock).expect("idle fast-forward");
+                    }
+                    let start = mem.now();
+                    let base_line = (p.id as u64) * (full_lines as u64 + natural_lines as u64 + 2);
+                    let mut pending = 0usize;
+                    for l in 0..lines as u64 {
+                        let addr = (base_line + l) * 64;
+                        let req = Request::new(req_base, AccessKind::Read, addr, Port::Host);
+                        req_base += 1;
+                        if mem.enqueue(req).is_ok() {
+                            pending += 1;
+                        }
+                        // Respect queue capacity. Queue slots free only
+                        // at command-issue events, so skipping dead
+                        // cycles between them is exact.
+                        while !mem.can_accept((base_line + l + 1) * 64, Port::Host) && pending > 0 {
+                            mem.tick();
+                            let done = mem.take_completed().len();
+                            pending -= done;
+                            if done == 0 {
+                                mem.skip_to_event(u64::MAX);
+                            }
+                        }
+                    }
+                    while pending > 0 {
+                        mem.tick();
+                        let done = mem.take_completed().len();
+                        pending -= done;
+                        if done == 0 {
+                            mem.skip_to_event(u64::MAX);
+                        }
+                    }
+                    let drained = mem.now() - start;
+                    let bw_floor = lines as u64 * contention;
+                    clock += drained.max(bw_floor) + llc_mem;
+                    if mem.now() < clock && !mem.busy() {
+                        mem.fast_forward_to(clock).expect("idle fast-forward");
+                    }
+                    clock = clock.max(mem.now());
+                }
+                let c = cpu.distance_compute_cycles(lines.max(1));
+                qs.host_cpu_cycles += c;
+                clock += cpu.to_mem_cycles(c, mem_clock);
+            }
+            bd.dist_comp += clock - hop_start;
+        }
     }
 
-    result.rank_counts = mem.rank_command_counts();
-    result.rank_loads = loads.loads().to_vec();
-    result
+    let _ = clock;
+    qs.breakdown = bd;
+    qs.rank_counts = mem.rank_command_counts();
+    qs.rank_loads = loads.loads().to_vec();
+    qs
 }
 
 /// First poll at `first`, retries every `retry` cycles, for a batch that
@@ -643,11 +802,7 @@ fn observe_at(first: u64, retry: u64, actual: u64) -> ansmet_ndp::PollingStats {
 
 /// Translate the sampled termination histogram (bit positions) into a
 /// per-comparison line-count histogram under the design's schedule.
-fn line_histogram(
-    plan: &DesignPlan,
-    workload: &Workload,
-    natural_lines: usize,
-) -> Vec<(u64, f64)> {
+fn line_histogram(plan: &DesignPlan, workload: &Workload, natural_lines: usize) -> Vec<(u64, f64)> {
     let dim = workload.data.dim();
     match &plan.et {
         None => vec![(natural_lines as u64, 1.0)],

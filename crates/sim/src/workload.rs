@@ -123,12 +123,13 @@ impl Workload {
         let mut traces = Vec::with_capacity(self.queries.len());
         let mut results = Vec::with_capacity(self.queries.len());
         let mut oracle = ExactOracle::new(&self.data);
+        let mut scratch = ansmet_index::SearchScratch::new(self.data.len());
         for q in &self.queries {
             let (r, t) = match (&self.hnsw, &self.ivf) {
-                (Some(h), _) => h.search_traced(q, self.k, ef, &mut oracle),
+                (Some(h), _) => h.search_traced_with(q, self.k, ef, &mut oracle, &mut scratch),
                 (None, Some(i)) => {
                     let nprobe = ef.clamp(1, i.n_lists());
-                    i.search_traced(q, self.k, nprobe, &mut oracle)
+                    i.search_traced_with(q, self.k, nprobe, &mut oracle, &mut scratch)
                 }
                 (None, None) => unreachable!("workload always has an index"),
             };

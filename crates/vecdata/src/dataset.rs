@@ -49,6 +49,21 @@ impl Dataset {
         let raw: Vec<u32> = values.iter().map(|&v| dtype.encode(v)).collect();
         // Re-decode so values match storage precision exactly.
         let values: Vec<f32> = raw.iter().map(|&r| dtype.decode(r)).collect();
+        // Search under folded cosine (= IP) is only correct on unit
+        // vectors; verify the normalization survived storage quantization.
+        // F32 round-trips exactly, so the tolerance there is tight; other
+        // dtypes are checked loosely (quantization perturbs the norm).
+        #[cfg(debug_assertions)]
+        if metric == Metric::Cosine {
+            let tol = if dtype == ElemType::F32 { 1e-4 } else { 0.12 };
+            for (i, chunk) in values.chunks(dim).enumerate() {
+                let n2: f32 = crate::metric::dot(chunk, chunk);
+                debug_assert!(
+                    n2 == 0.0 || (n2 - 1.0).abs() < tol,
+                    "cosine preprocessing left vector {i} with norm² {n2}"
+                );
+            }
+        }
         Dataset {
             name: name.into(),
             dtype,

@@ -32,12 +32,16 @@ impl Metric {
             Metric::L2 => l2_squared(a, b),
             Metric::Ip => -dot(a, b),
             Metric::Cosine => {
-                let na = dot(a, a).sqrt();
-                let nb = dot(b, b).sqrt();
+                // Single fused pass: dot, |a|² and |b|² together. Datasets
+                // normalize during preprocessing (`searched_as` folds cosine
+                // to IP), so this path only runs on raw, un-normalized input.
+                let (ab, aa, bb) = dot_and_norms(a, b);
+                let na = aa.sqrt();
+                let nb = bb.sqrt();
                 if na == 0.0 || nb == 0.0 {
                     0.0
                 } else {
-                    -dot(a, b) / (na * nb)
+                    -ab / (na * nb)
                 }
             }
         }
@@ -83,19 +87,78 @@ impl std::fmt::Display for Metric {
 }
 
 /// Squared Euclidean distance.
+///
+/// Blocked 8-wide loop with four independent accumulators so the compiler
+/// can keep several FMA chains in flight (auto-vectorizes without a serial
+/// reduction dependency).
 pub fn l2_squared(a: &[f32], b: &[f32]) -> f32 {
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| {
-            let d = x - y;
-            d * d
-        })
-        .sum()
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut acc = [0.0f32; 4];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for j in 0..4 {
+            let d0 = xa[2 * j] - xb[2 * j];
+            let d1 = xa[2 * j + 1] - xb[2 * j + 1];
+            acc[j] += d0 * d0 + d1 * d1;
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        let d = x - y;
+        tail += d * d;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
-/// Dot product.
+/// Dot product (same blocked accumulation scheme as [`l2_squared`]).
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut acc = [0.0f32; 4];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for j in 0..4 {
+            acc[j] += xa[2 * j] * xb[2 * j] + xa[2 * j + 1] * xb[2 * j + 1];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Fused `(a·b, a·a, b·b)` in one pass over the inputs — the cosine path
+/// needs all three, and separate `dot` calls would stream both vectors
+/// through the cache three times.
+fn dot_and_norms(a: &[f32], b: &[f32]) -> (f32, f32, f32) {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut ab = [0.0f32; 4];
+    let mut aa = [0.0f32; 4];
+    let mut bb = [0.0f32; 4];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for j in 0..4 {
+            let (a0, a1) = (xa[2 * j], xa[2 * j + 1]);
+            let (b0, b1) = (xb[2 * j], xb[2 * j + 1]);
+            ab[j] += a0 * b0 + a1 * b1;
+            aa[j] += a0 * a0 + a1 * a1;
+            bb[j] += b0 * b0 + b1 * b1;
+        }
+    }
+    let (mut tab, mut taa, mut tbb) = (0.0f32, 0.0f32, 0.0f32);
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tab += x * y;
+        taa += x * x;
+        tbb += y * y;
+    }
+    (
+        (ab[0] + ab[1]) + (ab[2] + ab[3]) + tab,
+        (aa[0] + aa[1]) + (aa[2] + aa[3]) + taa,
+        (bb[0] + bb[1]) + (bb[2] + bb[3]) + tbb,
+    )
 }
 
 #[cfg(test)]
