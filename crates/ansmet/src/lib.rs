@@ -14,6 +14,8 @@
 //! * [`host`] — the host CPU timing model.
 //! * [`sim`] — the full-system designs, timing engine, energy model, and
 //!   the experiment drivers regenerating the paper's tables and figures.
+//! * [`serve`] — the online serving layer: open-loop load generation,
+//!   dynamic batching, admission control, and tail-latency SLO reports.
 //!
 //! # Quickstart
 //!
@@ -33,5 +35,6 @@ pub use ansmet_dram as dram;
 pub use ansmet_host as host;
 pub use ansmet_index as index;
 pub use ansmet_ndp as ndp;
+pub use ansmet_serve as serve;
 pub use ansmet_sim as sim;
 pub use ansmet_vecdata as vecdata;

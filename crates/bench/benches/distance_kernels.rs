@@ -33,15 +33,19 @@ fn bench_distances(c: &mut Criterion) {
                 acc
             })
         });
-        group.bench_with_input(BenchmarkId::new("metric-dispatch", name), &data, |b, data| {
-            b.iter(|| {
-                let mut acc = 0.0f32;
-                for i in 0..data.len() {
-                    acc += Metric::L2.distance(black_box(data.vector(i)), black_box(&q));
-                }
-                acc
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("metric-dispatch", name),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let mut acc = 0.0f32;
+                    for i in 0..data.len() {
+                        acc += Metric::L2.distance(black_box(data.vector(i)), black_box(&q));
+                    }
+                    acc
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -12,7 +12,10 @@ fn run_pattern(port: Port, addrs: &[u64]) -> u64 {
     let mut issued = 0usize;
     let mut id = 0u64;
     while issued < addrs.len() {
-        while issued < addrs.len() && mem.enqueue(Request::new(id, AccessKind::Read, addrs[issued], port)).is_ok()
+        while issued < addrs.len()
+            && mem
+                .enqueue(Request::new(id, AccessKind::Read, addrs[issued], port))
+                .is_ok()
         {
             id += 1;
             issued += 1;
@@ -26,7 +29,9 @@ fn run_pattern(port: Port, addrs: &[u64]) -> u64 {
 fn bench_dram(c: &mut Criterion) {
     let mut group = c.benchmark_group("dram");
     let stream: Vec<u64> = (0..512u64).map(|i| i * 64).collect();
-    let random: Vec<u64> = (0..512u64).map(|i| (i.wrapping_mul(0x9E37_79B9) % (1 << 28)) & !63).collect();
+    let random: Vec<u64> = (0..512u64)
+        .map(|i| (i.wrapping_mul(0x9E37_79B9) % (1 << 28)) & !63)
+        .collect();
     group.bench_function("host-stream-512", |b| {
         b.iter(|| run_pattern(Port::Host, black_box(&stream)))
     });

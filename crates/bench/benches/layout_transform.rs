@@ -34,14 +34,7 @@ fn bench_layout(c: &mut Criterion) {
         });
         let tv = transform(&sortables[0], &sched);
         group.bench_with_input(BenchmarkId::new("recover", name), &sched, |b, sched| {
-            b.iter(|| {
-                recover(
-                    black_box(&tv),
-                    sched,
-                    sortables[0].len(),
-                    tv.lines.len(),
-                )
-            })
+            b.iter(|| recover(black_box(&tv), sched, sortables[0].len(), tv.lines.len()))
         });
     }
     group.finish();

@@ -5,11 +5,12 @@
 //! experiments --quick fig6 fig9      # selected experiments
 //! experiments --full                 # everything, full scale
 //! experiments --quick --threads 4 --json BENCH_timing.json
+//! experiments serve --json BENCH_serving.json   # serving artifact
 //! ```
 
 use std::fmt::Write as _;
 
-use ansmet_bench::{run_experiment, Scale, EXPERIMENTS};
+use ansmet_bench::{run_experiment_with_artifact, Scale, EXPERIMENTS, SERVING_ARTIFACT};
 
 fn usage() -> String {
     format!(
@@ -116,12 +117,17 @@ fn main() {
     if names.is_empty() {
         names = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
+    // When `serve` is the only requested experiment, `--json` names its
+    // artifact directly (`experiments serve --json BENCH_serving.json`);
+    // otherwise the artifact goes to its default path and `--json` keeps
+    // meaning the timing report.
+    let serve_only = names.len() == 1 && names[0] == "serve";
     let mut records: Vec<TimingRecord> = Vec::with_capacity(names.len());
     for name in &names {
         let t0 = std::time::Instant::now();
         let q0 = ansmet_sim::queries_simulated();
-        match run_experiment(name, scale) {
-            Some(report) => {
+        match run_experiment_with_artifact(name, scale) {
+            Some((report, artifact)) => {
                 println!("{report}");
                 let seconds = t0.elapsed().as_secs_f64();
                 eprintln!("[{name} finished in {seconds:.1}s]");
@@ -130,6 +136,17 @@ fn main() {
                     seconds,
                     queries: ansmet_sim::queries_simulated() - q0,
                 });
+                if let Some(body) = artifact {
+                    let path = match (&json_path, serve_only) {
+                        (Some(p), true) => p.clone(),
+                        _ => SERVING_ARTIFACT.to_string(),
+                    };
+                    if let Err(e) = std::fs::write(&path, body) {
+                        eprintln!("error: cannot write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("[{name} artifact written to {path}]");
+                }
             }
             None => {
                 // Unreachable after validation, but keep the exit honest.
@@ -139,6 +156,9 @@ fn main() {
         }
     }
     if let Some(path) = json_path {
+        if serve_only {
+            return; // --json already consumed by the serve artifact
+        }
         let body = timing_json(scale, threads, &records);
         if let Err(e) = std::fs::write(&path, body) {
             eprintln!("error: cannot write {path}: {e}");

@@ -9,9 +9,24 @@ pub use ansmet_sim::experiment::Scale;
 
 /// All experiment names accepted by the `experiments` binary.
 pub const EXPERIMENTS: &[&str] = &[
-    "table2", "fig1", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "table3", "table4", "table5", "loadbal", "ablation", "faults",
+    "table2", "fig1", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table3",
+    "table4", "table5", "loadbal", "ablation", "faults", "serve",
 ];
+
+/// Default artifact file written by the `serve` experiment.
+pub const SERVING_ARTIFACT: &str = "BENCH_serving.json";
+
+/// Run one experiment by name, returning `(text report, optional JSON
+/// artifact body)`. Only `serve` emits an artifact today.
+///
+/// Returns `None` for an unknown name.
+pub fn run_experiment_with_artifact(name: &str, scale: Scale) -> Option<(String, Option<String>)> {
+    if name == "serve" {
+        let (text, json) = ansmet_serve::serve_experiment(scale);
+        return Some((text, Some(json)));
+    }
+    run_experiment(name, scale).map(|text| (text, None))
+}
 
 /// Run one experiment by name at the given scale.
 ///
@@ -41,6 +56,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Option<String> {
         "loadbal" => e::loadbal(scale),
         "ablation" => e::ablation(scale),
         "faults" => e::faults(scale),
+        "serve" => ansmet_serve::serve_experiment(scale).0,
         _ => return None,
     };
     Some(out)
@@ -57,6 +73,16 @@ mod tests {
 
     #[test]
     fn experiment_list_is_complete() {
-        assert_eq!(EXPERIMENTS.len(), 16);
+        assert_eq!(EXPERIMENTS.len(), 17);
+    }
+
+    #[test]
+    fn serve_emits_artifact_and_others_do_not() {
+        let (text, artifact) = run_experiment_with_artifact("serve", Scale::Quick).unwrap();
+        assert!(text.contains("serving"));
+        let body = artifact.expect("serve must produce a JSON artifact");
+        assert!(body.contains("\"experiment\": \"serve\""));
+        let (_, none) = run_experiment_with_artifact("table2", Scale::Quick).unwrap();
+        assert!(none.is_none());
     }
 }

@@ -204,10 +204,8 @@ mod tests {
                             .map(|(&r, &qq)| {
                                 let s = to_sortable(dtype, r);
                                 let prefix = if pl == 0 { 0 } else { s >> (bits - pl) };
-                                bounder.contribution(
-                                    ValueInterval::from_prefix(dtype, prefix, pl),
-                                    qq,
-                                )
+                                bounder
+                                    .contribution(ValueInterval::from_prefix(dtype, prefix, pl), qq)
                             })
                             .sum()
                     };

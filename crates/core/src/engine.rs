@@ -380,7 +380,9 @@ impl<'a> EtEngine<'a> {
         let mut unbounded = 0usize;
         for (j, d) in dims.clone().enumerate() {
             let known = self.known_prefix_for(class, id, d, 0);
-            let c = self.bounder.contribution(self.interval(id, d, known), query[d]);
+            let c = self
+                .bounder
+                .contribution(self.interval(id, d, known), query[d]);
             contribs[j] = c;
             if c == f64::NEG_INFINITY {
                 unbounded += 1;
@@ -425,7 +427,9 @@ impl<'a> EtEngine<'a> {
             for j in lp.dim_start..lp.dim_end {
                 let d = dims.start + j;
                 let known = self.known_prefix_for(class, id, d, payload_after);
-                let c = self.bounder.contribution(self.interval(id, d, known), query[d]);
+                let c = self
+                    .bounder
+                    .contribution(self.interval(id, d, known), query[d]);
                 let old = contribs[j];
                 contribs[j] = c;
                 if old == f64::NEG_INFINITY {
@@ -661,7 +665,10 @@ mod tests {
         if spec.is_empty() {
             return; // dataset had no common prefix this seed
         }
-        let plain = EtEngine::new(&data, EtConfig::new(FetchSchedule::uniform(data.dtype(), 8)));
+        let plain = EtEngine::new(
+            &data,
+            EtConfig::new(FetchSchedule::uniform(data.dtype(), 8)),
+        );
         let sched = FetchSchedule::uniform_after_prefix(data.dtype(), spec.len(), 8);
         let opt = EtEngine::new(&data, EtConfig::with_prefix(sched, spec));
         assert!(opt.full_lines() <= plain.full_lines());
@@ -747,7 +754,10 @@ mod tests {
     #[test]
     fn bit_serial_wastes_lines_on_narrow_vectors() {
         let (data, queries) = SynthSpec::sift().scaled(60, 1).generate();
-        let bitset = EtEngine::new(&data, EtConfig::new(FetchSchedule::bit_serial(data.dtype())));
+        let bitset = EtEngine::new(
+            &data,
+            EtConfig::new(FetchSchedule::bit_serial(data.dtype())),
+        );
         // Full fetch: 8 lines vs 2 natural lines (paper §7.1 NDP-BitET).
         assert_eq!(bitset.full_lines(), 8);
         assert_eq!(bitset.natural_lines(), 2);
@@ -759,13 +769,21 @@ mod tests {
     fn dim_et_cannot_prune_fp32_ip() {
         // Paper: partial-dimension-only ET yields no stable bound for IP.
         let (data, queries) = SynthSpec::glove().scaled(80, 2).generate();
-        let e = EtEngine::new(&data, EtConfig::new(FetchSchedule::full_width(data.dtype())));
+        let e = EtEngine::new(
+            &data,
+            EtConfig::new(FetchSchedule::full_width(data.dtype())),
+        );
         for q in &queries {
             for id in 0..20 {
                 let d = data.distance_to(id, q);
                 let c = e.evaluate(id, q, d - 0.1 * d.abs().max(1.0));
                 // May only terminate at the very last line (full info).
-                assert!(c.lines >= e.full_lines() || c.lines == 0 || !c.pruned || c.lines == e.full_lines());
+                assert!(
+                    c.lines >= e.full_lines()
+                        || c.lines == 0
+                        || !c.pruned
+                        || c.lines == e.full_lines()
+                );
                 if c.pruned && c.lines > 0 {
                     assert_eq!(c.lines, e.full_lines());
                 }

@@ -26,7 +26,10 @@ impl fmt::Display for EtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EtError::QueryDimMismatch { expected, got } => {
-                write!(f, "query dimension mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "query dimension mismatch: expected {expected}, got {got}"
+                )
             }
             EtError::RangeOutOfBounds { end, dim } => {
                 write!(f, "dimension range out of bounds: end {end} > dim {dim}")

@@ -220,7 +220,9 @@ mod tests {
     #[test]
     fn full_recovery_roundtrip() {
         let sched = FetchSchedule::dual(ElemType::F32, 0, 8, 2, 3);
-        let sortables: Vec<u32> = (0..10).map(|i| 0x9abc_def0u32.wrapping_mul(i + 1)).collect();
+        let sortables: Vec<u32> = (0..10)
+            .map(|i| 0x9abc_def0u32.wrapping_mul(i + 1))
+            .collect();
         let tv = transform(&sortables, &sched);
         let rec = recover(&tv, &sched, 10, tv.lines.len());
         for (d, &(v, len)) in rec.iter().enumerate() {
@@ -254,10 +256,7 @@ mod tests {
         let (data, _) = SynthSpec::gist().scaled(10, 1).generate();
         let sched = FetchSchedule::simple_heuristic(data.dtype());
         let td = TransformedDataset::build(&data, sched.clone());
-        assert_eq!(
-            td.vector(0).lines.len(),
-            sched.total_lines(data.dim())
-        );
+        assert_eq!(td.vector(0).lines.len(), sched.total_lines(data.dim()));
         assert_eq!(td.len(), 10);
         assert_eq!(td.total_bytes(), 10 * td.vector(0).bytes());
     }

@@ -225,7 +225,10 @@ mod tests {
             .map(|&(pos, f)| f * cost_lines(96, 32, Some(pos), naive))
             .sum::<f64>()
             + 0.2 * cost_lines(96, 32, None, naive);
-        assert!(cost_p < cost_naive, "dual {cost_p} vs bit-serial {cost_naive}");
+        assert!(
+            cost_p < cost_naive,
+            "dual {cost_p} vs bit-serial {cost_naive}"
+        );
     }
 
     #[test]

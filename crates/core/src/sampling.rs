@@ -212,11 +212,15 @@ mod tests {
         let (data, _) = SynthSpec::sift().scaled(150, 1).generate();
         let lo = SamplingProfile::build(
             &data,
-            &SamplingConfig::default().with_samples(20).with_percentile(0.05),
+            &SamplingConfig::default()
+                .with_samples(20)
+                .with_percentile(0.05),
         );
         let hi = SamplingProfile::build(
             &data,
-            &SamplingConfig::default().with_samples(20).with_percentile(0.5),
+            &SamplingConfig::default()
+                .with_samples(20)
+                .with_percentile(0.5),
         );
         assert!(lo.threshold <= hi.threshold);
     }
@@ -226,12 +230,18 @@ mod tests {
         let (data, _) = SynthSpec::sift().scaled(150, 1).generate();
         let lo = SamplingProfile::build(
             &data,
-            &SamplingConfig::default().with_samples(15).with_percentile(0.05),
+            &SamplingConfig::default()
+                .with_samples(15)
+                .with_percentile(0.05),
         );
         let hi = SamplingProfile::build(
             &data,
-            &SamplingConfig::default().with_samples(15).with_percentile(0.9),
+            &SamplingConfig::default()
+                .with_samples(15)
+                .with_percentile(0.9),
         );
-        if let (Some(a), Some(b)) = (lo.mean_termination_bits(), hi.mean_termination_bits()) { assert!(a <= b + 1.0, "{a} vs {b}") }
+        if let (Some(a), Some(b)) = (lo.mean_termination_bits(), hi.mean_termination_bits()) {
+            assert!(a <= b + 1.0, "{a} vs {b}")
+        }
     }
 }

@@ -153,7 +153,9 @@ impl FetchSchedule {
 
     /// Total lines of the transformed vector.
     pub fn total_lines(&self, dim: usize) -> usize {
-        (0..self.steps.len()).map(|i| self.lines_in_step(i, dim)).sum()
+        (0..self.steps.len())
+            .map(|i| self.lines_in_step(i, dim))
+            .sum()
     }
 
     /// The full fetch plan: one [`LinePlan`] per 64 B line, in fetch order.

@@ -4,8 +4,7 @@ use crate::command::{Command, CommandKind};
 use crate::config::Timing;
 
 /// One DRAM bank: open-row state plus earliest-allowed issue cycles.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Bank {
     /// Currently open row, if any.
     open_row: Option<usize>,
@@ -19,7 +18,6 @@ pub struct Bank {
     /// Row conflicts (precharge of another row required).
     pub row_conflicts: u64,
 }
-
 
 impl Bank {
     /// Currently open row, if any.
@@ -80,7 +78,10 @@ impl Bank {
     ///
     /// Panics (debug assertion) if the command is not issuable at `now`.
     pub fn issue(&mut self, cmd: &Command, now: u64, t: &Timing, auto_precharge: bool) {
-        debug_assert!(self.can_issue(cmd.kind, cmd.row, now), "illegal {cmd:?} at {now}");
+        debug_assert!(
+            self.can_issue(cmd.kind, cmd.row, now),
+            "illegal {cmd:?} at {now}"
+        );
         match cmd.kind {
             CommandKind::Activate => {
                 self.open_row = Some(cmd.row);

@@ -137,7 +137,9 @@ impl MemorySystem {
     /// Build a memory system for `config`.
     pub fn new(config: DramConfig) -> Self {
         let addr_map = AddrMap::new(&config);
-        let channels = (0..config.channels).map(|_| Channel::new(&config)).collect();
+        let channels = (0..config.channels)
+            .map(|_| Channel::new(&config))
+            .collect();
         MemorySystem {
             config,
             addr_map,
@@ -286,7 +288,11 @@ impl MemorySystem {
                 e = e.max(rank.earliest_cas(req.loc.bank_group, kind, t));
                 // Data-bus backpressure: a CAS issued at cycle x starts its
                 // burst at x + CL/CWL, which must not precede bus release.
-                let lead = if kind == CommandKind::Read { t.cl } else { t.cwl };
+                let lead = if kind == CommandKind::Read {
+                    t.cl
+                } else {
+                    t.cwl
+                };
                 let needed = if host {
                     if ch.host_bus_last_rank.is_some()
                         && ch.host_bus_last_rank != Some(req.loc.rank)
@@ -547,8 +553,9 @@ impl MemorySystem {
                     ch.ranks[d.rank].issue(&d.command, now, &timing);
                     if d.completes {
                         let req = ch.ndp_queues[rank_idx].remove(d.queue_index);
-                        let first_hit =
-                            ch.ndp_outcome[rank_idx].remove(d.queue_index).unwrap_or(d.row_hit);
+                        let first_hit = ch.ndp_outcome[rank_idx]
+                            .remove(d.queue_index)
+                            .unwrap_or(d.row_hit);
                         let lat = if req_kind == AccessKind::Read {
                             queue_policy_cl + burst
                         } else {
@@ -732,8 +739,12 @@ mod tests {
         cfg.queue_depth = 2;
         cfg.refresh_enabled = false;
         let mut mem = MemorySystem::new(cfg);
-        assert!(mem.enqueue(Request::new(0, AccessKind::Read, 0, Port::Host)).is_ok());
-        assert!(mem.enqueue(Request::new(1, AccessKind::Read, 0, Port::Host)).is_ok());
+        assert!(mem
+            .enqueue(Request::new(0, AccessKind::Read, 0, Port::Host))
+            .is_ok());
+        assert!(mem
+            .enqueue(Request::new(1, AccessKind::Read, 0, Port::Host))
+            .is_ok());
         let r = mem.enqueue(Request::new(2, AccessKind::Read, 0, Port::Host));
         assert!(r.is_err());
         assert_eq!(r.unwrap_err().id, 2);

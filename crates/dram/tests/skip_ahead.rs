@@ -9,11 +9,7 @@ use ansmet_dram::{AccessKind, DramConfig, MemoryStats, MemorySystem, Port, Reque
 type Op = (u64, u64, bool, bool);
 
 /// `(sorted (id, finish) pairs, stats, per-rank command counts)`.
-type StreamOutcome = (
-    Vec<(u64, u64)>,
-    MemoryStats,
-    Vec<(u64, u64, u64, u64, u64)>,
-);
+type StreamOutcome = (Vec<(u64, u64)>, MemoryStats, Vec<(u64, u64, u64, u64, u64)>);
 
 /// xorshift64* — tiny deterministic generator so this test needs no
 /// external randomness source.
@@ -67,7 +63,11 @@ fn run_stream(cfg: &DramConfig, ops: &[Op], skip: bool) -> StreamOutcome {
         let now = mem.now();
         while next < ops.len() && ops[next].0 <= now {
             let (_, line, read, ndp) = ops[next];
-            let kind = if read { AccessKind::Read } else { AccessKind::Write };
+            let kind = if read {
+                AccessKind::Read
+            } else {
+                AccessKind::Write
+            };
             let port = if ndp { Port::Ndp } else { Port::Host };
             let req = Request::new(next as u64, kind, line * 64, port);
             match mem.enqueue(req) {
@@ -81,7 +81,11 @@ fn run_stream(cfg: &DramConfig, ops: &[Op], skip: bool) -> StreamOutcome {
             done.push((r.id, r.finish));
         }
         if skip {
-            let limit = if next < ops.len() { ops[next].0 } else { u64::MAX };
+            let limit = if next < ops.len() {
+                ops[next].0
+            } else {
+                u64::MAX
+            };
             mem.skip_to_event(limit);
         }
         guard += 1;

@@ -241,7 +241,8 @@ mod tests {
             FaultKind::LostResult,
             FaultKind::PollMiss,
         ] {
-            let n = k.is_offload_fault() as u8 + k.is_compute_fault() as u8 + k.is_poll_fault() as u8;
+            let n =
+                k.is_offload_fault() as u8 + k.is_compute_fault() as u8 + k.is_poll_fault() as u8;
             assert_eq!(n, 1, "{k:?} must belong to exactly one step");
         }
     }

@@ -64,7 +64,10 @@ impl Cache {
     ///
     /// Panics if the geometry does not divide evenly.
     pub fn new(capacity: usize, ways: usize, line: usize, hit_latency: u64) -> Self {
-        assert!(capacity.is_multiple_of(ways * line), "geometry must divide evenly");
+        assert!(
+            capacity.is_multiple_of(ways * line),
+            "geometry must divide evenly"
+        );
         let n_sets = capacity / (ways * line);
         assert!(n_sets.is_power_of_two(), "set count must be a power of two");
         Cache {
@@ -155,9 +158,7 @@ impl CacheHierarchy {
     pub fn latency(&self, result: AccessResult, dram_cycles: u64) -> u64 {
         match result {
             AccessResult::Hit { level } => self.levels[level - 1].hit_latency(),
-            AccessResult::Miss => {
-                self.levels.last().map_or(0, Cache::hit_latency) + dram_cycles
-            }
+            AccessResult::Miss => self.levels.last().map_or(0, Cache::hit_latency) + dram_cycles,
         }
     }
 

@@ -84,9 +84,8 @@ impl CpuModel {
     /// CPU cycles of host-side traversal work for a hop that produced
     /// `evals` comparisons and `accepted` heap insertions.
     pub fn hop_cycles(&self, evals: usize, accepted: usize) -> u64 {
-        self.costs.hop_overhead
-            + self.costs.heap_update * accepted as u64
-            + 4 * evals as u64 // visited-set probe per neighbor
+        self.costs.hop_overhead + self.costs.heap_update * accepted as u64 + 4 * evals as u64
+        // visited-set probe per neighbor
     }
 
     /// CPU cycles to offload `tasks` comparisons to NDP units
@@ -153,7 +152,10 @@ mod tests {
     #[test]
     fn query_upload_1kb_takes_16_writes() {
         let cpu = CpuModel::default();
-        assert_eq!(cpu.query_upload_cycles(1024), 16 * cpu.costs.offload_command);
+        assert_eq!(
+            cpu.query_upload_cycles(1024),
+            16 * cpu.costs.offload_command
+        );
     }
 
     #[test]

@@ -72,7 +72,8 @@ impl Ivf {
         let mut assignment = vec![0usize; n];
         for _ in 0..params.iterations {
             // Assign.
-            #[allow(clippy::needless_range_loop)] // indexed loops over shared state read clearer here
+            #[allow(clippy::needless_range_loop)]
+            // indexed loops over shared state read clearer here
             for i in 0..n {
                 let v = data.vector(i);
                 let mut best = 0;
@@ -89,7 +90,8 @@ impl Ivf {
             // Update.
             let mut sums = vec![vec![0.0f64; dim]; k];
             let mut counts = vec![0usize; k];
-            #[allow(clippy::needless_range_loop)] // indexed loops over shared state read clearer here
+            #[allow(clippy::needless_range_loop)]
+            // indexed loops over shared state read clearer here
             for i in 0..n {
                 let c = assignment[i];
                 counts[c] += 1;
@@ -248,9 +250,7 @@ impl Ivf {
                 let out = oracle.evaluate(id, query, threshold);
                 let d = out.distance().unwrap_or(f32::INFINITY);
                 let accepted = match out {
-                    DistanceOutcome::Exact(d) => {
-                        results.push(Neighbor::new(d, id))
-                    }
+                    DistanceOutcome::Exact(d) => results.push(Neighbor::new(d, id)),
                     DistanceOutcome::Pruned => false,
                 };
                 hop.evals.push(Eval {
@@ -326,7 +326,11 @@ mod tests {
         let mut o = ExactOracle::new(&data);
         let (_, t) = ivf.search_traced(&queries[0], 5, 3, &mut o);
         assert_eq!(t.hops[0].kind, HopKind::Centroid);
-        let scans = t.hops.iter().filter(|h| h.kind == HopKind::ListScan).count();
+        let scans = t
+            .hops
+            .iter()
+            .filter(|h| h.kind == HopKind::ListScan)
+            .count();
         assert!((1..=3).contains(&scans));
         // Scanned comparisons match the oracle count.
         let scanned: usize = t

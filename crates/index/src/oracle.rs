@@ -90,13 +90,7 @@ mod tests {
     use ansmet_vecdata::{ElemType, Metric};
 
     fn data() -> Dataset {
-        Dataset::from_values(
-            "t",
-            ElemType::F32,
-            Metric::L2,
-            2,
-            vec![0.0, 0.0, 3.0, 4.0],
-        )
+        Dataset::from_values("t", ElemType::F32, Metric::L2, 2, vec![0.0, 0.0, 3.0, 4.0])
     }
 
     #[test]

@@ -90,14 +90,16 @@ impl ProductQuantizer {
                 .collect();
             let mut assign = vec![0usize; data.len()];
             for _ in 0..params.iterations {
-                #[allow(clippy::needless_range_loop)] // indexed loops over shared state read clearer here
+                #[allow(clippy::needless_range_loop)]
+                // indexed loops over shared state read clearer here
                 for i in 0..data.len() {
                     let sv = &data.vector(i)[lo..hi];
                     assign[i] = nearest(&centroids, sv);
                 }
                 let mut sums = vec![vec![0.0f64; dsub]; k];
                 let mut counts = vec![0usize; k];
-                #[allow(clippy::needless_range_loop)] // indexed loops over shared state read clearer here
+                #[allow(clippy::needless_range_loop)]
+                // indexed loops over shared state read clearer here
                 for i in 0..data.len() {
                     let c = assign[i];
                     counts[c] += 1;

@@ -60,7 +60,10 @@ impl fmt::Display for NdpError {
                 )
             }
             NdpError::BadState { expected, actual } => {
-                write!(f, "QSHR in state {actual:?}, instruction requires {expected:?}")
+                write!(
+                    f,
+                    "QSHR in state {actual:?}, instruction requires {expected:?}"
+                )
             }
             NdpError::NotReady { state } => {
                 write!(f, "QSHR not ready to start (state {state:?})")

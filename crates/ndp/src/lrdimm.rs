@@ -56,10 +56,7 @@ impl LrdimmUnit {
         // tree adds a fixed overhead folded into the aggregate cycles.
         slice.active_mw = unified.active_mw / config.data_buffers as f64;
         slice.area_mm2 = unified.area_mm2 / config.data_buffers as f64;
-        LrdimmUnit {
-            config,
-            slice,
-        }
+        LrdimmUnit { config, slice }
     }
 
     /// Elements of one 64 B line processed by each DB (the byte slice its
@@ -72,7 +69,9 @@ impl LrdimmUnit {
     /// pipeline: the slowest DB slice, plus the hierarchical bus to the
     /// RCD (a binary-tree depth of hops), plus the final aggregation.
     pub fn per_line_latency(&self, elements_in_line: usize) -> u64 {
-        let db_latency = self.slice.cycles_per_line(self.elements_per_db(elements_in_line));
+        let db_latency = self
+            .slice
+            .cycles_per_line(self.elements_per_db(elements_in_line));
         let tree_depth = (self.config.data_buffers as f64).log2().ceil() as u64;
         db_latency + tree_depth * self.config.hop_cycles + self.config.rcd_aggregate_cycles
     }

@@ -55,7 +55,10 @@ impl Partitioner {
     ///
     /// Panics if any argument is zero.
     pub fn new(scheme: PartitionScheme, n_ranks: usize, dim: usize, elem_bytes: usize) -> Self {
-        assert!(n_ranks > 0 && dim > 0 && elem_bytes > 0, "degenerate geometry");
+        assert!(
+            n_ranks > 0 && dim > 0 && elem_bytes > 0,
+            "degenerate geometry"
+        );
         let (dims_per_sub, subvecs) = match scheme {
             PartitionScheme::Vertical => {
                 let dps = dim.div_ceil(n_ranks).max(1);
@@ -63,7 +66,10 @@ impl Partitioner {
             }
             PartitionScheme::Horizontal => (dim, 1),
             PartitionScheme::Hybrid { subvec_bytes } => {
-                assert!(subvec_bytes >= elem_bytes, "sub-vector smaller than one element");
+                assert!(
+                    subvec_bytes >= elem_bytes,
+                    "sub-vector smaller than one element"
+                );
                 let dps = (subvec_bytes / elem_bytes).max(1).min(dim);
                 (dps, dim.div_ceil(dps))
             }
@@ -273,12 +279,7 @@ mod tests {
     fn hybrid_gist_paper_example() {
         // GIST: 960 × FP32 = 3840 B; S = 1 kB → 4 sub-vectors (256 dims
         // each), 8 groups of 4 ranks.
-        let p = Partitioner::new(
-            PartitionScheme::Hybrid { subvec_bytes: 1024 },
-            32,
-            960,
-            4,
-        );
+        let p = Partitioner::new(PartitionScheme::Hybrid { subvec_bytes: 1024 }, 32, 960, 4);
         assert_eq!(p.subvectors_per_vector(), 4);
         assert_eq!(p.group_size(), 4);
         assert_eq!(p.rank_groups(), 8);
@@ -292,24 +293,14 @@ mod tests {
     #[test]
     fn hybrid_small_vector_degenerates_to_horizontal() {
         // SIFT: 128 B vector ≤ 1 kB sub-vector → one sub-vector per rank.
-        let p = Partitioner::new(
-            PartitionScheme::Hybrid { subvec_bytes: 1024 },
-            32,
-            128,
-            1,
-        );
+        let p = Partitioner::new(PartitionScheme::Hybrid { subvec_bytes: 1024 }, 32, 128, 1);
         assert_eq!(p.subvectors_per_vector(), 1);
         assert_eq!(p.rank_groups(), 32);
     }
 
     #[test]
     fn placements_stay_in_assigned_group() {
-        let p = Partitioner::new(
-            PartitionScheme::Hybrid { subvec_bytes: 512 },
-            16,
-            256,
-            4,
-        );
+        let p = Partitioner::new(PartitionScheme::Hybrid { subvec_bytes: 512 }, 16, 256, 4);
         for id in 0..100 {
             let g = p.group_of(id);
             for q in p.placement(id) {

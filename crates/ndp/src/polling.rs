@@ -227,10 +227,7 @@ mod tests {
     #[test]
     fn batch_latency_adds_over_tasks() {
         let p = adaptive();
-        assert_eq!(
-            p.expected_batch_latency(4),
-            4 * p.expected_batch_latency(1)
-        );
+        assert_eq!(p.expected_batch_latency(4), 4 * p.expected_batch_latency(1));
     }
 
     #[test]

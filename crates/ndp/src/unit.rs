@@ -202,8 +202,7 @@ impl NdpUnit {
                         .iter()
                         .zip(&query)
                         .map(|(&(v, len), &qv)| {
-                            bounder
-                                .contribution(ValueInterval::from_prefix(cfg.dtype, v, len), qv)
+                            bounder.contribution(ValueInterval::from_prefix(cfg.dtype, v, len), qv)
                         })
                         .sum()
                 };
@@ -221,7 +220,8 @@ impl NdpUnit {
                         // Restore the fetched chunk into the per-dimension
                         // prefixes (the command parser's layout recovery).
                         let mut off = 0usize;
-                        #[allow(clippy::needless_range_loop)] // indexed dimension-range loops read clearer here
+                        #[allow(clippy::needless_range_loop)]
+                        // indexed dimension-range loops read clearer here
                         for d in lp.dim_start..lp.dim_end {
                             let chunk = read_bits(&line, off, lp.bits);
                             let (v, len) = prefixes[d];
@@ -235,11 +235,7 @@ impl NdpUnit {
                         }
                     }
                 }
-                let distance = if terminated {
-                    None
-                } else {
-                    Some(bound as f32)
-                };
+                let distance = if terminated { None } else { Some(bound as f32) };
                 outcomes.push(TaskOutcome {
                     qshr: id,
                     slot,
@@ -407,13 +403,7 @@ mod tests {
         // Constant high bits: 3-bit prefix eliminated; the unit must seed
         // intervals from the on-chip prefix and still match distances.
         let values: Vec<f32> = (0..64).map(|i| 64.0 + (i % 16) as f32).collect();
-        let data = ansmet_vecdata::Dataset::from_values(
-            "p",
-            ElemType::U8,
-            Metric::L2,
-            4,
-            values,
-        );
+        let data = ansmet_vecdata::Dataset::from_values("p", ElemType::U8, Metric::L2, 4, values);
         let ids: Vec<usize> = (0..data.len()).collect();
         let spec = ansmet_core::PrefixSpec::choose(&data, &ids, 0.0);
         assert!(spec.len() >= 3);
@@ -427,7 +417,10 @@ mod tests {
                     .collect()
             })
             .collect();
-        let tvs: Vec<_> = sortables.iter().map(|s| layout::transform(s, &sched)).collect();
+        let tvs: Vec<_> = sortables
+            .iter()
+            .map(|s| layout::transform(s, &sched))
+            .collect();
 
         let mut unit = NdpUnit::new();
         unit.execute(&NdpInstruction::Configure(ConfigPayload {
@@ -456,7 +449,10 @@ mod tests {
         })
         .expect("set-query accepted");
         let query = vec![66.0, 70.0, 64.0, 79.0];
-        let outcomes = unit.process(|addr, line| tvs[addr as usize].lines[line], |_| query.clone());
+        let outcomes = unit.process(
+            |addr, line| tvs[addr as usize].lines[line],
+            |_| query.clone(),
+        );
         let got = outcomes[0].distance.expect("in-bound");
         let expect = data.distance_to(7, &query);
         assert!((got - expect).abs() < 1e-3, "{got} vs {expect}");

@@ -1,0 +1,92 @@
+//! Edge cases of hot-vector replication (§5.3): empty hot sets, more
+//! replicas than ranks can distinguish, and everything-hot inputs must
+//! all degrade gracefully — replication is an optimization, never a
+//! correctness dependency.
+
+use ansmet_ndp::{LoadTracker, PartitionScheme, Partitioner, ReplicaSet};
+
+#[test]
+fn empty_hot_set_replicates_nothing() {
+    let r = ReplicaSet::new([]);
+    assert!(r.is_empty());
+    assert_eq!(r.len(), 0);
+    assert!(!r.contains(0));
+    // No replicas, no extra storage — at any group count.
+    for groups in [1, 8, 64] {
+        assert_eq!(r.extra_space_frac(1000, groups), 0.0);
+    }
+    // The default set is the empty set.
+    assert!(ReplicaSet::default().is_empty());
+}
+
+#[test]
+fn replication_factor_exceeding_rank_count_saturates() {
+    // 4 ranks, horizontal → 4 groups; a hot vector gets groups − 1 = 3
+    // extra copies. Asking the space model about *more* groups than ranks
+    // exist still answers (the fraction simply keeps growing linearly) —
+    // callers clamp the group count, the set itself has no rank limit.
+    let p = Partitioner::new(PartitionScheme::Horizontal, 4, 16, 1);
+    assert_eq!(p.rank_groups(), 4);
+    let r = ReplicaSet::new([7]);
+    let at_ranks = r.extra_space_frac(100, p.rank_groups());
+    assert!((at_ranks - 0.03).abs() < 1e-12, "frac {at_ranks}");
+    let beyond = r.extra_space_frac(100, 64);
+    assert!(beyond > at_ranks);
+    // One group means zero extra copies, never a negative count.
+    assert_eq!(r.extra_space_frac(100, 1), 0.0);
+    assert_eq!(r.extra_space_frac(100, 0), 0.0);
+}
+
+#[test]
+fn replica_serving_stays_valid_in_every_group() {
+    // A replicated vector must be servable from any group the balancer
+    // picks, with placements confined to that group's ranks.
+    let p = Partitioner::new(PartitionScheme::Hybrid { subvec_bytes: 64 }, 8, 64, 4);
+    let hot = ReplicaSet::new([3]);
+    assert!(hot.contains(3));
+    for g in 0..p.rank_groups() {
+        for q in p.placement_in_group(3, g) {
+            assert_eq!(q.rank / p.group_size(), g, "replica left group {g}");
+        }
+    }
+}
+
+#[test]
+fn all_hot_input_is_total_replication() {
+    // Degenerate but legal: every vector flagged hot. The set holds all
+    // of them and the space overhead is (groups − 1) × the dataset.
+    let n = 256usize;
+    let r = ReplicaSet::new(0..n);
+    assert_eq!(r.len(), n);
+    assert!((0..n).all(|id| r.contains(id)));
+    let frac = r.extra_space_frac(n, 8);
+    assert!((frac - 7.0).abs() < 1e-12, "frac {frac}");
+    // Duplicated ids collapse (it is a set, not a bag).
+    let dup = ReplicaSet::new([5, 5, 5, 9]);
+    assert_eq!(dup.len(), 2);
+}
+
+#[test]
+fn all_hot_balancing_spreads_load_across_groups() {
+    // With everything replicated, serving each comparison from the
+    // least-loaded group must keep the imbalance ratio near 1 even when
+    // the home-group mapping alone would be maximally skewed.
+    let p = Partitioner::new(PartitionScheme::Horizontal, 8, 16, 1);
+    let mut lt = LoadTracker::new(8, p.group_size());
+    // Adversarial stream: every id maps to home group 0.
+    for i in 0..800 {
+        let id = i * p.rank_groups();
+        let g = lt.least_loaded_group();
+        for q in p.placement_in_group(id % 8, g) {
+            lt.add(q.rank, 1);
+        }
+    }
+    let ratio = lt.imbalance_ratio();
+    assert!(ratio < 1.05, "imbalance {ratio} with total replication");
+}
+
+#[test]
+fn zero_vector_dataset_has_no_replica_overhead() {
+    let r = ReplicaSet::new([1, 2]);
+    assert_eq!(r.extra_space_frac(0, 8), 0.0);
+}

@@ -1,0 +1,326 @@
+//! Open-loop load generation: deterministic seeded arrival processes.
+//!
+//! An *open-loop* generator emits queries at times drawn from an arrival
+//! process regardless of whether the system keeps up — the regime that
+//! exposes queueing delay and tail latency (a closed loop self-throttles
+//! and hides both). Every process is seeded: the same seed and tenant
+//! list produce the exact same arrival schedule, which is the first link
+//! in the serving layer's bit-identical-report determinism chain.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// When queries arrive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at `qps` queries per second: exponential
+    /// inter-arrival gaps (a Poisson process), the standard open-loop
+    /// serving assumption.
+    Poisson {
+        /// Mean offered load in queries per second.
+        qps: f64,
+    },
+    /// Periodic bursts: `burst_qps` for the first `burst_frac` of every
+    /// `period_cycles` window, `base_qps` for the rest. Models diurnal
+    /// spikes and batch-job interference compressed to simulation scale.
+    Bursty {
+        /// Off-burst offered load in queries per second.
+        base_qps: f64,
+        /// In-burst offered load in queries per second.
+        burst_qps: f64,
+        /// Length of one burst period in memory cycles.
+        period_cycles: u64,
+        /// Fraction of the period spent bursting, in `(0, 1)`.
+        burst_frac: f64,
+    },
+    /// Replay explicit arrival cycles (e.g. from a production trace).
+    Trace {
+        /// Arrival times in memory cycles, non-decreasing.
+        cycles: Vec<u64>,
+    },
+}
+
+impl ArrivalProcess {
+    /// Mean offered load in queries per second (for `Trace`, computed
+    /// over the trace span at `mem_clock_mhz`).
+    pub fn nominal_qps(&self, mem_clock_mhz: u64) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { qps } => *qps,
+            ArrivalProcess::Bursty {
+                base_qps,
+                burst_qps,
+                burst_frac,
+                ..
+            } => burst_qps * burst_frac + base_qps * (1.0 - burst_frac),
+            ArrivalProcess::Trace { cycles } => {
+                let span = cycles.last().copied().unwrap_or(0).max(1);
+                cycles.len() as f64 * mem_clock_mhz as f64 * 1e6 / span as f64
+            }
+        }
+    }
+
+    /// The same process with its offered load scaled by `factor`
+    /// (used by the QPS sweep). Trace arrivals compress in time.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and positive.
+    pub fn scaled(&self, factor: f64) -> ArrivalProcess {
+        assert!(factor.is_finite() && factor > 0.0, "bad scale factor");
+        match self {
+            ArrivalProcess::Poisson { qps } => ArrivalProcess::Poisson { qps: qps * factor },
+            ArrivalProcess::Bursty {
+                base_qps,
+                burst_qps,
+                period_cycles,
+                burst_frac,
+            } => ArrivalProcess::Bursty {
+                base_qps: base_qps * factor,
+                burst_qps: burst_qps * factor,
+                period_cycles: *period_cycles,
+                burst_frac: *burst_frac,
+            },
+            ArrivalProcess::Trace { cycles } => ArrivalProcess::Trace {
+                cycles: cycles
+                    .iter()
+                    .map(|&c| ((c as f64 / factor).round() as u64).max(1))
+                    .collect(),
+            },
+        }
+    }
+}
+
+/// One tenant's query stream and service objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Display name (also keys the per-tenant report).
+    pub name: String,
+    /// Weighted-fair-queueing weight (relative service share).
+    pub weight: u64,
+    /// The tenant's arrival process.
+    pub process: ArrivalProcess,
+    /// Latency SLO in memory cycles: a query attains its SLO when its
+    /// total (queue + execute) latency is at or under this bound.
+    pub slo_cycles: u64,
+    /// How many queries this tenant offers over the run (ignored for
+    /// `Trace`, which offers one query per trace entry).
+    pub queries: usize,
+}
+
+/// One generated arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival time in memory cycles.
+    pub cycle: u64,
+    /// Index into the tenant list.
+    pub tenant: usize,
+    /// 0-based arrival sequence number within the tenant.
+    pub seq: u64,
+    /// Index of the query (into the workload's query/trace lists).
+    pub query: usize,
+}
+
+/// Draw an exponential inter-arrival gap (in cycles) for `rate` arrivals
+/// per cycle, using inverse-transform sampling. Clamped to ≥ 1 cycle.
+fn exp_gap(rng: &mut SmallRng, rate: f64) -> u64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let gap = -(1.0 - u).ln() / rate;
+    (gap.round() as u64).max(1)
+}
+
+/// Queries per simulated cycle for `qps` at `mem_clock_mhz`.
+fn per_cycle_rate(qps: f64, mem_clock_mhz: u64) -> f64 {
+    assert!(
+        qps.is_finite() && qps > 0.0,
+        "offered load must be positive"
+    );
+    qps / (mem_clock_mhz as f64 * 1e6)
+}
+
+/// Generate the merged multi-tenant arrival schedule.
+///
+/// Each tenant draws from its own sub-seeded generator, so adding or
+/// reordering one tenant never perturbs another's schedule. The merged
+/// list is sorted by `(cycle, tenant, seq)` — a total order, so the
+/// result is unique.
+///
+/// # Panics
+///
+/// Panics on an empty tenant list, a zero weight, a non-positive rate,
+/// or `n_queries == 0`.
+pub fn generate_arrivals(
+    tenants: &[TenantSpec],
+    n_queries: usize,
+    seed: u64,
+    mem_clock_mhz: u64,
+) -> Vec<Arrival> {
+    assert!(!tenants.is_empty(), "need at least one tenant");
+    assert!(n_queries > 0, "need at least one distinct query");
+    let mut all = Vec::new();
+    for (t, spec) in tenants.iter().enumerate() {
+        assert!(spec.weight > 0, "tenant {} has zero weight", spec.name);
+        let mut rng =
+            SmallRng::seed_from_u64(seed ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let emit = |cycle: u64, seq: u64, rng: &mut SmallRng| Arrival {
+            cycle,
+            tenant: t,
+            seq,
+            query: rng.gen_range(0..n_queries),
+        };
+        match &spec.process {
+            ArrivalProcess::Poisson { qps } => {
+                let rate = per_cycle_rate(*qps, mem_clock_mhz);
+                let mut now = 0u64;
+                for seq in 0..spec.queries as u64 {
+                    now += exp_gap(&mut rng, rate);
+                    all.push(emit(now, seq, &mut rng));
+                }
+            }
+            ArrivalProcess::Bursty {
+                base_qps,
+                burst_qps,
+                period_cycles,
+                burst_frac,
+            } => {
+                assert!(*period_cycles > 0, "zero burst period");
+                assert!(
+                    (0.0..=1.0).contains(burst_frac),
+                    "burst fraction out of range"
+                );
+                let burst_len = (*period_cycles as f64 * burst_frac) as u64;
+                let mut now = 0u64;
+                for seq in 0..spec.queries as u64 {
+                    let in_burst = now % period_cycles < burst_len;
+                    let qps = if in_burst { *burst_qps } else { *base_qps };
+                    now += exp_gap(&mut rng, per_cycle_rate(qps, mem_clock_mhz));
+                    all.push(emit(now, seq, &mut rng));
+                }
+            }
+            ArrivalProcess::Trace { cycles } => {
+                let mut prev = 0u64;
+                for (seq, &c) in cycles.iter().enumerate() {
+                    assert!(c >= prev, "trace arrivals must be non-decreasing");
+                    prev = c;
+                    all.push(emit(c, seq as u64, &mut rng));
+                }
+            }
+        }
+    }
+    all.sort_by_key(|a| (a.cycle, a.tenant, a.seq));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poisson_tenant(qps: f64, queries: usize) -> TenantSpec {
+        TenantSpec {
+            name: "t".into(),
+            weight: 1,
+            process: ArrivalProcess::Poisson { qps },
+            slo_cycles: 1_000_000,
+            queries,
+        }
+    }
+
+    #[test]
+    fn poisson_is_seed_deterministic() {
+        let t = vec![poisson_tenant(50_000.0, 200)];
+        let a = generate_arrivals(&t, 10, 42, 2400);
+        let b = generate_arrivals(&t, 10, 42, 2400);
+        assert_eq!(a, b);
+        let c = generate_arrivals(&t, 10, 43, 2400);
+        assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn poisson_rate_roughly_matches() {
+        let t = vec![poisson_tenant(100_000.0, 2_000)];
+        let a = generate_arrivals(&t, 10, 7, 2400);
+        let span = a.last().unwrap().cycle as f64;
+        let achieved = 2_000.0 * 2400.0 * 1e6 / span;
+        assert!(
+            (achieved / 100_000.0 - 1.0).abs() < 0.15,
+            "achieved {achieved:.0} qps"
+        );
+    }
+
+    #[test]
+    fn arrivals_sorted_and_queries_in_range() {
+        let t = vec![
+            poisson_tenant(80_000.0, 300),
+            TenantSpec {
+                name: "b".into(),
+                weight: 2,
+                process: ArrivalProcess::Bursty {
+                    base_qps: 20_000.0,
+                    burst_qps: 200_000.0,
+                    period_cycles: 1_000_000,
+                    burst_frac: 0.2,
+                },
+                slo_cycles: 1_000_000,
+                queries: 300,
+            },
+        ];
+        let a = generate_arrivals(&t, 7, 1, 2400);
+        assert_eq!(a.len(), 600);
+        for w in a.windows(2) {
+            assert!(w[0].cycle <= w[1].cycle);
+        }
+        assert!(a.iter().all(|x| x.query < 7));
+        assert!(a.iter().any(|x| x.tenant == 0) && a.iter().any(|x| x.tenant == 1));
+    }
+
+    #[test]
+    fn trace_process_replays_exactly() {
+        let t = vec![TenantSpec {
+            name: "tr".into(),
+            weight: 1,
+            process: ArrivalProcess::Trace {
+                cycles: vec![10, 10, 500, 900],
+            },
+            slo_cycles: 1_000,
+            queries: 999, // ignored
+        }];
+        let a = generate_arrivals(&t, 3, 5, 2400);
+        assert_eq!(
+            a.iter().map(|x| x.cycle).collect::<Vec<_>>(),
+            [10, 10, 500, 900]
+        );
+    }
+
+    #[test]
+    fn scaling_halves_gaps() {
+        let p = ArrivalProcess::Trace {
+            cycles: vec![100, 200, 400],
+        };
+        let s = p.scaled(2.0);
+        assert_eq!(
+            s,
+            ArrivalProcess::Trace {
+                cycles: vec![50, 100, 200]
+            }
+        );
+        let q = ArrivalProcess::Poisson { qps: 1000.0 }.scaled(0.5);
+        assert!(matches!(q, ArrivalProcess::Poisson { qps } if (qps - 500.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn nominal_qps_mixes_burst() {
+        let p = ArrivalProcess::Bursty {
+            base_qps: 100.0,
+            burst_qps: 1100.0,
+            period_cycles: 100,
+            burst_frac: 0.1,
+        };
+        assert!((p.nominal_qps(2400) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let t = vec![poisson_tenant(0.0, 5)];
+        generate_arrivals(&t, 3, 1, 2400);
+    }
+}

@@ -1,0 +1,499 @@
+//! The online serving engine: admission control, weighted-fair queueing,
+//! dynamic batch formation, and simulated execution on the NDP device.
+//!
+//! The engine advances a single simulated clock (memory cycles). Queries
+//! arrive open-loop from [`generate_arrivals`](crate::arrival::generate_arrivals);
+//! an admission controller sheds on queue-depth backpressure and expired
+//! deadlines; a weighted-fair queue picks which admitted queries join the
+//! next batch; a dynamic batch former dispatches when the batch fills,
+//! the oldest query has lingered long enough, or no more arrivals are
+//! coming; and each dispatched batch executes through the wave model
+//! ([`WaveContext`]) of the cycle-level simulator.
+//!
+//! Determinism: the loop is strictly event-ordered, every tie is broken
+//! by `(tag, tenant, seq)`, batches execute on fresh device state, and
+//! the recorded latencies feed integer histograms — so one seed and one
+//! config produce one bit-identical report, independent of host thread
+//! count or run-to-run jitter (enforced by `tests/serving.rs`).
+
+use std::collections::VecDeque;
+
+use ansmet_faults::{ComputeFault, FaultInjector, FaultKind, FaultPlan, FaultRates};
+use ansmet_host::RetryPolicy;
+use ansmet_index::HopKind;
+use ansmet_ndp::{Partitioner, ResultPayload};
+use ansmet_sim::{Design, RecoveryReport, SystemConfig, WaveContext, Workload};
+
+use crate::arrival::{generate_arrivals, Arrival, TenantSpec};
+use crate::histogram::LatencyHistogram;
+use crate::report::{ServeReport, TenantReport};
+
+/// Dynamic batch-formation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Most queries one batch may carry.
+    pub max_batch: usize,
+    /// Longest the oldest queued query may wait for co-batchees, in
+    /// memory cycles, before the batch dispatches part-full.
+    pub max_linger_cycles: u64,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 8,
+            max_linger_cycles: 4_000,
+        }
+    }
+}
+
+/// Admission-control policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Queue-depth backpressure: an arrival finding this many queries
+    /// already queued is shed immediately.
+    pub max_queue_depth: usize,
+    /// Optional per-query deadline in cycles: a query still queued this
+    /// long after arrival is shed at dispatch time instead of executed
+    /// (it could no longer meet any SLO, so executing it wastes device
+    /// time that fresher queries need).
+    pub deadline_cycles: Option<u64>,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_queue_depth: 256,
+            deadline_cycles: None,
+        }
+    }
+}
+
+/// Fault-injection profile for a serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultProfile {
+    /// Per-operation fault probabilities.
+    pub rates: FaultRates,
+    /// Seed for the generated [`FaultPlan`].
+    pub seed: u64,
+    /// Host-side recovery policy.
+    pub retry: RetryPolicy,
+}
+
+/// Full configuration of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Seed for arrival generation (and query selection).
+    pub seed: u64,
+    /// The hardware design serving the traffic (NDP designs only).
+    pub design: Design,
+    /// The tenants sharing the device.
+    pub tenants: Vec<TenantSpec>,
+    /// Batch-formation policy.
+    pub batch: BatchPolicy,
+    /// Admission-control policy.
+    pub admission: AdmissionConfig,
+    /// Optional fault injection (recovery shows up as tail latency).
+    pub faults: Option<FaultProfile>,
+}
+
+impl ServeConfig {
+    /// A single-tenant Poisson workload: `queries` arrivals at `qps`
+    /// with SLO `slo_cycles`, served by `NdpEtOpt`.
+    pub fn open_loop(seed: u64, qps: f64, queries: usize, slo_cycles: u64) -> Self {
+        ServeConfig {
+            seed,
+            design: Design::NdpEtOpt,
+            tenants: vec![TenantSpec {
+                name: "default".into(),
+                weight: 1,
+                process: crate::arrival::ArrivalProcess::Poisson { qps },
+                slo_cycles,
+                queries,
+            }],
+            batch: BatchPolicy::default(),
+            admission: AdmissionConfig::default(),
+            faults: None,
+        }
+    }
+
+    /// The same config with every tenant's offered load scaled so the
+    /// aggregate nominal rate becomes `total_qps` (ratios preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current aggregate nominal rate is zero.
+    pub fn with_total_qps(&self, total_qps: f64, mem_clock_mhz: u64) -> Self {
+        let current: f64 = self
+            .tenants
+            .iter()
+            .map(|t| t.process.nominal_qps(mem_clock_mhz))
+            .sum();
+        assert!(current > 0.0, "aggregate offered load is zero");
+        let factor = total_qps / current;
+        let mut out = self.clone();
+        for t in &mut out.tenants {
+            t.process = t.process.scaled(factor);
+        }
+        out
+    }
+
+    /// The same config with fault injection enabled.
+    pub fn with_faults(mut self, profile: FaultProfile) -> Self {
+        self.faults = Some(profile);
+        self
+    }
+}
+
+/// Weighted-fair-queueing virtual-time scale: tags advance by
+/// `WFQ_SCALE / weight` per dispatched query, all in integer arithmetic.
+const WFQ_SCALE: u64 = 1 << 20;
+
+/// Cycles one abandoned poll window costs when a batch times out
+/// (mirrors the degraded-mode runner's deadline scale).
+const TIMEOUT_PENALTY_CYCLES: u64 = 4_096;
+/// One conventional poll period (100 ns at DDR5-4800), charged per
+/// transient poll miss.
+const POLL_MISS_PENALTY_CYCLES: u64 = 240;
+/// Cycles per 64 B line for the host's exact-fallback recompute
+/// (matches `ansmet_sim::degraded`).
+const FALLBACK_CYCLES_PER_LINE: u64 = 60;
+
+/// A query waiting in its tenant's queue.
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    arrival: Arrival,
+    /// WFQ finish tag; dispatch order is ascending `(tag, tenant, seq)`.
+    tag: u64,
+}
+
+/// Per-tenant running tallies.
+#[derive(Debug, Default, Clone)]
+struct TenantTally {
+    offered: u64,
+    shed_queue: u64,
+    shed_deadline: u64,
+    completed: u64,
+    slo_attained: u64,
+    total: LatencyHistogram,
+}
+
+/// FNV-1a over the served queries' neighbor ids, in arrival order.
+///
+/// Faults must never change *what* a query returns, only *when* — so a
+/// faulted run over the same served set hashes to the same fingerprint.
+fn results_fingerprint(served: &[Option<usize>], workload: &Workload) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for q in served.iter().flatten() {
+        mix(*q as u64 + 1);
+        for &id in &workload.results[*q] {
+            mix(id as u64);
+        }
+    }
+    h
+}
+
+/// Recovery-penalty cycles for one query's comparisons under injected
+/// faults, charged on top of its fault-free execution time.
+///
+/// The model mirrors the degraded-mode runner's protocol per offload:
+/// drop/hang ⇒ an abandoned poll window; stall ⇒ the stall itself;
+/// corrupt/lost payload ⇒ a CRC rejection; each failure retries under
+/// the [`RetryPolicy`]'s backoff until the host computes the distance
+/// itself. Counters land in the shared [`RecoveryReport`].
+fn recovery_penalty(
+    injector: &mut FaultInjector,
+    retry: &RetryPolicy,
+    workload: &Workload,
+    query: usize,
+    partitioner: &Partitioner,
+    rec: &mut RecoveryReport,
+) -> u64 {
+    let natural_lines = workload.data.vector_lines() as u64;
+    let mut penalty = 0u64;
+    for hop in &workload.traces[query].hops {
+        if hop.kind == HopKind::Centroid {
+            continue; // host-side arithmetic; no offload to fault
+        }
+        for e in &hop.evals {
+            rec.comparisons += 1;
+            let lead = partitioner.group_of(e.id) * partitioner.group_size();
+            let mut attempt = 0u32;
+            loop {
+                rec.offloads += 1;
+                let mut failed = false;
+                if injector.drop_instruction(lead) {
+                    failed = true;
+                } else {
+                    match injector.compute_fault(lead) {
+                        ComputeFault::None => {}
+                        ComputeFault::Stall(extra) => penalty += extra,
+                        ComputeFault::Hang => failed = true,
+                    }
+                }
+                if failed {
+                    rec.timeouts += 1;
+                    penalty += TIMEOUT_PENALTY_CYCLES;
+                } else {
+                    let mut p = ResultPayload::encode(&[0.0]);
+                    match injector.poll_fault(lead, &mut p) {
+                        Some(FaultKind::CorruptResult { .. }) | Some(FaultKind::LostResult) => {
+                            rec.crc_rejections += 1;
+                            failed = true;
+                        }
+                        Some(FaultKind::PollMiss) => {
+                            rec.poll_misses += 1;
+                            penalty += POLL_MISS_PENALTY_CYCLES;
+                        }
+                        _ => {}
+                    }
+                }
+                if !failed {
+                    break;
+                }
+                if retry.exhausted(attempt) {
+                    rec.host_fallbacks += 1;
+                    penalty += natural_lines * FALLBACK_CYCLES_PER_LINE;
+                    break;
+                }
+                penalty += retry.backoff(attempt);
+                rec.retries += 1;
+                attempt += 1;
+            }
+        }
+    }
+    penalty
+}
+
+/// Run one online serving simulation.
+///
+/// # Panics
+///
+/// Panics on an empty tenant list, a CPU design, a zero batch size, or
+/// a workload with no queries.
+pub fn run_serve(workload: &Workload, config: &SystemConfig, serve: &ServeConfig) -> ServeReport {
+    assert!(serve.batch.max_batch > 0, "zero batch size");
+    assert!(!workload.queries.is_empty(), "empty workload");
+    let mem_clock = config.dram.clock_mhz;
+    let arrivals = generate_arrivals(
+        &serve.tenants,
+        workload.queries.len(),
+        serve.seed,
+        mem_clock,
+    );
+    let ctx = WaveContext::new(serve.design, workload, config);
+    let partitioner = Partitioner::new(
+        config.partition,
+        config.ndp_units(),
+        workload.data.dim(),
+        workload.data.dtype().bytes(),
+    );
+
+    let mut fault_state = serve.faults.as_ref().map(|f| {
+        let evals: u64 = workload
+            .traces
+            .iter()
+            .map(|t| t.total_evals() as u64)
+            .sum::<u64>();
+        // Upper-bound ops per rank: every arrival replays a trace, plus
+        // retry re-offloads.
+        let per_rank = (arrivals.len() as u64 * evals * 2)
+            / (config.ndp_units() as u64).max(1)
+            / (workload.traces.len() as u64).max(1)
+            + 64;
+        let plan = FaultPlan::random(f.seed, config.ndp_units(), per_rank, f.rates);
+        (FaultInjector::new(plan), f.retry, RecoveryReport::default())
+    });
+
+    // Per-tenant FIFO queues; WFQ tags assigned at admission.
+    let n_tenants = serve.tenants.len();
+    let mut queues: Vec<VecDeque<Queued>> = vec![VecDeque::new(); n_tenants];
+    let mut last_tag = vec![0u64; n_tenants];
+    let mut virtual_now = 0u64;
+    let mut queued_total = 0usize;
+    let mut tallies: Vec<TenantTally> = vec![TenantTally::default(); n_tenants];
+
+    let mut queue_hist = LatencyHistogram::new();
+    let mut exec_hist = LatencyHistogram::new();
+    let mut total_hist = LatencyHistogram::new();
+    let mut served: Vec<Option<usize>> = vec![None; arrivals.len()];
+
+    let mut ev = 0usize; // next un-admitted arrival
+    let mut now = 0u64;
+    let mut device_free = 0u64;
+    let mut batches = 0u64;
+    let mut batched_queries = 0u64;
+    let mut makespan = 0u64;
+
+    loop {
+        // Admit everything that has arrived by `now`.
+        while ev < arrivals.len() && arrivals[ev].cycle <= now {
+            let a = arrivals[ev];
+            let tally = &mut tallies[a.tenant];
+            tally.offered += 1;
+            if queued_total >= serve.admission.max_queue_depth {
+                tally.shed_queue += 1;
+            } else {
+                let w = serve.tenants[a.tenant].weight;
+                let tag = virtual_now.max(last_tag[a.tenant]) + WFQ_SCALE / w;
+                last_tag[a.tenant] = tag;
+                queues[a.tenant].push_back(Queued { arrival: a, tag });
+                queued_total += 1;
+            }
+            ev += 1;
+        }
+        if queued_total == 0 {
+            if ev >= arrivals.len() {
+                break;
+            }
+            now = now.max(arrivals[ev].cycle);
+            continue;
+        }
+        if device_free > now {
+            now = device_free;
+            continue;
+        }
+        // Batch-formation decision.
+        let oldest = queues
+            .iter()
+            .filter_map(|q| q.front())
+            .map(|q| q.arrival.cycle)
+            .min()
+            .expect("non-empty queues");
+        let ready = queued_total >= serve.batch.max_batch
+            || ev >= arrivals.len()
+            || now >= oldest.saturating_add(serve.batch.max_linger_cycles);
+        if !ready {
+            let wake = arrivals[ev]
+                .cycle
+                .min(oldest.saturating_add(serve.batch.max_linger_cycles));
+            now = wake.max(now + 1);
+            continue;
+        }
+
+        // Pop up to max_batch queries in WFQ order, shedding expired
+        // deadlines as they surface.
+        let mut batch: Vec<Queued> = Vec::with_capacity(serve.batch.max_batch);
+        while batch.len() < serve.batch.max_batch {
+            let Some(t) = (0..n_tenants)
+                .filter(|&t| !queues[t].is_empty())
+                .min_by_key(|&t| (queues[t].front().expect("non-empty").tag, t))
+            else {
+                break;
+            };
+            let q = queues[t].pop_front().expect("non-empty");
+            queued_total -= 1;
+            virtual_now = q.tag;
+            if let Some(dl) = serve.admission.deadline_cycles {
+                if now > q.arrival.cycle.saturating_add(dl) {
+                    tallies[t].shed_deadline += 1;
+                    continue;
+                }
+            }
+            batch.push(q);
+        }
+        if batch.is_empty() {
+            continue; // everything popped had expired
+        }
+
+        // Execute the batch on fresh device state.
+        let ids: Vec<usize> = batch.iter().map(|q| q.arrival.query).collect();
+        let exec = ctx.execute(&ids);
+        batches += 1;
+        batched_queries += batch.len() as u64;
+
+        // Fault-recovery penalties stretch individual completions and
+        // hold the device (the wave's close waits for recovery).
+        let mut max_penalty = 0u64;
+        let penalties: Vec<u64> = match &mut fault_state {
+            None => vec![0; batch.len()],
+            Some((injector, retry, rec)) => batch
+                .iter()
+                .map(|q| {
+                    let p = recovery_penalty(
+                        injector,
+                        retry,
+                        workload,
+                        q.arrival.query,
+                        &partitioner,
+                        rec,
+                    );
+                    max_penalty = max_penalty.max(p);
+                    p
+                })
+                .collect(),
+        };
+        if let Some((_, _, rec)) = &mut fault_state {
+            rec.added_latency_cycles += penalties.iter().sum::<u64>();
+        }
+
+        for ((q, &retire), &penalty) in batch.iter().zip(&exec.per_query_cycles).zip(&penalties) {
+            let completion = now + retire + penalty;
+            let queue_cycles = now - q.arrival.cycle;
+            let exec_cycles = retire + penalty;
+            let total = completion - q.arrival.cycle;
+            queue_hist.record(queue_cycles);
+            exec_hist.record(exec_cycles);
+            total_hist.record(total);
+            let tally = &mut tallies[q.arrival.tenant];
+            tally.completed += 1;
+            tally.total.record(total);
+            if total <= serve.tenants[q.arrival.tenant].slo_cycles {
+                tally.slo_attained += 1;
+            }
+            makespan = makespan.max(completion);
+            served[arrival_index(&arrivals, q.arrival)] = Some(q.arrival.query);
+        }
+        device_free = now + exec.total_cycles + max_penalty;
+    }
+
+    let recovery = fault_state.map(|(injector, _, mut rec)| {
+        rec.injected = *injector.stats();
+        rec
+    });
+    let fingerprint = results_fingerprint(&served, workload);
+    let tenants = serve
+        .tenants
+        .iter()
+        .zip(tallies)
+        .map(|(spec, t)| {
+            TenantReport::new(
+                spec,
+                t.offered,
+                t.shed_queue,
+                t.shed_deadline,
+                t.completed,
+                t.slo_attained,
+                &t.total,
+                makespan,
+                mem_clock,
+            )
+        })
+        .collect();
+
+    ServeReport::new(
+        serve,
+        mem_clock,
+        makespan,
+        batches,
+        batched_queries,
+        &queue_hist,
+        &exec_hist,
+        &total_hist,
+        tenants,
+        recovery,
+        fingerprint,
+    )
+}
+
+/// Position of `a` in the sorted arrival list (unique by
+/// `(cycle, tenant, seq)`).
+fn arrival_index(arrivals: &[Arrival], a: Arrival) -> usize {
+    arrivals
+        .binary_search_by_key(&(a.cycle, a.tenant, a.seq), |x| (x.cycle, x.tenant, x.seq))
+        .expect("arrival came from this list")
+}

@@ -1,0 +1,190 @@
+//! The `serve` experiment: a multi-tenant open-loop serving run with
+//! clean and fault-injected passes plus a QPS sweep, rendered as text
+//! and as the `BENCH_serving.json` artifact.
+//!
+//! Not a paper experiment — it answers the question the paper's §5.2
+//! wave model raises but cannot: what QPS can the NDP designs sustain at
+//! a bounded p99 under realistic arrivals, batching, and faults?
+
+use std::fmt::Write as _;
+
+use ansmet_faults::FaultRates;
+use ansmet_host::RetryPolicy;
+use ansmet_sim::experiment::Scale;
+use ansmet_sim::{Design, SystemConfig, Workload};
+use ansmet_vecdata::SynthSpec;
+
+use crate::arrival::{ArrivalProcess, TenantSpec};
+use crate::engine::{run_serve, AdmissionConfig, BatchPolicy, FaultProfile, ServeConfig};
+use crate::report::cycles_to_ms;
+use crate::sweep::sweep_qps;
+
+/// Estimate device capacity (QPS) by executing the whole workload as one
+/// saturated cohort through the wave model.
+fn estimate_capacity_qps(workload: &Workload, config: &SystemConfig, design: Design) -> f64 {
+    let ctx = ansmet_sim::WaveContext::new(design, workload, config);
+    let ids: Vec<usize> = (0..workload.traces.len()).collect();
+    let exec = ctx.execute(&ids);
+    let secs = exec.total_cycles as f64 / (config.dram.clock_mhz as f64 * 1e6);
+    ids.len() as f64 / secs.max(1e-12)
+}
+
+/// Build the experiment's two-tenant serving config at roughly 60 % of
+/// the estimated capacity: an interactive tenant (weight 4, Poisson,
+/// tight SLO) and a bulk tenant (weight 1, bursty, loose SLO).
+fn experiment_config(seed: u64, capacity_qps: f64, queries: usize, slo_cycles: u64) -> ServeConfig {
+    let load = capacity_qps * 0.6;
+    ServeConfig {
+        seed,
+        design: Design::NdpEtOpt,
+        tenants: vec![
+            TenantSpec {
+                name: "interactive".into(),
+                weight: 4,
+                process: ArrivalProcess::Poisson { qps: load * 0.7 },
+                slo_cycles,
+                queries,
+            },
+            TenantSpec {
+                name: "bulk".into(),
+                weight: 1,
+                process: ArrivalProcess::Bursty {
+                    base_qps: load * 0.15,
+                    burst_qps: load * 0.9,
+                    period_cycles: 2_000_000,
+                    burst_frac: 0.2,
+                },
+                slo_cycles: slo_cycles * 4,
+                queries: queries / 2,
+            },
+        ],
+        batch: BatchPolicy::default(),
+        admission: AdmissionConfig {
+            max_queue_depth: 128,
+            deadline_cycles: Some(slo_cycles * 8),
+        },
+        faults: None,
+    }
+}
+
+/// Run the serving experiment at `scale`; returns `(text, json)` where
+/// `json` is the `BENCH_serving.json` artifact body.
+pub fn serve_experiment(scale: Scale) -> (String, String) {
+    let spec = scale.spec(SynthSpec::sift());
+    let wl = Workload::prepare(&spec, 10, None);
+    let cfg = SystemConfig::default();
+    let mem_clock = cfg.dram.clock_mhz;
+    let queries = match scale {
+        Scale::Quick => 80,
+        Scale::Full => 400,
+    };
+
+    let capacity = estimate_capacity_qps(&wl, &cfg, Design::NdpEtOpt);
+    // SLO: generous multiple of the saturated per-query service time so
+    // a healthy run attains it and queueing/faults measurably erode it.
+    let per_query = (mem_clock as f64 * 1e6 / capacity.max(1e-9)) as u64;
+    let slo_cycles = per_query * 32;
+    let serve_cfg = experiment_config(0x5EED, capacity, queries, slo_cycles);
+
+    let clean = run_serve(&wl, &cfg, &serve_cfg);
+    // The faulted pass disables shedding so every query completes and the
+    // returned-results fingerprint stays comparable: recovery must show up
+    // purely as tail inflation, never as different answers.
+    let mut faulted_cfg = serve_cfg.clone().with_faults(FaultProfile {
+        rates: FaultRates::mixed(),
+        seed: 0xFA11,
+        retry: RetryPolicy::default_ndp(),
+    });
+    faulted_cfg.admission = AdmissionConfig {
+        max_queue_depth: usize::MAX,
+        deadline_cycles: None,
+    };
+    let faulted = run_serve(&wl, &cfg, &faulted_cfg);
+
+    let sweep_points: Vec<f64> = [0.3, 0.6, 0.9, 1.2].iter().map(|f| capacity * f).collect();
+    let sweep = sweep_qps(&wl, &cfg, &serve_cfg, &sweep_points, slo_cycles);
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "serving — {} ({} base queries, est. capacity {:.0} qps, SLO {} cycles = {:.4} ms)",
+        wl.name,
+        wl.queries.len(),
+        capacity,
+        slo_cycles,
+        cycles_to_ms(slo_cycles, mem_clock),
+    );
+    text.push_str(&clean.render("serve (clean)"));
+    text.push_str(&faulted.render("serve (faults: mixed)"));
+    let _ = writeln!(
+        text,
+        "   fault tail inflation: p99 {} -> {} cycles ({:+.1}%), results identical: {}",
+        clean.total.p99,
+        faulted.total.p99,
+        (faulted.total.p99 as f64 / clean.total.p99.max(1) as f64 - 1.0) * 100.0,
+        if clean.results_fingerprint == faulted.results_fingerprint {
+            "yes"
+        } else {
+            "NO"
+        },
+    );
+    let _ = writeln!(text, "   qps sweep (target p99 {} cycles):", slo_cycles);
+    for p in &sweep.points {
+        let _ = writeln!(
+            text,
+            "     offered {:>9.0} qps -> achieved {:>9.0}, p99 {:>9} cycles, shed {:>5.1}%, slo {:>5.1}%",
+            p.offered_qps,
+            p.achieved_qps,
+            p.p99_total_cycles,
+            p.shed_rate * 100.0,
+            p.slo_attainment * 100.0,
+        );
+    }
+    let _ = writeln!(
+        text,
+        "     max sustainable: {}",
+        match sweep.max_sustainable_qps {
+            Some(q) => format!("{q:.0} qps"),
+            None => "none (target missed at every point)".into(),
+        }
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"experiment\": \"serve\",");
+    let _ = writeln!(
+        json,
+        "  \"scale\": \"{}\",",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    );
+    let _ = writeln!(json, "  \"dataset\": \"{}\",", wl.name);
+    let _ = writeln!(json, "  \"estimated_capacity_qps\": {capacity:.3},");
+    let _ = writeln!(json, "  \"slo_cycles\": {slo_cycles},");
+    let _ = writeln!(json, "  \"report\": {},", clean.to_json());
+    let _ = writeln!(json, "  \"faulted\": {},", faulted.to_json());
+    let _ = writeln!(json, "  \"sweep\": {}", sweep.to_json());
+    json.push_str("}\n");
+
+    (text, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_experiment_runs_and_is_deterministic() {
+        let (t1, j1) = serve_experiment(Scale::Quick);
+        assert!(t1.contains("serve (clean)"));
+        assert!(t1.contains("qps sweep"));
+        assert!(t1.contains("results identical: yes"), "{t1}");
+        assert!(j1.contains("\"experiment\": \"serve\""));
+        assert!(j1.contains("\"sweep\""));
+        let (t2, j2) = serve_experiment(Scale::Quick);
+        assert_eq!(t1, t2, "text report must be bit-identical");
+        assert_eq!(j1, j2, "json artifact must be bit-identical");
+    }
+}

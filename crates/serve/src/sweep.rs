@@ -1,0 +1,121 @@
+//! QPS sweep: find the maximum sustainable throughput at a tail-latency
+//! target.
+//!
+//! The classic serving question — "how much load can this box take
+//! before p99 blows through the SLO?" — is answered by sweeping offered
+//! load and watching the knee of the latency curve. Each sweep point
+//! re-runs the full serving simulation at a scaled arrival rate; the
+//! highest point whose p99 stays at or under the target *and* whose shed
+//! rate stays negligible is reported as the max sustainable QPS.
+
+use ansmet_sim::{SystemConfig, Workload};
+
+use crate::engine::{run_serve, ServeConfig};
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Offered (nominal) aggregate load in queries per second.
+    pub offered_qps: f64,
+    /// Achieved completion rate over the makespan.
+    pub achieved_qps: f64,
+    /// p99 total latency in cycles.
+    pub p99_total_cycles: u64,
+    /// Fraction of offered queries shed.
+    pub shed_rate: f64,
+    /// Aggregate SLO attainment.
+    pub slo_attainment: f64,
+}
+
+/// The outcome of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QpsSweep {
+    /// The tail-latency target the sweep was judged against.
+    pub target_p99_cycles: u64,
+    /// Every measured point, in offered-load order.
+    pub points: Vec<SweepPoint>,
+    /// Highest offered load meeting the target (p99 ≤ target, shed rate
+    /// ≤ 0.1 %), if any point did.
+    pub max_sustainable_qps: Option<f64>,
+}
+
+impl QpsSweep {
+    /// Serialize to a JSON object (deterministic).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "    \"target_p99_cycles\": {},", self.target_p99_cycles);
+        match self.max_sustainable_qps {
+            Some(q) => {
+                let _ = writeln!(s, "    \"max_sustainable_qps\": {q:.3},");
+            }
+            None => {
+                let _ = writeln!(s, "    \"max_sustainable_qps\": null,");
+            }
+        }
+        s.push_str("    \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let _ = write!(
+                s,
+                "      {{\"offered_qps\": {:.3}, \"achieved_qps\": {:.3}, \
+                 \"p99_total_cycles\": {}, \"shed_rate\": {:.6}, \"slo_attainment\": {:.6}}}",
+                p.offered_qps, p.achieved_qps, p.p99_total_cycles, p.shed_rate, p.slo_attainment,
+            );
+            s.push_str(if i + 1 < self.points.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("    ]\n  }");
+        s
+    }
+}
+
+/// Shed-rate ceiling for a point to count as "sustainable".
+const SUSTAINABLE_SHED_RATE: f64 = 0.001;
+
+/// Sweep the offered load over `qps_points` (aggregate QPS, tenant
+/// ratios preserved) and find the max sustainable throughput at a p99
+/// target of `target_p99_cycles`.
+///
+/// # Panics
+///
+/// Panics if `qps_points` is empty or the base config's aggregate
+/// nominal load is zero.
+pub fn sweep_qps(
+    workload: &Workload,
+    config: &SystemConfig,
+    base: &ServeConfig,
+    qps_points: &[f64],
+    target_p99_cycles: u64,
+) -> QpsSweep {
+    assert!(!qps_points.is_empty(), "empty sweep");
+    let mem_clock = config.dram.clock_mhz;
+    let mut points = Vec::with_capacity(qps_points.len());
+    let mut max_ok: Option<f64> = None;
+    for &qps in qps_points {
+        let cfg = base.with_total_qps(qps, mem_clock);
+        let report = run_serve(workload, config, &cfg);
+        let point = SweepPoint {
+            offered_qps: qps,
+            achieved_qps: report.achieved_qps(),
+            p99_total_cycles: report.total.p99,
+            shed_rate: report.shed_rate(),
+            slo_attainment: report.slo_attainment(),
+        };
+        if point.p99_total_cycles <= target_p99_cycles
+            && point.shed_rate <= SUSTAINABLE_SHED_RATE
+            && max_ok.map(|m| qps > m).unwrap_or(true)
+        {
+            max_ok = Some(qps);
+        }
+        points.push(point);
+    }
+    QpsSweep {
+        target_p99_cycles,
+        points,
+        max_sustainable_qps: max_ok,
+    }
+}

@@ -244,7 +244,10 @@ impl<'a> FaultyNdpOracle<'a> {
                     Ok(_) | Err(_) => Err(AttemptError::Corrupt),
                 }
             }
-            PollOutcome::TimedOut { polls: _, gave_up_at } => {
+            PollOutcome::TimedOut {
+                polls: _,
+                gave_up_at,
+            } => {
                 self.report.added_latency_cycles += gave_up_at;
                 Err(AttemptError::TimedOut)
             }
@@ -415,7 +418,10 @@ mod tests {
             assert!(!plan.is_empty());
             let faulty = run_degraded(&wl, &cfg, plan, RetryPolicy::default_ndp());
             assert_eq!(faulty.results, clean.results, "seed {seed}");
-            assert!(faulty.report.any_recovery(), "seed {seed}: faults must bite");
+            assert!(
+                faulty.report.any_recovery(),
+                "seed {seed}: faults must bite"
+            );
             assert!(faulty.report.added_latency_cycles > 0);
         }
     }
@@ -442,7 +448,12 @@ mod tests {
             EtConfig::new(FetchSchedule::uniform(data.dtype(), 4)),
         );
         // Horizontal over 8 ranks: group_of(id) = id % 8, group_size 1.
-        let part = Partitioner::new(PartitionScheme::Horizontal, 8, data.dim(), data.dtype().bytes());
+        let part = Partitioner::new(
+            PartitionScheme::Horizontal,
+            8,
+            data.dim(),
+            data.dtype().bytes(),
+        );
         let id = 3usize;
         let home_rank = part.group_of(id) * part.group_size();
         let replicas = ReplicaSet::new([id]);
@@ -483,7 +494,12 @@ mod tests {
             &data,
             EtConfig::new(FetchSchedule::uniform(data.dtype(), 4)),
         );
-        let part = Partitioner::new(PartitionScheme::Horizontal, 8, data.dim(), data.dtype().bytes());
+        let part = Partitioner::new(
+            PartitionScheme::Horizontal,
+            8,
+            data.dim(),
+            data.dtype().bytes(),
+        );
         let id = 5usize;
         let home_rank = part.group_of(id) * part.group_size();
         let replicas = ReplicaSet::default();
@@ -524,7 +540,12 @@ mod tests {
             &data,
             EtConfig::new(FetchSchedule::uniform(data.dtype(), 4)),
         );
-        let part = Partitioner::new(PartitionScheme::Horizontal, 8, data.dim(), data.dtype().bytes());
+        let part = Partitioner::new(
+            PartitionScheme::Horizontal,
+            8,
+            data.dim(),
+            data.dtype().bytes(),
+        );
         let id = 2usize;
         let home_rank = part.group_of(id) * part.group_size();
         let replicas = ReplicaSet::default();

@@ -136,11 +136,7 @@ impl DesignPlan {
     /// dimensions (the sub-vector size under vertical/hybrid
     /// partitioning — padding is paid per sub-vector, so the
     /// dual-granularity optimizer must see the real unit).
-    pub fn build_for_layout(
-        design: Design,
-        workload: &Workload,
-        layout_dim: usize,
-    ) -> DesignPlan {
+    pub fn build_for_layout(design: Design, workload: &Workload, layout_dim: usize) -> DesignPlan {
         let data: &Dataset = &workload.data;
         let dtype = data.dtype();
         let et = match design.et_kind() {
@@ -150,13 +146,8 @@ impl DesignPlan {
             EtKind::Simple => Some(EtConfig::new(FetchSchedule::simple_heuristic(dtype))),
             EtKind::Dual => {
                 let (hist, never) = weighted_histogram(workload);
-                let params = ansmet_core::optimize_dual_schedule(
-                    layout_dim,
-                    dtype.bits(),
-                    0,
-                    &hist,
-                    never,
-                );
+                let params =
+                    ansmet_core::optimize_dual_schedule(layout_dim, dtype.bits(), 0, &hist, never);
                 let candidate = EtConfig::new(params.schedule(dtype, 0));
                 let simple = EtConfig::new(FetchSchedule::simple_heuristic(dtype));
                 Some(pick_measured(workload, layout_dim, [candidate, simple]))
@@ -198,11 +189,7 @@ impl DesignPlan {
 /// fetch cost on the sampling set (§4.2's offline exploration, done with
 /// the real evaluation engine instead of the closed-form model so that
 /// sub-vector threshold shares and mid-step bound checks are captured).
-fn pick_measured(
-    workload: &Workload,
-    layout_dim: usize,
-    candidates: [EtConfig; 2],
-) -> EtConfig {
+fn pick_measured(workload: &Workload, layout_dim: usize, candidates: [EtConfig; 2]) -> EtConfig {
     use ansmet_core::EtEngine;
     let data = &workload.data;
     let dim = data.dim();

@@ -45,10 +45,16 @@ impl fmt::Display for AnsmetError {
             AnsmetError::Ndp(e) => write!(f, "ndp: {e}"),
             AnsmetError::Et(e) => write!(f, "et: {e}"),
             AnsmetError::DeadlineExceeded { rank, deadline } => {
-                write!(f, "rank {rank}: poll deadline of {deadline} cycles exceeded")
+                write!(
+                    f,
+                    "rank {rank}: poll deadline of {deadline} cycles exceeded"
+                )
             }
             AnsmetError::RetriesExhausted { rank, attempts } => {
-                write!(f, "rank {rank}: retry budget exhausted after {attempts} attempts")
+                write!(
+                    f,
+                    "rank {rank}: retry budget exhausted after {attempts} attempts"
+                )
             }
         }
     }

@@ -130,8 +130,7 @@ mod tests {
             &data,
             EtConfig::new(FetchSchedule::uniform(data.dtype(), 8)),
         );
-        let chunks: Vec<std::ops::Range<usize>> =
-            (0..4).map(|i| i * 240..(i + 1) * 240).collect();
+        let chunks: Vec<std::ops::Range<usize>> = (0..4).map(|i| i * 240..(i + 1) * 240).collect();
         let mut scratch = EtScratch::new();
         for q in &queries {
             for id in 0..40 {
@@ -162,7 +161,14 @@ mod tests {
         #[allow(clippy::single_range_in_vec_init)] // one whole-vector chunk is the point
         let chunks = [0..dim];
         let mut scratch = EtScratch::new();
-        let m = evaluate_chunked(&engine, 5, &queries[0], &chunks, f32::INFINITY, &mut scratch);
+        let m = evaluate_chunked(
+            &engine,
+            5,
+            &queries[0],
+            &chunks,
+            f32::INFINITY,
+            &mut scratch,
+        );
         let c = engine.evaluate(5, &queries[0], f32::INFINITY);
         assert_eq!(m.lines[0], c.lines);
         assert_eq!(m.pruned, c.pruned);
@@ -175,8 +181,7 @@ mod tests {
             &data,
             EtConfig::new(FetchSchedule::uniform(data.dtype(), 8)),
         );
-        let chunks: Vec<std::ops::Range<usize>> =
-            (0..4).map(|i| i * 240..(i + 1) * 240).collect();
+        let chunks: Vec<std::ops::Range<usize>> = (0..4).map(|i| i * 240..(i + 1) * 240).collect();
         let q = &queries[0];
         let full = engine.config().schedule.total_lines(240) * 4;
         let mut saved = false;

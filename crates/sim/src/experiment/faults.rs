@@ -37,15 +37,32 @@ pub fn faults(scale: Scale) -> String {
     let wl = Workload::prepare(&spec, 10, None);
     let cfg = SystemConfig::default();
     let retry = RetryPolicy::default_ndp();
-    let ops = wl.traces.iter().map(|t| t.total_evals() as u64).sum::<u64>() / cfg.ndp_units() as u64
+    let ops = wl
+        .traces
+        .iter()
+        .map(|t| t.total_evals() as u64)
+        .sum::<u64>()
+        / cfg.ndp_units() as u64
         + 16;
 
     let clean = run_degraded(&wl, &cfg, FaultPlan::none(), retry);
     let mut t = Table::new(
-        format!("fault recovery — {} ({} queries)", wl.name, wl.queries.len()),
+        format!(
+            "fault recovery — {} ({} queries)",
+            wl.name,
+            wl.queries.len()
+        ),
         &[
-            "profile", "injected", "timeouts", "crc-rej", "retries", "re-off", "fallback",
-            "added-cycles", "recall", "identical",
+            "profile",
+            "injected",
+            "timeouts",
+            "crc-rej",
+            "retries",
+            "re-off",
+            "fallback",
+            "added-cycles",
+            "recall",
+            "identical",
         ],
     );
     let mut out = String::new();

@@ -16,7 +16,11 @@ fn smooth(h: &[f64]) -> Vec<f64> {
         let prev = out.clone();
         for i in 0..out.len() {
             let l = if i > 0 { prev[i - 1] } else { prev[i] };
-            let r = if i + 1 < prev.len() { prev[i + 1] } else { prev[i] };
+            let r = if i + 1 < prev.len() {
+                prev[i + 1]
+            } else {
+                prev[i]
+            };
             out[i] = 0.25 * l + 0.5 * prev[i] + 0.25 * r;
         }
     }
@@ -38,7 +42,12 @@ use crate::SystemConfig;
 pub fn fig1(scale: Scale) -> String {
     let mut t = Table::new(
         "Fig.1: CPU-Base performance breakdown",
-        &["workload", "index+sort", "dist (accepted)", "dist (rejected)"],
+        &[
+            "workload",
+            "index+sort",
+            "dist (accepted)",
+            "dist (rejected)",
+        ],
     );
     let cfg = SystemConfig::default();
     for (kind, label) in [(IndexKind::Hnsw, "HNSW"), (IndexKind::Ivf, "IVF")] {
@@ -84,7 +93,13 @@ pub fn fig3(scale: Scale) -> String {
             .take(20)
             .map(|&i| data.vector(i).to_vec())
             .collect();
-        let ids: Vec<usize> = profile.sample_ids.iter().skip(20).take(40).copied().collect();
+        let ids: Vec<usize> = profile
+            .sample_ids
+            .iter()
+            .skip(20)
+            .take(40)
+            .copied()
+            .collect();
         let freq = et_frequency_profile(&data, &ids, &queries, profile.threshold);
         let mut t = Table::new(
             format!("Fig.3: {} prefix profile", data.name()),
@@ -114,8 +129,15 @@ pub fn fig6(scale: Scale, ks: &[usize]) -> String {
         let mut t = Table::new(
             format!("Fig.6: speedup over CPU-Base (k = {k})"),
             &[
-                "dataset", "CPU-ET", "CPU-ETOpt", "NDP-Base", "NDP-DimET", "NDP-BitET",
-                "NDP-ET", "NDP-ET+Dual", "NDP-ETOpt",
+                "dataset",
+                "CPU-ET",
+                "CPU-ETOpt",
+                "NDP-Base",
+                "NDP-DimET",
+                "NDP-BitET",
+                "NDP-ET",
+                "NDP-ET+Dual",
+                "NDP-ETOpt",
             ],
         );
         let mut geo: Vec<f64> = vec![1.0; 8];
@@ -160,7 +182,12 @@ pub fn fig7(scale: Scale) -> String {
     let mut t = Table::new(
         "Fig.7: system energy normalized to CPU-Base",
         &[
-            "dataset", "CPU-Base", "CPU-ETOpt", "NDP-Base", "NDP-DimET", "NDP-BitET",
+            "dataset",
+            "CPU-Base",
+            "CPU-ETOpt",
+            "NDP-Base",
+            "NDP-DimET",
+            "NDP-BitET",
             "NDP-ETOpt",
         ],
     );
@@ -189,7 +216,13 @@ pub fn fig8(scale: Scale) -> String {
         let mut wl = Workload::prepare(&spec, 10, Some(10));
         let mut t = Table::new(
             format!("Fig.8: recall vs QPS — {}", wl.name),
-            &["ef (k')", "recall@10", "CPU-Base QPS", "NDP-Base QPS", "NDP-ETOpt QPS"],
+            &[
+                "ef (k')",
+                "recall@10",
+                "CPU-Base QPS",
+                "NDP-Base QPS",
+                "NDP-ETOpt QPS",
+            ],
         );
         for ef in [10usize, 20, 40, 80, 160] {
             wl.retrace(ef);
@@ -220,12 +253,23 @@ pub fn fig9(scale: Scale) -> String {
             Design::NdpEtOpt,
             SystemConfig::default().with_conventional_polling(),
         ),
-        ("NDP-ETOpt+AdaptPoll", Design::NdpEtOpt, SystemConfig::default()),
+        (
+            "NDP-ETOpt+AdaptPoll",
+            Design::NdpEtOpt,
+            SystemConfig::default(),
+        ),
     ];
     let norm = run_design(Design::NdpBase, &wl, &SystemConfig::default()).total_cycles as f64;
     let mut t = Table::new(
         "Fig.9: latency breakdown (normalized to NDP-Base)",
-        &["design", "traversal", "offload", "dist comp", "result collect", "total"],
+        &[
+            "design",
+            "traversal",
+            "offload",
+            "dist comp",
+            "result collect",
+            "total",
+        ],
     );
     for (label, d, cfg) in runs {
         let r = run_design(d, &wl, &cfg);
@@ -248,7 +292,13 @@ pub fn fig10(scale: Scale) -> String {
     let cfg = SystemConfig::default();
     let mut t = Table::new(
         "Fig.10: normalized fetched lines (effectual + ineffectual)",
-        &["dataset", "design", "effectual", "ineffectual", "utilization"],
+        &[
+            "dataset",
+            "design",
+            "effectual",
+            "ineffectual",
+            "utilization",
+        ],
     );
     for spec in scale.datasets() {
         let wl = Workload::prepare(&spec, 10, None);
@@ -323,7 +373,10 @@ pub fn fig11(scale: Scale) -> String {
         );
         t.row(vec![
             n.to_string(),
-            format!("{:.4}", kl_divergence(&smooth(&truth), &smooth(&prof.et_histogram))),
+            format!(
+                "{:.4}",
+                kl_divergence(&smooth(&truth), &smooth(&prof.et_histogram))
+            ),
         ]);
     }
     out.push_str(&t.render());
@@ -342,7 +395,10 @@ pub fn fig11(scale: Scale) -> String {
         );
         t.row(vec![
             format!("{:.0}%", p * 100.0),
-            format!("{:.4}", kl_divergence(&smooth(&truth), &smooth(&prof.et_histogram))),
+            format!(
+                "{:.4}",
+                kl_divergence(&smooth(&truth), &smooth(&prof.et_histogram))
+            ),
         ]);
     }
     out.push_str(&t.render());
@@ -370,7 +426,11 @@ pub fn fig12(scale: Scale) -> String {
     let (norm_cycles, norm_lines) = (base.total_cycles as f64, base.total_lines() as f64);
     let mut t = Table::new(
         "Fig.12: NDP-ETOpt by partitioning (GIST, norm. to Hybrid 1kB)",
-        &["scheme", "single-query latency perf", "throughput perf (1/lines)"],
+        &[
+            "scheme",
+            "single-query latency perf",
+            "throughput perf (1/lines)",
+        ],
     );
     for (label, scheme) in schemes {
         let r = run_design(
@@ -403,8 +463,7 @@ pub fn loadbal(scale: Scale) -> String {
         };
         let r = run_design(Design::NdpEtOpt, wl, &cfg);
         let max = *r.rank_loads.iter().max().unwrap_or(&0) as f64;
-        let avg =
-            r.rank_loads.iter().sum::<u64>() as f64 / r.rank_loads.len().max(1) as f64;
+        let avg = r.rank_loads.iter().sum::<u64>() as f64 / r.rank_loads.len().max(1) as f64;
         if avg == 0.0 {
             1.0
         } else {

@@ -18,7 +18,9 @@ use crate::SystemConfig;
 pub fn table2(scale: Scale) -> String {
     let mut t = Table::new(
         "Table 2: datasets (synthetic, scaled)",
-        &["dataset", "distance", "datatype", "#dims", "#vectors", "#queries"],
+        &[
+            "dataset", "distance", "datatype", "#dims", "#vectors", "#queries",
+        ],
     );
     for spec in SynthSpec::all_paper_datasets() {
         let s = scale.spec(spec);
@@ -74,11 +76,7 @@ pub fn table3(scale: Scale) -> String {
         }
         let g = geo.powf(1.0 / workloads.len().max(1) as f64);
         let base8 = *at8.get_or_insert(g);
-        t.row(vec![
-            units.to_string(),
-            speedup(g),
-            speedup(g / base8),
-        ]);
+        t.row(vec![units.to_string(), speedup(g), speedup(g / base8)]);
     }
     t.render()
 }
@@ -141,8 +139,13 @@ pub fn table5(scale: Scale) -> String {
     let mut t = Table::new(
         "Table 5: outlier-aware common prefix elimination (SPACEV, k=10)",
         &[
-            "outlier %", "prefix bits", "speedup", "saved space", "extra space",
-            "extra accesses", "recall loss w/o backup",
+            "outlier %",
+            "prefix bits",
+            "speedup",
+            "saved space",
+            "extra space",
+            "extra accesses",
+            "recall loss w/o backup",
         ],
     );
     for frac in [0.0, 0.0001, 0.001, 0.01, 0.2] {
@@ -170,11 +173,11 @@ pub fn table5(scale: Scale) -> String {
             let mut results = Vec::new();
             for q in &wl2.queries {
                 let mut oracle = EtOracle::new(&engine);
-                let r = wl2
-                    .hnsw
-                    .as_ref()
-                    .expect("hnsw workload")
-                    .search(q, 10, wl2.ef, &mut oracle);
+                let r =
+                    wl2.hnsw
+                        .as_ref()
+                        .expect("hnsw workload")
+                        .search(q, 10, wl2.ef, &mut oracle);
                 let _ = oracle.comparisons();
                 results.push(r.ids());
             }
@@ -202,7 +205,9 @@ mod tests {
     #[test]
     fn table2_lists_seven() {
         let s = table2(Scale::Quick);
-        for name in ["SIFT", "BigANN", "SPACEV", "DEEP", "GloVe", "Txt2Img", "GIST"] {
+        for name in [
+            "SIFT", "BigANN", "SPACEV", "DEEP", "GloVe", "Txt2Img", "GIST",
+        ] {
             assert!(s.contains(name), "{name} missing");
         }
     }

@@ -40,11 +40,11 @@ pub mod timing;
 pub mod workload;
 
 pub use config::{Parallelism, SystemConfig};
-pub use parallel::{default_threads, queries_simulated, set_default_threads};
 pub use degraded::{run_degraded, DegradedRunResult, FaultyNdpOracle, RecoveryReport};
 pub use design::{Design, DesignPlan, EtKind};
-pub use error::AnsmetError;
 pub use energy::{EnergyBreakdown, SystemEnergyModel};
-pub use throughput::{run_design_throughput, ThroughputResult};
+pub use error::AnsmetError;
+pub use parallel::{default_threads, queries_simulated, set_default_threads};
+pub use throughput::{run_design_throughput, BatchExecution, ThroughputResult, WaveContext};
 pub use timing::{run_design, QueryBreakdown, RunResult};
 pub use workload::Workload;

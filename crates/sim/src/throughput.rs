@@ -46,6 +46,256 @@ impl ThroughputResult {
     }
 }
 
+/// Cycle accounting for one executed wave batch.
+///
+/// Returned by [`WaveContext::execute`]: `total_cycles` is how long the
+/// batch occupied the NDP device, and `per_query_cycles[i]` is the cycle
+/// (relative to batch start) at which the `i`-th query of the batch
+/// retired — its last hop's wave closed and its results were polled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchExecution {
+    /// Device-occupancy cycles for the whole batch.
+    pub total_cycles: u64,
+    /// Per-query retire cycle, aligned with the `query_ids` argument.
+    pub per_query_cycles: Vec<u64>,
+}
+
+/// Prepared wave-model state for one `(design, workload, config)`
+/// triple, reusable across many batches.
+///
+/// The offline throughput experiment runs one big batch over the whole
+/// workload; the online serving layer (`ansmet-serve`) forms small
+/// dynamic batches from queued arrivals and executes each through
+/// [`WaveContext::execute`]. Each execution replays the batch on fresh
+/// memory/NDP state, so a batch's cost depends only on its member
+/// queries — never on what the device ran before. That independence is
+/// the serving determinism contract.
+pub struct WaveContext<'a> {
+    design: Design,
+    workload: &'a Workload,
+    config: &'a SystemConfig,
+    partitioner: Partitioner,
+    engine: Option<EtEngine<'a>>,
+    replicas: ReplicaSet,
+    natural_lines: usize,
+    full_lines: usize,
+    ndp_compute_delay: u64,
+    query_bytes: usize,
+    elem_bytes: usize,
+}
+
+impl<'a> WaveContext<'a> {
+    /// Prepare the wave executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics for CPU designs (their throughput is `cores ×` the latency
+    /// result, already contention-modeled).
+    pub fn new(design: Design, workload: &'a Workload, config: &'a SystemConfig) -> Self {
+        assert!(design.is_ndp(), "throughput waves model the NDP designs");
+        let data = &workload.data;
+        let dim = data.dim();
+        let elem_bytes = data.dtype().bytes();
+        let partitioner = Partitioner::new(config.partition, config.ndp_units(), dim, elem_bytes);
+        let layout_dim = partitioner.dims_per_subvector();
+        let plan = DesignPlan::build_for_layout(design, workload, layout_dim);
+        let engine = plan
+            .et
+            .as_ref()
+            .map(|et| EtEngine::new(&workload.data, et.clone()));
+        let natural_lines = data.vector_lines();
+        let full_lines = engine
+            .as_ref()
+            .map(|e| e.full_lines())
+            .unwrap_or(natural_lines);
+        let replicas = if config.replicate_hot {
+            ReplicaSet::new(workload.hot_ids())
+        } else {
+            ReplicaSet::new([])
+        };
+        let ndp_compute_delay = config
+            .compute
+            .to_mem_cycles(config.compute.reduce_cycles, config.dram.clock_mhz)
+            .max(1);
+        WaveContext {
+            design,
+            workload,
+            config,
+            partitioner,
+            engine,
+            replicas,
+            natural_lines,
+            full_lines,
+            ndp_compute_delay,
+            query_bytes: (dim * elem_bytes).min(1024),
+            elem_bytes,
+        }
+    }
+
+    /// The design this context executes.
+    pub fn design(&self) -> Design {
+        self.design
+    }
+
+    /// Execute the queries named by `query_ids` (indices into the
+    /// workload's trace list) as one cohort of lock-step waves on fresh
+    /// device state, all in flight together from cycle 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query_ids` is empty or any index is out of range.
+    pub fn execute(&self, query_ids: &[usize]) -> BatchExecution {
+        assert!(!query_ids.is_empty(), "empty batch");
+        self.execute_streams(query_ids, query_ids.len())
+    }
+
+    /// Execute `query_ids` with at most `streams` in flight at once;
+    /// finished streams refill from the remaining ids in order.
+    pub fn execute_streams(&self, query_ids: &[usize], streams: usize) -> BatchExecution {
+        assert!(streams > 0, "need at least one stream");
+        let workload = self.workload;
+        let config = self.config;
+        let mem_clock = config.dram.clock_mhz;
+        let cpu = &config.cpu;
+        let partitioner = &self.partitioner;
+        let engine = &self.engine;
+        let replicas = &self.replicas;
+        let natural_lines = self.natural_lines;
+        let full_lines = self.full_lines;
+        let ndp_compute_delay = self.ndp_compute_delay;
+        let query_bytes = self.query_bytes;
+        let elem_bytes = self.elem_bytes;
+
+        let mut loads = LoadTracker::new(config.ndp_units(), partitioner.group_size());
+        let mut mem = MemorySystem::new(config.dram.clone());
+
+        // Stream cursors: (position in `query_ids`, hop index).
+        let mut next_pos = 0usize;
+        let mut cursors: Vec<(usize, usize)> = Vec::new();
+        let mut uploaded: HashMap<(usize, usize), ()> = HashMap::new();
+        let mut req_base = 0u64;
+        let mut clock = 0u64;
+        let mut et_scratch = ansmet_core::EtScratch::new();
+        let mut retire = vec![0u64; query_ids.len()];
+
+        loop {
+            // Refill streams.
+            while cursors.len() < streams && next_pos < query_ids.len() {
+                cursors.push((next_pos, 0));
+                next_pos += 1;
+            }
+            if cursors.is_empty() {
+                break;
+            }
+
+            // Build one wave: the current hop of every stream. Host work of
+            // different streams runs on different cores; set-query uploads
+            // overlap the fetch batch (§5.2). Waves in a real system are
+            // de-synchronized, so serial host work is charged at its mean.
+            let mut host_serial_sum = 0u64;
+            let mut upload_max = 0u64;
+            let mut subs: Vec<SubTask> = Vec::new();
+            let mut tasks_per_rank: HashMap<usize, usize> = HashMap::new();
+            for (pos, hop_idx) in cursors.iter_mut() {
+                let qi = query_ids[*pos];
+                let trace = &workload.traces[qi];
+                let hop = &trace.hops[*hop_idx];
+                let query = &workload.queries[qi];
+                let accepted = hop.evals.iter().filter(|e| e.accepted).count();
+                let mut host = cpu.hop_cycles(hop.evals.len(), accepted);
+                let mut upload = 0u64;
+                if hop.kind == HopKind::Centroid {
+                    host += cpu.distance_compute_cycles(natural_lines) * hop.evals.len() as u64;
+                } else {
+                    for e in &hop.evals {
+                        let placements = if replicas.contains(e.id) {
+                            partitioner.placement_in_group(e.id, loads.least_loaded_group())
+                        } else {
+                            partitioner.placement(e.id)
+                        };
+                        let chunks: Vec<std::ops::Range<usize>> =
+                            placements.iter().map(|p| p.dims.clone()).collect();
+                        let (lines, backup): (Vec<usize>, usize) = match &engine {
+                            None => (
+                                placements
+                                    .iter()
+                                    .map(|p| (p.dims.len() * elem_bytes).div_ceil(64))
+                                    .collect(),
+                                0,
+                            ),
+                            Some(eng) => {
+                                let m = crate::etplan::evaluate_chunked(
+                                    eng,
+                                    e.id,
+                                    query,
+                                    &chunks,
+                                    e.threshold,
+                                    &mut et_scratch,
+                                );
+                                (m.lines, m.backup_lines)
+                            }
+                        };
+                        for (pi, (p, l)) in placements.iter().zip(&lines).enumerate() {
+                            let rank = p.rank;
+                            *tasks_per_rank.entry(rank).or_insert(0) += 1;
+                            loads.add(rank, *l as u64);
+                            let base = (e.id as u64)
+                                * (full_lines as u64 + natural_lines as u64 + 2)
+                                + pi as u64;
+                            subs.push(SubTask::new(
+                                rank,
+                                l + if pi == 0 { backup } else { 0 },
+                                base,
+                                ndp_compute_delay,
+                            ));
+                            if uploaded.insert((*pos, rank), ()).is_none() {
+                                upload += cpu.query_upload_cycles(query_bytes);
+                            }
+                        }
+                    }
+                    let evals = hop.evals.len();
+                    host += cpu.offload_cycles(evals.max(1));
+                }
+                host_serial_sum += cpu.to_mem_cycles(host, mem_clock);
+                upload_max = upload_max.max(cpu.to_mem_cycles(upload, mem_clock));
+            }
+
+            clock += host_serial_sum / cursors.len().max(1) as u64;
+            if !subs.is_empty() {
+                let t0 = clock.max(mem.now());
+                let finish =
+                    run_ndp_batch(&mut mem, &mut subs, 32, &mut req_base, t0).max(t0 + upload_max);
+                // One poll round closes the wave (streams poll in parallel on
+                // their own cores).
+                clock = finish + cpu.to_mem_cycles(cpu.poll_cycles(), mem_clock);
+                if mem.now() < clock && !mem.busy() {
+                    mem.fast_forward_to(clock).expect("idle fast-forward");
+                }
+                clock = clock.max(mem.now());
+            }
+
+            // Advance streams; retire finished queries at the close of
+            // the wave that executed their last hop.
+            cursors = cursors
+                .into_iter()
+                .filter_map(|(pos, hop_idx)| {
+                    if hop_idx + 1 < workload.traces[query_ids[pos]].hops.len() {
+                        Some((pos, hop_idx + 1))
+                    } else {
+                        retire[pos] = clock.max(1);
+                        None
+                    }
+                })
+                .collect();
+        }
+
+        BatchExecution {
+            total_cycles: clock.max(1),
+            per_query_cycles: retire,
+        }
+    }
+}
+
 /// Run `design` over `workload` with up to `streams` concurrent query
 /// streams (NDP designs only).
 ///
@@ -59,159 +309,13 @@ pub fn run_design_throughput(
     config: &SystemConfig,
     streams: usize,
 ) -> ThroughputResult {
-    assert!(design.is_ndp(), "throughput waves model the NDP designs");
-    assert!(streams > 0, "need at least one stream");
-    let data = &workload.data;
-    let dim = data.dim();
-    let elem_bytes = data.dtype().bytes();
-    let partitioner = Partitioner::new(config.partition, config.ndp_units(), dim, elem_bytes);
-    let layout_dim = partitioner.dims_per_subvector();
-    let plan = DesignPlan::build_for_layout(design, workload, layout_dim);
-    let engine = plan
-        .et
-        .as_ref()
-        .map(|et| EtEngine::new(&workload.data, et.clone()));
-    let natural_lines = data.vector_lines();
-    let mem_clock = config.dram.clock_mhz;
-    let cpu = &config.cpu;
-    let full_lines = engine
-        .as_ref()
-        .map(|e| e.full_lines())
-        .unwrap_or(natural_lines);
-
-    let replicas = if config.replicate_hot {
-        ReplicaSet::new(workload.hot_ids())
-    } else {
-        ReplicaSet::new([])
-    };
-    let mut loads = LoadTracker::new(config.ndp_units(), partitioner.group_size());
-    let mut mem = MemorySystem::new(config.dram.clone());
-    let ndp_compute_delay = config
-        .compute
-        .to_mem_cycles(config.compute.reduce_cycles, mem_clock)
-        .max(1);
-    let query_bytes = (dim * elem_bytes).min(1024);
-
-    // Stream cursors: (query index, hop index).
-    let mut next_query = 0usize;
-    let mut cursors: Vec<(usize, usize)> = Vec::new();
+    let ctx = WaveContext::new(design, workload, config);
     let n_queries = workload.traces.len();
-    let mut uploaded: HashMap<(usize, usize), ()> = HashMap::new();
-    let mut req_base = 0u64;
-    let mut clock = 0u64;
-    let mut et_scratch = ansmet_core::EtScratch::new();
-
-    loop {
-        // Refill streams.
-        while cursors.len() < streams && next_query < n_queries {
-            cursors.push((next_query, 0));
-            next_query += 1;
-        }
-        if cursors.is_empty() {
-            break;
-        }
-
-        // Build one wave: the current hop of every stream. Host work of
-        // different streams runs on different cores; set-query uploads
-        // overlap the fetch batch (§5.2). Waves in a real system are
-        // de-synchronized, so serial host work is charged at its mean.
-        let mut host_serial_sum = 0u64;
-        let mut upload_max = 0u64;
-        let mut subs: Vec<SubTask> = Vec::new();
-        let mut tasks_per_rank: HashMap<usize, usize> = HashMap::new();
-        for (qi, hop_idx) in cursors.iter_mut() {
-            let trace = &workload.traces[*qi];
-            let hop = &trace.hops[*hop_idx];
-            let query = &workload.queries[*qi];
-            let accepted = hop.evals.iter().filter(|e| e.accepted).count();
-            let mut host = cpu.hop_cycles(hop.evals.len(), accepted);
-            let mut upload = 0u64;
-            if hop.kind == HopKind::Centroid {
-                host += cpu.distance_compute_cycles(natural_lines) * hop.evals.len() as u64;
-            } else {
-                for e in &hop.evals {
-                    let placements = if replicas.contains(e.id) {
-                        partitioner.placement_in_group(e.id, loads.least_loaded_group())
-                    } else {
-                        partitioner.placement(e.id)
-                    };
-                    let chunks: Vec<std::ops::Range<usize>> =
-                        placements.iter().map(|p| p.dims.clone()).collect();
-                    let (lines, backup): (Vec<usize>, usize) = match &engine {
-                        None => (
-                            placements
-                                .iter()
-                                .map(|p| (p.dims.len() * elem_bytes).div_ceil(64))
-                                .collect(),
-                            0,
-                        ),
-                        Some(eng) => {
-                            let m = crate::etplan::evaluate_chunked(
-                                eng,
-                                e.id,
-                                query,
-                                &chunks,
-                                e.threshold,
-                                &mut et_scratch,
-                            );
-                            (m.lines, m.backup_lines)
-                        }
-                    };
-                    for (pi, (p, l)) in placements.iter().zip(&lines).enumerate() {
-                        let rank = p.rank;
-                        *tasks_per_rank.entry(rank).or_insert(0) += 1;
-                        loads.add(rank, *l as u64);
-                        let base = (e.id as u64)
-                            * (full_lines as u64 + natural_lines as u64 + 2)
-                            + pi as u64;
-                        subs.push(SubTask::new(
-                            rank,
-                            l + if pi == 0 { backup } else { 0 },
-                            base,
-                            ndp_compute_delay,
-                        ));
-                        if uploaded.insert((*qi, rank), ()).is_none() {
-                            upload += cpu.query_upload_cycles(query_bytes);
-                        }
-                    }
-                }
-                let evals = hop.evals.len();
-                host += cpu.offload_cycles(evals.max(1));
-            }
-            host_serial_sum += cpu.to_mem_cycles(host, mem_clock);
-            upload_max = upload_max.max(cpu.to_mem_cycles(upload, mem_clock));
-        }
-
-        clock += host_serial_sum / cursors.len().max(1) as u64;
-        if !subs.is_empty() {
-            let t0 = clock.max(mem.now());
-            let finish = run_ndp_batch(&mut mem, &mut subs, 32, &mut req_base, t0)
-                .max(t0 + upload_max);
-            // One poll round closes the wave (streams poll in parallel on
-            // their own cores).
-            clock = finish + cpu.to_mem_cycles(cpu.poll_cycles(), mem_clock);
-            if mem.now() < clock && !mem.busy() {
-                mem.fast_forward_to(clock).expect("idle fast-forward");
-            }
-            clock = clock.max(mem.now());
-        }
-
-        // Advance streams; retire finished queries.
-        cursors = cursors
-            .into_iter()
-            .filter_map(|(qi, hop_idx)| {
-                if hop_idx + 1 < workload.traces[qi].hops.len() {
-                    Some((qi, hop_idx + 1))
-                } else {
-                    None
-                }
-            })
-            .collect();
-    }
-
+    let ids: Vec<usize> = (0..n_queries).collect();
+    let exec = ctx.execute_streams(&ids, streams);
     ThroughputResult {
         design,
-        total_cycles: clock.max(1),
+        total_cycles: exec.total_cycles,
         queries: n_queries,
         streams,
     }

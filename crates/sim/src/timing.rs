@@ -572,15 +572,14 @@ fn run_query(prep: &RunPrep, qi: usize) -> QueryStats {
                     Some(eng) => {
                         let chunks: Vec<std::ops::Range<usize>> =
                             placements.iter().map(|p| p.dims.clone()).collect();
-                        let m =
-                            crate::etplan::evaluate_chunked(
-                                eng,
-                                e.id,
-                                query,
-                                &chunks,
-                                e.threshold,
-                                &mut et_scratch,
-                            );
+                        let m = crate::etplan::evaluate_chunked(
+                            eng,
+                            e.id,
+                            query,
+                            &chunks,
+                            e.threshold,
+                            &mut et_scratch,
+                        );
                         pruned = m.pruned;
                         backup = m.backup_lines;
                         resumed |= m.resumed;

@@ -212,13 +212,7 @@ mod tests {
 
     #[test]
     fn gist_like_vector_lines() {
-        let d = Dataset::from_values(
-            "g",
-            ElemType::F32,
-            Metric::L2,
-            960,
-            vec![0.0; 960],
-        );
+        let d = Dataset::from_values("g", ElemType::F32, Metric::L2, 960, vec![0.0; 960]);
         // 960 × 4 B = 3840 B = 60 lines.
         assert_eq!(d.vector_lines(), 60);
     }

@@ -97,13 +97,8 @@ mod tests {
 
     #[test]
     fn exact_on_tiny_dataset() {
-        let data = Dataset::from_values(
-            "t",
-            ElemType::F32,
-            Metric::L2,
-            1,
-            vec![0.0, 10.0, 3.0, 7.0],
-        );
+        let data =
+            Dataset::from_values("t", ElemType::F32, Metric::L2, 1, vec![0.0, 10.0, 3.0, 7.0]);
         let (ids, dists) = brute_force_knn(&data, &[2.9], 2);
         assert_eq!(ids, vec![2, 0]);
         assert!((dists[0] - 0.01).abs() < 1e-4);

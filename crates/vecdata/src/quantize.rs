@@ -133,9 +133,11 @@ mod tests {
     fn signed_target_centers_codes() {
         let (data, _) = SynthSpec::glove().scaled(200, 1).generate();
         let (qdata, _) = scalar_quantize(&data, ElemType::I8);
-        let mean: f32 =
-            qdata.iter().flatten().sum::<f32>() / (qdata.len() * qdata.dim()) as f32;
-        assert!(mean.abs() < 32.0, "signed codes should straddle zero: {mean}");
+        let mean: f32 = qdata.iter().flatten().sum::<f32>() / (qdata.len() * qdata.dim()) as f32;
+        assert!(
+            mean.abs() < 32.0,
+            "signed codes should straddle zero: {mean}"
+        );
     }
 
     #[test]
@@ -150,6 +152,9 @@ mod tests {
             lo = lo.min(*v);
             hi = hi.max(*v);
         }
-        assert!(lo < 16.0 && hi > 239.0, "codes must span the range: [{lo}, {hi}]");
+        assert!(
+            lo < 16.0 && hi > 239.0,
+            "codes must span the range: [{lo}, {hi}]"
+        );
     }
 }

@@ -225,13 +225,8 @@ impl SynthSpec {
                 values.push(c[d] + gaussian(&mut rng) * sigma);
             }
         }
-        let data = Dataset::from_values(
-            self.name.clone(),
-            self.dtype,
-            self.metric,
-            self.dim,
-            values,
-        );
+        let data =
+            Dataset::from_values(self.name.clone(), self.dtype, self.metric, self.dim, values);
 
         // Queries: perturbed database vectors.
         let mut queries = Vec::with_capacity(self.n_queries);

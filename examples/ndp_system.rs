@@ -6,9 +6,7 @@
 //! cargo run --release --example ndp_system
 //! ```
 
-use ansmet::sim::{
-    run_design, Design, SystemConfig, SystemEnergyModel, Workload,
-};
+use ansmet::sim::{run_design, Design, SystemConfig, SystemEnergyModel, Workload};
 use ansmet::vecdata::SynthSpec;
 
 fn main() {

@@ -27,10 +27,15 @@ fn main() {
 
     // Partial-dimension-only ET (prior work): no fetch can be skipped,
     // because unfetched FP32 dimensions make the IP bound −∞.
-    let dim_engine = EtEngine::new(&corpus, EtConfig::new(FetchSchedule::full_width(corpus.dtype())));
+    let dim_engine = EtEngine::new(
+        &corpus,
+        EtConfig::new(FetchSchedule::full_width(corpus.dtype())),
+    );
     // ANSMET's hybrid bit-level ET.
-    let bit_engine =
-        EtEngine::new(&corpus, EtConfig::new(FetchSchedule::simple_heuristic(corpus.dtype())));
+    let bit_engine = EtEngine::new(
+        &corpus,
+        EtConfig::new(FetchSchedule::simple_heuristic(corpus.dtype())),
+    );
 
     let mut recall = 0.0;
     let mut dim_oracle_lines = 0u64;

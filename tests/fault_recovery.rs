@@ -57,8 +57,14 @@ fn mixed_fault_plan_recovers_exactly() {
     let faulty = run_degraded(wl, &cfg, plan, retry);
     let r = &faulty.report;
     assert!(r.injected.stalls > 0, "stalls must fire: {r:?}");
-    assert!(r.injected.corrupted_results > 0, "corruption must fire: {r:?}");
-    assert!(r.injected.dropped_instructions > 0, "drops must fire: {r:?}");
+    assert!(
+        r.injected.corrupted_results > 0,
+        "corruption must fire: {r:?}"
+    );
+    assert!(
+        r.injected.dropped_instructions > 0,
+        "drops must fire: {r:?}"
+    );
     assert!(r.timeouts > 0, "{r:?}");
     assert!(r.crc_rejections > 0, "{r:?}");
     assert!(r.retries > 0, "{r:?}");

@@ -40,10 +40,7 @@ fn lossless_across_all_datasets() {
 #[test]
 fn lossless_with_optimized_layout() {
     let (data, queries) = SynthSpec::gist().scaled(500, 3).generate();
-    let profile = SamplingProfile::build(
-        &data,
-        &SamplingConfig::default().with_samples(60),
-    );
+    let profile = SamplingProfile::build(&data, &SamplingConfig::default().with_samples(60));
     let prefix = PrefixSpec::choose(&data, &profile.sample_ids, 0.001);
     let params = optimize_dual_schedule(
         data.dim(),
@@ -127,10 +124,7 @@ fn lossless_on_half_precision() {
             .generate();
         assert_eq!(data.dtype(), dtype);
         let hnsw = Hnsw::build(&data, HnswParams::quick());
-        let engine = EtEngine::new(
-            &data,
-            EtConfig::new(FetchSchedule::simple_heuristic(dtype)),
-        );
+        let engine = EtEngine::new(&data, EtConfig::new(FetchSchedule::simple_heuristic(dtype)));
         for q in &queries {
             let mut exact = ExactOracle::new(&data);
             let mut et = EtOracle::new(&engine);

@@ -43,7 +43,10 @@ fn dim_et_useless_on_ip_fp32() {
     let cfg = SystemConfig::default();
     let base = run_design(Design::NdpBase, &wl, &cfg);
     let dim = run_design(Design::NdpDimEt, &wl, &cfg);
-    assert_eq!(dim.pruned_evals, 0, "IP/FP32 admits no dimension-level prune");
+    assert_eq!(
+        dim.pruned_evals, 0,
+        "IP/FP32 admits no dimension-level prune"
+    );
     assert_eq!(dim.total_lines(), base.total_lines());
     // But the hybrid bit-level scheme does prune.
     let et = run_design(Design::NdpEt, &wl, &cfg);
@@ -71,8 +74,16 @@ fn adaptive_polling_beats_conventional() {
 #[test]
 fn scaling_improves_with_more_units() {
     let wl = workload();
-    let r8 = run_design(Design::NdpEtOpt, &wl, &SystemConfig::default().with_ndp_units(8));
-    let r32 = run_design(Design::NdpEtOpt, &wl, &SystemConfig::default().with_ndp_units(32));
+    let r8 = run_design(
+        Design::NdpEtOpt,
+        &wl,
+        &SystemConfig::default().with_ndp_units(8),
+    );
+    let r32 = run_design(
+        Design::NdpEtOpt,
+        &wl,
+        &SystemConfig::default().with_ndp_units(32),
+    );
     // Single-stream latency saturates once per-hop parallelism (≤ 16
     // neighbor comparisons) is absorbed; allow a small tolerance. The
     // Table 3 throughput scaling uses concurrent query streams.
@@ -108,7 +119,10 @@ fn energy_ordering_matches_paper() {
     let ndp = model.compute(&run_design(Design::NdpBase, &wl, &cfg), &cfg);
     let opt = model.compute(&run_design(Design::NdpEtOpt, &wl, &cfg), &cfg);
     assert!(ndp.total_nj() < cpu.total_nj(), "NDP must save energy");
-    assert!(opt.total_nj() <= ndp.total_nj() * 1.05, "ET must not cost energy");
+    assert!(
+        opt.total_nj() <= ndp.total_nj() * 1.05,
+        "ET must not cost energy"
+    );
 }
 
 #[test]

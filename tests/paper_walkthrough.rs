@@ -35,7 +35,7 @@ fn section4_partial_dimension_bound() {
 fn section1_partial_bit_missing_bits_rule() {
     // Model 4-bit unsigned values in the top nibble of U8.
     let iv = ValueInterval::from_prefix(ElemType::U8, 0b00, 2 + 4); // 00 + 4 shifted bits... top nibble prefix 0b0000_00
-    // Simpler: values 0..=255, prefix "0000 00" (6 bits) → interval [0, 3].
+                                                                    // Simpler: values 0..=255, prefix "0000 00" (6 bits) → interval [0, 3].
     assert_eq!(iv.lo, 0.0);
     assert_eq!(iv.hi, 3.0);
     let b = DistanceBounder::new(Metric::L2);
@@ -63,7 +63,10 @@ fn figure2_early_termination_walkthrough() {
         3.0, 13.0, // S3 = (0011, 1101)
     ];
     let data = Dataset::from_values("fig2", ElemType::U8, Metric::L2, 2, values);
-    let engine = EtEngine::new(&data, EtConfig::new(FetchSchedule::uniform(data.dtype(), 2)));
+    let engine = EtEngine::new(
+        &data,
+        EtConfig::new(FetchSchedule::uniform(data.dtype(), 2)),
+    );
     let query = vec![2.0, 2.0];
 
     // Threshold = d(Q, S0)² = (2−0)² + (2−1)² = 5 (the paper uses the
@@ -102,13 +105,13 @@ fn figure2_early_termination_walkthrough() {
 fn section41_missing_bit_completion_rule() {
     let b = DistanceBounder::new(Metric::L2);
     let q = 0b0101 as f32; // 5
-    // Model 4-bit values via a 4-bit prefix over U8's top nibble; the low
-    // nibble is zero for all stored values, so intervals are [p·16, p·16+15].
-    // To stay in pure 4-bit space, use prefixes of length 6 on U8
-    // (values 0..=3 per bucket of 4).
+                           // Model 4-bit values via a 4-bit prefix over U8's top nibble; the low
+                           // nibble is zero for all stored values, so intervals are [p·16, p·16+15].
+                           // To stay in pure 4-bit space, use prefixes of length 6 on U8
+                           // (values 0..=3 per bucket of 4).
     let cases = [
-        (0b01u32, 4.0f32, 7.0f32), // 01__ → [4, 7], q = 5 inside → contribution 0
-        (0b00u32, 0.0f32, 3.0f32), // 00__ → [0, 3], nearest = 3 (all ones)
+        (0b01u32, 4.0f32, 7.0f32),   // 01__ → [4, 7], q = 5 inside → contribution 0
+        (0b00u32, 0.0f32, 3.0f32),   // 00__ → [0, 3], nearest = 3 (all ones)
         (0b11u32, 12.0f32, 15.0f32), // 11__ → [12, 15], nearest = 12 (all zeros)
     ];
     for (prefix, lo, hi) in cases {

@@ -48,7 +48,12 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
 
     fn generate(&self, gen: &mut Gen) -> Vec<S::Value> {
         let span = (self.size.hi - self.size.lo) as u64;
-        let len = self.size.lo + if span <= 1 { 0 } else { gen.below(span) as usize };
+        let len = self.size.lo
+            + if span <= 1 {
+                0
+            } else {
+                gen.below(span) as usize
+            };
         (0..len).map(|_| self.element.generate(gen)).collect()
     }
 }

@@ -98,9 +98,10 @@ macro_rules! prop_assert_ne {
     ($a:expr, $b:expr) => {{
         let (left, right) = (&$a, &$b);
         if left == right {
-            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
-                format!("assertion failed: {:?} != {:?}", left, right),
-            ));
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                left, right
+            )));
         }
     }};
 }
