@@ -16,6 +16,8 @@
 //!   the experiment drivers regenerating the paper's tables and figures.
 //! * [`serve`] — the online serving layer: open-loop load generation,
 //!   dynamic batching, admission control, and tail-latency SLO reports.
+//! * [`obs`] — the tracing & metrics layer: per-query flight recorder,
+//!   cycle attribution, Perfetto export, deterministic metric shards.
 //!
 //! # Quickstart
 //!
@@ -35,6 +37,7 @@ pub use ansmet_dram as dram;
 pub use ansmet_host as host;
 pub use ansmet_index as index;
 pub use ansmet_ndp as ndp;
+pub use ansmet_obs as obs;
 pub use ansmet_serve as serve;
 pub use ansmet_sim as sim;
 pub use ansmet_vecdata as vecdata;

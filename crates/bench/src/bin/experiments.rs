@@ -10,7 +10,9 @@
 
 use std::fmt::Write as _;
 
-use ansmet_bench::{run_experiment_with_artifact, Scale, EXPERIMENTS, SERVING_ARTIFACT};
+use ansmet_bench::{
+    provenance_fields, run_experiment_with_artifacts, Scale, EXPERIMENTS, SERVING_ARTIFACT,
+};
 
 fn usage() -> String {
     format!(
@@ -32,6 +34,7 @@ fn timing_json(scale: Scale, threads: usize, records: &[TimingRecord]) -> String
     let mut s = String::new();
     let total: f64 = records.iter().map(|r| r.seconds).sum();
     s.push_str("{\n");
+    s.push_str(&provenance_fields());
     let _ = writeln!(
         s,
         "  \"scale\": \"{}\",",
@@ -126,8 +129,8 @@ fn main() {
     for name in &names {
         let t0 = std::time::Instant::now();
         let q0 = ansmet_sim::queries_simulated();
-        match run_experiment_with_artifact(name, scale) {
-            Some((report, artifact)) => {
+        match run_experiment_with_artifacts(name, scale) {
+            Some((report, artifacts)) => {
                 println!("{report}");
                 let seconds = t0.elapsed().as_secs_f64();
                 eprintln!("[{name} finished in {seconds:.1}s]");
@@ -136,12 +139,14 @@ fn main() {
                     seconds,
                     queries: ansmet_sim::queries_simulated() - q0,
                 });
-                if let Some(body) = artifact {
-                    let path = match (&json_path, serve_only) {
-                        (Some(p), true) => p.clone(),
-                        _ => SERVING_ARTIFACT.to_string(),
+                for a in artifacts {
+                    // `experiments serve --json FILE` redirects the serving
+                    // artifact; every other artifact goes to its default path.
+                    let path = match (&json_path, serve_only, a.path) {
+                        (Some(p), true, SERVING_ARTIFACT) => p.clone(),
+                        _ => a.path.to_string(),
                     };
-                    if let Err(e) = std::fs::write(&path, body) {
+                    if let Err(e) = std::fs::write(&path, a.body) {
                         eprintln!("error: cannot write {path}: {e}");
                         std::process::exit(1);
                     }

@@ -10,22 +10,62 @@ pub use ansmet_sim::experiment::Scale;
 /// All experiment names accepted by the `experiments` binary.
 pub const EXPERIMENTS: &[&str] = &[
     "table2", "fig1", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table3",
-    "table4", "table5", "loadbal", "ablation", "faults", "serve",
+    "table4", "table5", "loadbal", "ablation", "faults", "serve", "trace",
 ];
 
 /// Default artifact file written by the `serve` experiment.
 pub const SERVING_ARTIFACT: &str = "BENCH_serving.json";
+/// Perfetto trace written by the `trace` experiment.
+pub const TRACE_ARTIFACT: &str = "trace.json";
+/// Metrics snapshot written by the `trace` experiment.
+pub const METRICS_ARTIFACT: &str = "BENCH_metrics.json";
 
-/// Run one experiment by name, returning `(text report, optional JSON
-/// artifact body)`. Only `serve` emits an artifact today.
+/// One file an experiment wants written next to its text report.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Default output path (relative to the working directory).
+    pub path: &'static str,
+    /// File body, already rendered.
+    pub body: String,
+}
+
+/// Run one experiment by name, returning its text report plus any
+/// artifacts it wants written (`serve` emits its serving report JSON;
+/// `trace` emits a Perfetto trace and a metrics snapshot; everything
+/// else emits none). BENCH JSON artifacts carry a provenance header
+/// (git revision + config fingerprint).
 ///
 /// Returns `None` for an unknown name.
-pub fn run_experiment_with_artifact(name: &str, scale: Scale) -> Option<(String, Option<String>)> {
-    if name == "serve" {
-        let (text, json) = ansmet_serve::serve_experiment(scale);
-        return Some((text, Some(json)));
+pub fn run_experiment_with_artifacts(name: &str, scale: Scale) -> Option<(String, Vec<Artifact>)> {
+    match name {
+        "serve" => {
+            let (text, json) = ansmet_serve::serve_experiment(scale);
+            Some((
+                text,
+                vec![Artifact {
+                    path: SERVING_ARTIFACT,
+                    body: with_provenance(&json),
+                }],
+            ))
+        }
+        "trace" => {
+            let bundle = ansmet_sim::experiment::trace_bundle(scale);
+            Some((
+                bundle.report,
+                vec![
+                    Artifact {
+                        path: TRACE_ARTIFACT,
+                        body: bundle.perfetto_json,
+                    },
+                    Artifact {
+                        path: METRICS_ARTIFACT,
+                        body: with_provenance(&bundle.metrics_json),
+                    },
+                ],
+            ))
+        }
+        _ => run_experiment(name, scale).map(|text| (text, Vec::new())),
     }
-    run_experiment(name, scale).map(|text| (text, None))
 }
 
 /// Run one experiment by name at the given scale.
@@ -57,9 +97,54 @@ pub fn run_experiment(name: &str, scale: Scale) -> Option<String> {
         "ablation" => e::ablation(scale),
         "faults" => e::faults(scale),
         "serve" => ansmet_serve::serve_experiment(scale).0,
+        "trace" => e::trace(scale),
         _ => return None,
     };
     Some(out)
+}
+
+/// The git revision of the working tree (`git describe --always
+/// --dirty`), or `"unknown"` outside a repository.
+pub fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// FNV-1a fingerprint of the default [`SystemConfig`] — changes whenever
+/// any simulated parameter changes, so artifacts record which modeled
+/// machine produced them.
+///
+/// [`SystemConfig`]: ansmet_sim::SystemConfig
+pub fn config_fingerprint() -> u64 {
+    let cfg = ansmet_sim::SystemConfig::default();
+    ansmet_obs::fingerprint64(format!("{cfg:?}").as_bytes())
+}
+
+/// The provenance fields embedded in every BENCH JSON artifact, as
+/// `"key": value` lines (no surrounding braces).
+pub fn provenance_fields() -> String {
+    format!(
+        "  \"git_revision\": {},\n  \"config_fingerprint\": \"{:#018x}\",\n",
+        ansmet_obs::json_string(&git_revision()),
+        config_fingerprint(),
+    )
+}
+
+/// Insert the provenance fields at the top of a JSON object body
+/// (which must start with `{`).
+pub fn with_provenance(body: &str) -> String {
+    let rest = body
+        .strip_prefix("{\n")
+        .or_else(|| body.strip_prefix('{'))
+        .expect("artifact body is a JSON object");
+    format!("{{\n{}{}", provenance_fields(), rest)
 }
 
 #[cfg(test)]
@@ -69,20 +154,48 @@ mod tests {
     #[test]
     fn unknown_experiment_is_none() {
         assert!(run_experiment("fig99", Scale::Quick).is_none());
+        assert!(run_experiment_with_artifacts("fig99", Scale::Quick).is_none());
     }
 
     #[test]
     fn experiment_list_is_complete() {
-        assert_eq!(EXPERIMENTS.len(), 17);
+        assert_eq!(EXPERIMENTS.len(), 18);
     }
 
     #[test]
-    fn serve_emits_artifact_and_others_do_not() {
-        let (text, artifact) = run_experiment_with_artifact("serve", Scale::Quick).unwrap();
+    fn serve_and_trace_emit_artifacts_and_others_do_not() {
+        let (text, artifacts) = run_experiment_with_artifacts("serve", Scale::Quick).unwrap();
         assert!(text.contains("serving"));
-        let body = artifact.expect("serve must produce a JSON artifact");
-        assert!(body.contains("\"experiment\": \"serve\""));
-        let (_, none) = run_experiment_with_artifact("table2", Scale::Quick).unwrap();
-        assert!(none.is_none());
+        assert_eq!(artifacts.len(), 1);
+        assert_eq!(artifacts[0].path, SERVING_ARTIFACT);
+        assert!(artifacts[0].body.contains("\"experiment\": \"serve\""));
+        assert!(artifacts[0].body.contains("\"git_revision\""));
+
+        let (text, artifacts) = run_experiment_with_artifacts("trace", Scale::Quick).unwrap();
+        assert!(text.contains("cycle attribution"));
+        assert_eq!(artifacts.len(), 2);
+        assert_eq!(artifacts[0].path, TRACE_ARTIFACT);
+        assert!(artifacts[0].body.contains("\"traceEvents\""));
+        assert_eq!(artifacts[1].path, METRICS_ARTIFACT);
+        assert!(artifacts[1].body.contains("\"config_fingerprint\""));
+
+        let (_, none) = run_experiment_with_artifacts("table2", Scale::Quick).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn provenance_injection_preserves_json_shape() {
+        let body = "{\n  \"experiment\": \"x\"\n}\n";
+        let out = with_provenance(body);
+        assert!(out.starts_with("{\n  \"git_revision\": "));
+        assert!(out.contains("\"config_fingerprint\": \"0x"));
+        assert!(out.ends_with("  \"experiment\": \"x\"\n}\n"));
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+    }
+
+    #[test]
+    fn config_fingerprint_is_stable_within_a_build() {
+        assert_eq!(config_fingerprint(), config_fingerprint());
+        assert_ne!(config_fingerprint(), 0);
     }
 }

@@ -18,6 +18,7 @@ use ansmet_vecdata::Dataset;
 use crate::bound::DistanceBounder;
 use crate::encode::to_sortable;
 use crate::interval::ValueInterval;
+use crate::observe::{EtObserver, NoopEtObserver};
 use crate::prefix::PrefixSpec;
 use crate::schedule::{FetchSchedule, LinePlan};
 
@@ -316,6 +317,24 @@ impl<'a> EtEngine<'a> {
             .expect("full-range evaluation is in bounds")
     }
 
+    /// [`EtEngine::evaluate_with`] reporting termination outcomes to
+    /// `obs` (see [`EtObserver`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len()` differs from the dataset dimensionality.
+    pub fn evaluate_obs<O: EtObserver>(
+        &self,
+        id: usize,
+        query: &[f32],
+        threshold: f32,
+        scratch: &mut EtScratch,
+        obs: &mut O,
+    ) -> EvalCost {
+        self.evaluate_range_obs(id, query, 0..self.data.dim(), threshold, scratch, obs)
+            .expect("full-range evaluation is in bounds")
+    }
+
     /// Evaluate one comparison restricted to the dimension sub-range
     /// `dims` (vertical partitioning: the rank holding these dimensions
     /// can only bound its local contribution, §5.3).
@@ -348,6 +367,27 @@ impl<'a> EtEngine<'a> {
         dims: std::ops::Range<usize>,
         threshold: f32,
         scratch: &mut EtScratch,
+    ) -> Result<EvalCost, crate::EtError> {
+        self.evaluate_range_obs(id, query, dims, threshold, scratch, &mut NoopEtObserver)
+    }
+
+    /// [`EtEngine::evaluate_range_with`] reporting termination outcomes
+    /// to `obs` (see [`EtObserver`]). The observer is called exactly at
+    /// the decision points — bound-exceeded aborts and backup re-checks
+    /// — and never affects the returned [`EvalCost`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects an out-of-range `dims` or a query whose length differs
+    /// from the dataset dimensionality.
+    pub fn evaluate_range_obs<O: EtObserver>(
+        &self,
+        id: usize,
+        query: &[f32],
+        dims: std::ops::Range<usize>,
+        threshold: f32,
+        scratch: &mut EtScratch,
+        obs: &mut O,
     ) -> Result<EvalCost, crate::EtError> {
         let dim = self.data.dim();
         if query.len() != dim {
@@ -406,6 +446,7 @@ impl<'a> EtEngine<'a> {
         };
         let mut bound = bound_of(unbounded, finite_sum);
         if bound >= threshold as f64 {
+            obs.terminated(0, plan.len());
             return Ok(EvalCost {
                 lines: 0,
                 backup_lines: 0,
@@ -444,6 +485,7 @@ impl<'a> EtEngine<'a> {
             finite_sum += (delta[0] + delta[1]) + (delta[2] + delta[3]);
             bound = bound_of(unbounded, finite_sum);
             if bound >= threshold as f64 && lines < plan.len() {
+                obs.terminated(lines, plan.len());
                 return Ok(EvalCost {
                     lines,
                     backup_lines: 0,
@@ -472,6 +514,7 @@ impl<'a> EtEngine<'a> {
             // Outlier vector: dropped bits → only a bound is known.
             if bound >= threshold as f64 {
                 // Certainly out of bounds; no backup needed.
+                obs.terminated(lines, plan.len());
                 return Ok(EvalCost {
                     lines,
                     backup_lines: 0,
@@ -482,6 +525,7 @@ impl<'a> EtEngine<'a> {
                 });
             }
             if self.cfg.backup_recheck {
+                obs.backup_recheck(self.natural_lines());
                 let distance = self.data.distance_to(id, query);
                 return Ok(EvalCost {
                     lines,
@@ -789,6 +833,61 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn observer_reports_termination_and_backup() {
+        #[derive(Default)]
+        struct Probe {
+            terminated: Vec<(usize, usize)>,
+            backups: Vec<usize>,
+        }
+        impl EtObserver for Probe {
+            fn terminated(&mut self, lines: usize, planned: usize) {
+                self.terminated.push((lines, planned));
+            }
+            fn backup_recheck(&mut self, lines: usize) {
+                self.backups.push(lines);
+            }
+        }
+
+        // Early termination on a tight threshold reports (lines, planned).
+        let (data, queries) = SynthSpec::sift().scaled(50, 1).generate();
+        let e = engine_for(&data, 4);
+        let d = data.distance_to(7, &queries[0]);
+        if d > 1.0 {
+            let mut probe = Probe::default();
+            let c = e.evaluate_obs(7, &queries[0], 1.0, &mut EtScratch::new(), &mut probe);
+            assert!(c.pruned);
+            assert_eq!(probe.terminated, vec![(c.lines, e.full_lines())]);
+            assert!(probe.backups.is_empty());
+        }
+        // An observed run returns the same cost as the plain run.
+        let plain = e.evaluate(7, &queries[0], f32::INFINITY);
+        let mut probe = Probe::default();
+        let obs = e.evaluate_obs(
+            7,
+            &queries[0],
+            f32::INFINITY,
+            &mut EtScratch::new(),
+            &mut probe,
+        );
+        assert_eq!(plain, obs);
+        assert!(probe.terminated.is_empty(), "full fetch never terminates");
+
+        // An in-bound outlier reports the backup re-check.
+        let mut values = vec![70.0f32; 64 * 4];
+        values[4 * 4] = 200.0;
+        let data = Dataset::from_values("o", ElemType::U8, Metric::L2, 4, values);
+        let ids: Vec<usize> = (0..64).collect();
+        let spec = PrefixSpec::choose(&data, &ids, 0.01);
+        let sched = FetchSchedule::uniform_after_prefix(data.dtype(), spec.len(), 4);
+        let e = EtEngine::new(&data, EtConfig::with_prefix(sched, spec));
+        let q = vec![200.0, 70.0, 70.0, 70.0];
+        let mut probe = Probe::default();
+        let c = e.evaluate_obs(4, &q, f32::INFINITY, &mut EtScratch::new(), &mut probe);
+        assert_eq!(c.backup_lines, e.natural_lines());
+        assert_eq!(probe.backups, vec![e.natural_lines()]);
     }
 
     #[test]

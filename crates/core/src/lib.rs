@@ -42,6 +42,7 @@ pub mod error;
 pub mod exact;
 pub mod interval;
 pub mod layout;
+pub mod observe;
 pub mod planner;
 pub mod prefix;
 pub mod sampling;
@@ -55,6 +56,7 @@ pub use error::EtError;
 pub use exact::{et_assign, et_knn, ExactScan};
 pub use interval::ValueInterval;
 pub use layout::{TransformedDataset, TransformedVector};
+pub use observe::{EtObserver, NoopEtObserver};
 pub use planner::{optimize_dual_schedule, DualParams};
 pub use prefix::PrefixSpec;
 pub use sampling::{SamplingConfig, SamplingProfile};

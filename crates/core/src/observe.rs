@@ -1,0 +1,41 @@
+//! Observation seam for early-termination evaluations.
+//!
+//! The engine reports *why* a comparison stopped — terminated on a
+//! bound, forced a backup re-check — through this trait, so an enabled
+//! tracer can record per-comparison events without the engine depending
+//! on any observability machinery. The default observer is a no-op and
+//! monomorphizes away; `core` deliberately defines its own tiny trait
+//! (rather than pulling in a sink crate) to stay at the bottom of the
+//! dependency graph.
+
+/// Receives per-comparison early-termination outcomes.
+///
+/// All methods default to no-ops; implement only what you record.
+pub trait EtObserver {
+    /// The comparison terminated on the lower bound after fetching
+    /// `lines` of the `planned` transformed-layout lines.
+    fn terminated(&mut self, lines: usize, planned: usize) {
+        let _ = (lines, planned);
+    }
+
+    /// An in-bound outlier vector forced a backup re-check fetching
+    /// `lines` natural-layout lines.
+    fn backup_recheck(&mut self, lines: usize) {
+        let _ = lines;
+    }
+}
+
+/// The default observer: records nothing, compiles to nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopEtObserver;
+
+impl EtObserver for NoopEtObserver {}
+
+impl<T: EtObserver + ?Sized> EtObserver for &mut T {
+    fn terminated(&mut self, lines: usize, planned: usize) {
+        (**self).terminated(lines, planned)
+    }
+    fn backup_recheck(&mut self, lines: usize) {
+        (**self).backup_recheck(lines)
+    }
+}

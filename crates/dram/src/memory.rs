@@ -128,9 +128,32 @@ pub struct MemorySystem {
     pending: BinaryHeap<Reverse<PendingDone>>,
     completed: Vec<Response>,
     stats: MemoryStats,
+    /// Opt-in per-command trace (`None` = disabled, the default; the
+    /// hot path must not pay for a buffer nobody reads).
+    command_trace: Option<Vec<CommandRecord>>,
     /// Counter used to sample skip-ahead audits in debug builds.
     #[cfg(debug_assertions)]
     skip_audits: u64,
+}
+
+/// One issued DRAM command, recorded when command tracing is enabled
+/// (see [`MemorySystem::enable_command_trace`]). Refresh-management
+/// commands (refreshes and their forced precharges) are not recorded —
+/// the trace covers the scheduler's request-serving command stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommandRecord {
+    /// Cycle at which the command issued.
+    pub cycle: u64,
+    /// Command class.
+    pub kind: CommandKind,
+    /// Channel index.
+    pub channel: usize,
+    /// Rank within the channel.
+    pub rank: usize,
+    /// Whether the scheduler classified the target access as a row hit.
+    pub row_hit: bool,
+    /// `true` for the NDP rank-local path, `false` for the host path.
+    pub ndp: bool,
 }
 
 impl MemorySystem {
@@ -148,8 +171,31 @@ impl MemorySystem {
             pending: BinaryHeap::new(),
             completed: Vec::new(),
             stats: MemoryStats::default(),
+            command_trace: None,
             #[cfg(debug_assertions)]
             skip_audits: 0,
+        }
+    }
+
+    /// Start recording every issued command into an internal buffer.
+    /// Disabled by default; enabling mid-run records from that point on.
+    pub fn enable_command_trace(&mut self) {
+        if self.command_trace.is_none() {
+            self.command_trace = Some(Vec::new());
+        }
+    }
+
+    /// Whether command tracing is currently enabled.
+    pub fn command_trace_enabled(&self) -> bool {
+        self.command_trace.is_some()
+    }
+
+    /// Drain the recorded commands (empty if tracing is disabled).
+    /// Tracing stays enabled; subsequent commands accumulate afresh.
+    pub fn take_command_trace(&mut self) -> Vec<CommandRecord> {
+        match self.command_trace.as_mut() {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
         }
     }
 
@@ -418,7 +464,7 @@ impl MemorySystem {
         let burst = timing.burst_cycles;
         let rank_switch = timing.rank_switch;
 
-        for ch in &mut self.channels {
+        for (ch_idx, ch) in self.channels.iter_mut().enumerate() {
             // --- Refresh management -------------------------------------
             if refresh_enabled {
                 for rank in ch.ranks.iter_mut() {
@@ -485,6 +531,16 @@ impl MemorySystem {
                     }
                 }
                 ch.ranks[d.rank].issue(&d.command, now, &timing);
+                if let Some(trace) = self.command_trace.as_mut() {
+                    trace.push(CommandRecord {
+                        cycle: now,
+                        kind: d.command.kind,
+                        channel: ch_idx,
+                        rank: d.rank,
+                        row_hit: d.row_hit,
+                        ndp: false,
+                    });
+                }
                 if d.completes {
                     let req = ch.host_queue.remove(d.queue_index);
                     let first_hit = ch.host_outcome.remove(d.queue_index).unwrap_or(d.row_hit);
@@ -551,6 +607,16 @@ impl MemorySystem {
                         }
                     }
                     ch.ranks[d.rank].issue(&d.command, now, &timing);
+                    if let Some(trace) = self.command_trace.as_mut() {
+                        trace.push(CommandRecord {
+                            cycle: now,
+                            kind: d.command.kind,
+                            channel: ch_idx,
+                            rank: d.rank,
+                            row_hit: d.row_hit,
+                            ndp: true,
+                        });
+                    }
                     if d.completes {
                         let req = ch.ndp_queues[rank_idx].remove(d.queue_index);
                         let first_hit = ch.ndp_outcome[rank_idx]
@@ -629,6 +695,59 @@ mod tests {
         // Closed bank: ACT at cycle 0, RD at tRCD, data at tRCD+CL+BL.
         assert_eq!(done[0].latency(), t.rcd + t.cl + t.burst_cycles);
         assert!(!done[0].row_hit);
+    }
+
+    #[test]
+    fn command_trace_records_issue_stream() {
+        let mut cfg = DramConfig::tiny();
+        cfg.refresh_enabled = false;
+        let mut mem = MemorySystem::new(cfg);
+        assert!(!mem.command_trace_enabled());
+        assert!(mem.take_command_trace().is_empty(), "disabled ⇒ empty");
+        mem.enable_command_trace();
+        read_at(&mut mem, 1, 0, Port::Host);
+        read_at(&mut mem, 2, 64, Port::Host); // same row → RD only
+        mem.drain(100_000);
+        let trace = mem.take_command_trace();
+        // Closed bank: ACT then RD for the first, RD alone for the hit.
+        let kinds: Vec<CommandKind> = trace.iter().map(|c| c.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![CommandKind::Activate, CommandKind::Read, CommandKind::Read]
+        );
+        assert!(trace.iter().all(|c| c.channel == 0 && !c.ndp));
+        assert!(trace[2].row_hit, "second read hits the open row");
+        let mut cycles: Vec<u64> = trace.iter().map(|c| c.cycle).collect();
+        let sorted = {
+            let mut s = cycles.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(cycles, sorted, "trace is in issue order");
+        cycles.dedup();
+        assert_eq!(cycles.len(), 3, "one command per cycle per channel");
+        // Draining leaves tracing on but the buffer empty.
+        assert!(mem.command_trace_enabled());
+        assert!(mem.take_command_trace().is_empty());
+    }
+
+    #[test]
+    fn command_trace_disabled_costs_nothing() {
+        let mut cfg = DramConfig::tiny();
+        cfg.refresh_enabled = false;
+        let mut with = MemorySystem::new(cfg.clone());
+        with.enable_command_trace();
+        let mut without = MemorySystem::new(cfg);
+        for m in [&mut with, &mut without] {
+            read_at(m, 1, 0, Port::Host);
+            read_at(m, 2, 4096, Port::Ndp);
+            m.drain(100_000);
+        }
+        // Tracing never perturbs timing or stats.
+        assert_eq!(with.now(), without.now());
+        assert_eq!(with.stats(), without.stats());
+        assert!(with.take_command_trace().iter().any(|c| c.ndp));
+        assert!(without.take_command_trace().is_empty());
     }
 
     #[test]

@@ -63,6 +63,23 @@ impl RetryPolicy {
     }
 }
 
+impl std::fmt::Display for RetryPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.max_retries == 0 {
+            write!(f, "no retries (immediate host fallback)")
+        } else {
+            write!(
+                f,
+                "{} retries, backoff {}..{} cycles (worst case {})",
+                self.max_retries,
+                self.base_backoff,
+                self.max_backoff,
+                self.total_backoff()
+            )
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -124,6 +124,31 @@ pub struct PollingStats {
     pub wasted_delay: u64,
 }
 
+impl PollingStats {
+    /// Stats for an explicit schedule: first poll at `first`, retries
+    /// every `retry` cycles, for a batch that actually finished at
+    /// `actual` (all relative to issue). This is the closed form of
+    /// [`PollingPolicy::observe`] used when the caller maintains its own
+    /// first-poll estimate (e.g. the replay core's per-query EWMA).
+    pub fn observe_at(first: u64, retry: u64, actual: u64) -> PollingStats {
+        let retry = retry.max(1);
+        if first >= actual {
+            return PollingStats {
+                polls: 1,
+                observed_at: first,
+                wasted_delay: first - actual,
+            };
+        }
+        let extra = (actual - first).div_ceil(retry);
+        let observed = first + extra * retry;
+        PollingStats {
+            polls: 1 + extra as u32,
+            observed_at: observed,
+            wasted_delay: observed - actual,
+        }
+    }
+}
+
 /// Completion deadline for one offloaded batch: the host declares the
 /// batch lost when either bound is hit, instead of polling forever into
 /// a stalled or hung NDP unit.
@@ -323,6 +348,27 @@ mod tests {
                 gave_up_at: 6
             }
         );
+    }
+
+    #[test]
+    fn observe_at_matches_policy_schedule() {
+        // An explicit (first, retry) schedule agrees with the policy's
+        // own observe() when fed the same parameters.
+        let p = PollingPolicy::Conventional { period: 240 };
+        for actual in [1u64, 239, 240, 241, 2000] {
+            let direct = p.observe(1, actual);
+            let explicit = PollingStats::observe_at(240, 240, actual);
+            assert_eq!(direct, explicit, "actual={actual}");
+        }
+        // On-time batch: one poll, waste is the overshoot.
+        let s = PollingStats::observe_at(100, 40, 70);
+        assert_eq!(s.polls, 1);
+        assert_eq!(s.observed_at, 100);
+        assert_eq!(s.wasted_delay, 30);
+        // Late batch: retries until observed.
+        let s = PollingStats::observe_at(100, 40, 190);
+        assert_eq!(s.polls, 4); // 100, 140, 180, 220
+        assert_eq!(s.observed_at, 220);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Per-phase cycle-attribution table.
+//!
+//! Turns a set of query traces into the per-stage breakdown tables the
+//! paper's figures are built from: one row per query, one column per
+//! phase that carries any cycles, plus a TOTAL row with percentages.
+//! The replay core emits spans that tile each query's life exactly, so
+//! every row's phase columns sum to its end-to-end cycle count —
+//! [`attribution_check`] asserts that invariant and tests rely on it.
+
+use crate::recorder::QueryTrace;
+use crate::taxonomy::Phase;
+
+/// Verify that each trace's spans tile its total: phase sums equal
+/// `total_cycles`. Returns the first offending query as
+/// `Err((query, attributed, total))`.
+pub fn attribution_check(traces: &[&QueryTrace]) -> Result<(), (usize, u64, u64)> {
+    for t in traces {
+        let attributed = t.attributed_cycles();
+        if attributed != t.total_cycles {
+            return Err((t.query, attributed, t.total_cycles));
+        }
+    }
+    Ok(())
+}
+
+/// Render the attribution table for `traces` (rows keep the given
+/// order; columns are phases with nonzero cycles anywhere).
+pub fn attribution_table(traces: &[&QueryTrace]) -> String {
+    let mut used = [false; Phase::ALL.len()];
+    for t in traces {
+        for (i, &c) in t.phase_cycles().iter().enumerate() {
+            used[i] |= c > 0;
+        }
+    }
+    let cols: Vec<Phase> = Phase::ALL
+        .iter()
+        .copied()
+        .filter(|p| used[p.index()])
+        .collect();
+
+    let mut out = String::new();
+    out.push_str(&format!("{:>8}  {:>12}", "query", "cycles"));
+    for p in &cols {
+        out.push_str(&format!("  {:>14}", p.as_str()));
+    }
+    out.push('\n');
+
+    let mut totals = vec![0u64; cols.len()];
+    let mut grand = 0u64;
+    for t in traces {
+        let pc = t.phase_cycles();
+        out.push_str(&format!("{:>8}  {:>12}", t.query, t.total_cycles));
+        for (ci, p) in cols.iter().enumerate() {
+            let c = pc[p.index()];
+            totals[ci] += c;
+            out.push_str(&format!("  {c:>14}"));
+        }
+        grand += t.total_cycles;
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>8}  {:>12}", "TOTAL", grand));
+    for &c in &totals {
+        out.push_str(&format!("  {c:>14}"));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:>8}  {:>12}", "", ""));
+    for &c in &totals {
+        let pct = if grand == 0 {
+            0.0
+        } else {
+            100.0 * c as f64 / grand as f64
+        };
+        out.push_str(&format!("  {:>13.1}%", pct));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{QueryRecorder, RecorderConfig};
+    use crate::sink::TraceSink;
+
+    fn trace(q: usize, spans: &[(Phase, u64, u64)], total: u64) -> QueryTrace {
+        let mut r = QueryRecorder::new(q, RecorderConfig::default());
+        for &(p, s, e) in spans {
+            r.span(p, s, e);
+        }
+        r.finish(total)
+    }
+
+    #[test]
+    fn check_accepts_tiled_spans() {
+        let t = trace(
+            0,
+            &[(Phase::Traversal, 0, 40), (Phase::DistComp, 40, 100)],
+            100,
+        );
+        assert_eq!(attribution_check(&[&t]), Ok(()));
+    }
+
+    #[test]
+    fn check_reports_gap() {
+        let t = trace(7, &[(Phase::Traversal, 0, 40)], 100);
+        assert_eq!(attribution_check(&[&t]), Err((7, 40, 100)));
+    }
+
+    #[test]
+    fn table_sums_and_percentages() {
+        let a = trace(
+            0,
+            &[(Phase::Traversal, 0, 25), (Phase::DistComp, 25, 100)],
+            100,
+        );
+        let b = trace(
+            1,
+            &[(Phase::Traversal, 0, 75), (Phase::DistComp, 75, 100)],
+            100,
+        );
+        let table = attribution_table(&[&a, &b]);
+        assert!(table.contains("traversal"));
+        assert!(table.contains("dist_comp"));
+        assert!(!table.contains("queue"), "unused column leaked:\n{table}");
+        assert!(table.contains("TOTAL"));
+        assert!(table.contains("200"));
+        assert!(table.contains("50.0%"), "{table}");
+    }
+}

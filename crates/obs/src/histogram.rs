@@ -1,0 +1,229 @@
+//! Log-bucketed (HDR-style) latency histograms.
+//!
+//! Latencies span five orders of magnitude between a cache-warm hop and
+//! a fault-recovery tail, so linear buckets either blur the tail or blow
+//! up memory. The classic fix (HdrHistogram) is log-linear bucketing:
+//! every power-of-two value range is split into a fixed number of linear
+//! sub-buckets, giving a bounded relative error (here ≤ 1/32 ≈ 3 %) at a
+//! fixed, small footprint. Recording and quantile queries are exact
+//! integer arithmetic — no floats touch the bucket math — so histograms
+//! (and everything derived from them) are bit-identical across runs.
+
+/// Linear sub-buckets per power-of-two range (2^5).
+const SUB_BUCKETS: u64 = 32;
+/// log2 of [`SUB_BUCKETS`].
+const SUB_BITS: u32 = 5;
+/// Bucket-array length covering all of `u64`: values below 32 map to
+/// their own bucket; every further power-of-two range (exponents 5..=63)
+/// contributes 32 sub-buckets.
+const BUCKETS: usize = (SUB_BUCKETS as usize) * 60;
+
+/// A log-bucketed histogram of `u64` samples (latencies in cycles).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Bucket index of `v`.
+    fn index(v: u64) -> usize {
+        if v < SUB_BUCKETS {
+            v as usize
+        } else {
+            let exp = 63 - v.leading_zeros(); // v ∈ [2^exp, 2^(exp+1))
+            let g = (exp - SUB_BITS) as u64;
+            let sub = (v >> g) - SUB_BUCKETS; // top 5 bits below the MSB
+            (SUB_BUCKETS * (g + 1) + sub) as usize
+        }
+    }
+
+    /// Highest value equivalent to bucket `idx` (its inclusive upper
+    /// bound), mirroring HdrHistogram's `highestEquivalentValue`.
+    fn bucket_upper(idx: usize) -> u64 {
+        let idx = idx as u64;
+        if idx < SUB_BUCKETS {
+            idx
+        } else {
+            let g = (idx / SUB_BUCKETS - 1) as u32;
+            let sub = idx % SUB_BUCKETS;
+            // The topmost bucket's upper bound overflows u64; saturate.
+            // `checked_shl` only guards the shift amount, so also verify
+            // no value bits were shifted out before subtracting.
+            let top = SUB_BUCKETS + sub + 1;
+            top.checked_shl(g)
+                .filter(|v| v >> g == top)
+                .map(|v| v - 1)
+                .unwrap_or(u64::MAX)
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (exact).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`: the smallest bucket upper
+    /// bound such that at least `⌈q·count⌉` samples are ≤ it. Returns 0
+    /// on an empty histogram; the answer is clamped to the observed
+    /// maximum so `quantile(1.0) == max()`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..32 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 31);
+        assert_eq!(h.max(), 31);
+        assert!((h.mean() - 15.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone_and_cover_u64() {
+        let mut prev = 0;
+        for idx in 1..BUCKETS {
+            let u = LatencyHistogram::bucket_upper(idx);
+            assert!(u > prev, "idx {idx}: {u} <= {prev}");
+            prev = u;
+        }
+        // Every value indexes into range and sits under its bucket bound.
+        for v in [
+            0,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            1000,
+            1 << 20,
+            u64::MAX / 3,
+            u64::MAX,
+        ] {
+            let i = LatencyHistogram::index(v);
+            assert!(i < BUCKETS, "v {v} -> {i}");
+            assert!(LatencyHistogram::bucket_upper(i) >= v);
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        let mut h = LatencyHistogram::new();
+        let v = 1_234_567u64;
+        h.record(v);
+        let got = h.quantile(0.5);
+        assert!(got >= v);
+        assert!((got - v) as f64 / v as f64 <= 1.0 / 32.0 + 1e-9, "{got}");
+    }
+
+    #[test]
+    fn quantiles_on_spread() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        assert!((470..=540).contains(&p50), "p50 {p50}");
+        assert!((960..=1000).contains(&p99), "p99 {p99}");
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for v in [3u64, 900, 17, 65_000, 12] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [8u64, 2_000_000, 44] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! ANSMET observability: cross-stack tracing and metrics.
+//!
+//! The simulator's layers (ET planning, NDP waves, the DDR5 model, host
+//! recovery, the serving tier) report into this crate through one seam —
+//! the [`TraceSink`] trait. The default [`NoopSink`] compiles to
+//! nothing, so instrumented hot paths stay allocation-free and
+//! bit-identical to uninstrumented output; an enabled [`QueryRecorder`]
+//! captures per-query spans/events (ring-buffered, retention-capped)
+//! plus a private [`MetricsRegistry`] shard, and shards merge in query
+//! order exactly like `sim`'s replay stats, so recordings are
+//! bit-identical across reruns and thread counts.
+//!
+//! Exporters: [`perfetto_trace_json`] renders the slowest queries as a
+//! Chrome/Perfetto-loadable trace (cycles mapped to microseconds);
+//! [`attribution_table`] renders the per-phase cycle breakdown, whose
+//! columns tile each query's end-to-end latency exactly
+//! ([`attribution_check`]).
+
+mod attribution;
+mod histogram;
+mod metrics;
+mod perfetto;
+mod recorder;
+mod sink;
+mod taxonomy;
+
+pub use attribution::{attribution_check, attribution_table};
+pub use histogram::LatencyHistogram;
+pub use metrics::{json_f64, json_string, Metric, MetricsRegistry};
+pub use perfetto::perfetto_trace_json;
+pub use recorder::{
+    EventRecord, FlightRecorder, QueryRecorder, QueryTrace, RecorderConfig, SpanRecord,
+};
+pub use sink::{NoopSink, TraceSink};
+pub use taxonomy::{DramCommandKind, EventKind, Phase};
+
+/// FNV-1a over `bytes` — the same cheap stable hash the serving tier
+/// uses for result fingerprints, exposed here for config fingerprinting.
+pub fn fingerprint64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = fingerprint64(b"config-a");
+        assert_eq!(a, fingerprint64(b"config-a"));
+        assert_ne!(a, fingerprint64(b"config-b"));
+        assert_eq!(fingerprint64(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

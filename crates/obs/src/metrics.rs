@@ -1,0 +1,288 @@
+//! Named-metric registry with deterministic merge and export.
+//!
+//! One registry is a *shard*: each worker thread (or per-query recorder)
+//! owns its own, and shards are folded together in query order — the
+//! same lock-free-by-construction scheme `sim::parallel` uses for
+//! replay stats. Keys are `&'static str` so recording never allocates;
+//! storage is a `BTreeMap` so snapshots iterate in one canonical order
+//! and the JSON export is byte-stable across runs and thread counts.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::histogram::LatencyHistogram;
+
+/// One metric slot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonic sum.
+    Counter(u64),
+    /// High-watermark gauge (merge takes the max).
+    Gauge(u64),
+    /// Log-bucketed distribution.
+    Histogram(LatencyHistogram),
+}
+
+/// A shard of named counters, gauges, and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    map: BTreeMap<&'static str, Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to counter `name` (creating it at zero).
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        match self.map.entry(name).or_insert(Metric::Counter(0)) {
+            Metric::Counter(c) => *c += delta,
+            other => panic!("metric {name:?} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Raise gauge `name` to at least `value`.
+    pub fn gauge_max(&mut self, name: &'static str, value: u64) {
+        match self.map.entry(name).or_insert(Metric::Gauge(0)) {
+            Metric::Gauge(g) => *g = (*g).max(value),
+            other => panic!("metric {name:?} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Record `value` into histogram `name`.
+    pub fn record(&mut self, name: &'static str, value: u64) {
+        match self
+            .map
+            .entry(name)
+            .or_insert_with(|| Metric::Histogram(LatencyHistogram::new()))
+        {
+            Metric::Histogram(h) => h.record(value),
+            other => panic!("metric {name:?} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Current value of counter `name` (0 if absent or not a counter).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.map.get(name) {
+            Some(Metric::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Current value of gauge `name` (0 if absent or not a gauge).
+    pub fn gauge(&self, name: &str) -> u64 {
+        match self.map.get(name) {
+            Some(Metric::Gauge(g)) => *g,
+            _ => 0,
+        }
+    }
+
+    /// The histogram under `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&LatencyHistogram> {
+        match self.map.get(name) {
+            Some(Metric::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Number of metric slots.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the registry holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate slots in canonical (sorted-key) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Metric)> {
+        self.map.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Fold another shard into this one. Counters add, gauges take the
+    /// max, histograms merge bucket-wise; kinds must agree per key.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, m) in &other.map {
+            match (self.map.entry(name), m) {
+                (std::collections::btree_map::Entry::Vacant(e), m) => {
+                    e.insert(m.clone());
+                }
+                (std::collections::btree_map::Entry::Occupied(mut e), m) => {
+                    match (e.get_mut(), m) {
+                        (Metric::Counter(a), Metric::Counter(b)) => *a += b,
+                        (Metric::Gauge(a), Metric::Gauge(b)) => *a = (*a).max(*b),
+                        (Metric::Histogram(a), Metric::Histogram(b)) => a.merge(b),
+                        (a, b) => panic!("metric {name:?} kind mismatch: {a:?} vs {b:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deterministic JSON snapshot: an object keyed by metric name,
+    /// sorted, with fixed-precision floats. Byte-stable for equal
+    /// registries.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let mut first = true;
+        for (name, m) in &self.map {
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            match m {
+                Metric::Counter(c) => {
+                    s.push_str(&format!(
+                        "  {}: {{\"type\": \"counter\", \"value\": {c}}}",
+                        json_string(name)
+                    ));
+                }
+                Metric::Gauge(g) => {
+                    s.push_str(&format!(
+                        "  {}: {{\"type\": \"gauge\", \"value\": {g}}}",
+                        json_string(name)
+                    ));
+                }
+                Metric::Histogram(h) => {
+                    s.push_str(&format!(
+                        "  {}: {{\"type\": \"histogram\", \"count\": {}, \"max\": {}, \
+                         \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                        json_string(name),
+                        h.count(),
+                        h.max(),
+                        json_f64(h.mean()),
+                        h.quantile(0.50),
+                        h.quantile(0.95),
+                        h.quantile(0.99),
+                    ));
+                }
+            }
+        }
+        s.push_str("\n}");
+        s
+    }
+}
+
+impl fmt::Display for MetricsRegistry {
+    /// Aligned text table, one metric per row, canonical order.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self.map.keys().map(|k| k.len()).max().unwrap_or(6).max(6);
+        writeln!(f, "{:width$}  value", "metric")?;
+        for (name, m) in &self.map {
+            match m {
+                Metric::Counter(c) => writeln!(f, "{name:width$}  {c}")?,
+                Metric::Gauge(g) => writeln!(f, "{name:width$}  {g} (max)")?,
+                Metric::Histogram(h) => writeln!(
+                    f,
+                    "{name:width$}  n={} mean={:.1} p50={} p99={} max={}",
+                    h.count(),
+                    h.mean(),
+                    h.quantile(0.50),
+                    h.quantile(0.99),
+                    h.max()
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Escape `s` as a JSON string literal (with quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Fixed-precision float rendering so JSON output is byte-stable.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("replay.lines", 10);
+        r.counter_add("replay.lines", 5);
+        r.gauge_max("qshr.active", 3);
+        r.gauge_max("qshr.active", 2);
+        r.record("lat", 100);
+        r.record("lat", 300);
+        assert_eq!(r.counter("replay.lines"), 15);
+        assert_eq!(r.gauge("qshr.active"), 3);
+        assert_eq!(r.histogram("lat").unwrap().count(), 2);
+        assert_eq!(r.counter("missing"), 0);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        let mut both = MetricsRegistry::new();
+        a.counter_add("c", 4);
+        both.counter_add("c", 4);
+        a.record("h", 10);
+        both.record("h", 10);
+        b.counter_add("c", 6);
+        both.counter_add("c", 6);
+        b.gauge_max("g", 9);
+        both.gauge_max("g", 9);
+        b.record("h", 20);
+        both.record("h", 20);
+        a.merge(&b);
+        assert_eq!(a, both);
+        assert_eq!(a.to_json(), both.to_json());
+    }
+
+    #[test]
+    fn json_is_sorted_and_stable() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("z.last", 1);
+        r.counter_add("a.first", 2);
+        let j = r.to_json();
+        let za = j.find("z.last").unwrap();
+        let aa = j.find("a.first").unwrap();
+        assert!(aa < za, "keys not sorted:\n{j}");
+        assert_eq!(j, r.clone().to_json());
+    }
+
+    #[test]
+    fn json_escape() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_f64(1.5), "1.5000");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn display_renders_all_kinds() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("c", 1);
+        r.gauge_max("g", 2);
+        r.record("h", 3);
+        let t = r.to_string();
+        assert!(t.contains("c") && t.contains("(max)") && t.contains("p99"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Chrome/Perfetto trace export.
+//!
+//! Emits the legacy Trace Event JSON format (`{"traceEvents": [...]}`),
+//! which both `chrome://tracing` and [ui.perfetto.dev] load directly.
+//! Each exported query becomes one named "thread" (tid = query index);
+//! spans become complete events (`ph: "X"`) and point events become
+//! instants (`ph: "i"`). Timestamps are microseconds: simulated cycles
+//! divided by the memory clock in MHz, rendered at fixed precision so
+//! the export is byte-stable.
+//!
+//! [ui.perfetto.dev]: https://ui.perfetto.dev
+
+use crate::metrics::{json_f64, json_string};
+use crate::recorder::QueryTrace;
+
+/// One process id for the whole run.
+const PID: u64 = 1;
+
+fn ts_us(cycles: u64, mem_clock_mhz: u64) -> String {
+    json_f64(cycles as f64 / mem_clock_mhz.max(1) as f64)
+}
+
+/// Render `traces` (typically [`FlightRecorder::slowest`]) as a Trace
+/// Event JSON document. Queries appear top-to-bottom in the order given.
+///
+/// [`FlightRecorder::slowest`]: crate::FlightRecorder::slowest
+pub fn perfetto_trace_json(traces: &[&QueryTrace], mem_clock_mhz: u64) -> String {
+    let mut events: Vec<String> = Vec::new();
+    events.push(format!(
+        "{{\"ph\": \"M\", \"pid\": {PID}, \"name\": \"process_name\", \
+         \"args\": {{\"name\": \"ansmet replay ({mem_clock_mhz} MHz mem clock)\"}}}}"
+    ));
+    for (pos, t) in traces.iter().enumerate() {
+        let tid = t.query as u64 + 1; // tid 0 renders oddly in some UIs
+        events.push(format!(
+            "{{\"ph\": \"M\", \"pid\": {PID}, \"tid\": {tid}, \"name\": \"thread_name\", \
+             \"args\": {{\"name\": {}}}}}",
+            json_string(&format!("query {} ({} cycles)", t.query, t.total_cycles))
+        ));
+        events.push(format!(
+            "{{\"ph\": \"M\", \"pid\": {PID}, \"tid\": {tid}, \
+             \"name\": \"thread_sort_index\", \"args\": {{\"sort_index\": {pos}}}}}"
+        ));
+        for s in &t.spans {
+            events.push(format!(
+                "{{\"ph\": \"X\", \"pid\": {PID}, \"tid\": {tid}, \"cat\": \"phase\", \
+                 \"name\": {}, \"ts\": {}, \"dur\": {}, \
+                 \"args\": {{\"start_cycle\": {}, \"cycles\": {}}}}}",
+                json_string(s.phase.as_str()),
+                ts_us(s.start, mem_clock_mhz),
+                ts_us(s.end - s.start, mem_clock_mhz),
+                s.start,
+                s.end - s.start,
+            ));
+        }
+        for e in &t.events {
+            events.push(format!(
+                "{{\"ph\": \"i\", \"pid\": {PID}, \"tid\": {tid}, \"s\": \"t\", \
+                 \"cat\": \"event\", \"name\": {}, \"ts\": {}, \
+                 \"args\": {{\"cycle\": {}, \"detail\": {}}}}}",
+                json_string(e.kind.name()),
+                ts_us(e.cycle, mem_clock_mhz),
+                e.cycle,
+                json_string(&e.kind.to_string()),
+            ));
+        }
+    }
+    let mut out = String::from("{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{QueryRecorder, RecorderConfig};
+    use crate::sink::TraceSink;
+    use crate::taxonomy::{EventKind, Phase};
+
+    fn sample_trace() -> QueryTrace {
+        let mut r = QueryRecorder::new(2, RecorderConfig::default());
+        r.span(Phase::Traversal, 0, 120);
+        r.span(Phase::DistComp, 120, 2400);
+        r.event(130, EventKind::GroupFetch { rank: 4, lines: 3 });
+        r.finish(2400)
+    }
+
+    #[test]
+    fn exports_spans_and_instants() {
+        let t = sample_trace();
+        let j = perfetto_trace_json(&[&t], 2400);
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+        assert!(j.contains("\"traceEvents\""));
+        assert!(j.contains("\"ph\": \"X\""));
+        assert!(j.contains("\"ph\": \"i\""));
+        assert!(j.contains("\"name\": \"dist_comp\""));
+        assert!(j.contains("group_fetch"));
+        // 2400 cycles at 2400 MHz = 1 µs.
+        assert!(j.contains("\"dur\": 0.9500"), "{j}");
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let t = sample_trace();
+        assert_eq!(
+            perfetto_trace_json(&[&t], 2400),
+            perfetto_trace_json(&[&t], 2400)
+        );
+    }
+
+    #[test]
+    fn balanced_braces_and_brackets() {
+        let t = sample_trace();
+        let j = perfetto_trace_json(&[&t], 2400);
+        let open = j.matches('{').count();
+        let close = j.matches('}').count();
+        assert_eq!(open, close);
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+}

@@ -1,0 +1,289 @@
+//! Per-query flight recorder.
+//!
+//! One [`QueryRecorder`] rides along with one query's replay: spans and
+//! events land in pre-sized buffers (events in a bounded ring — the
+//! retention knob — so a pathological query cannot blow up memory), and
+//! metric samples land in the recorder's private [`MetricsRegistry`]
+//! shard. When the query finishes, the recorder freezes into a
+//! [`QueryTrace`]; traces and shards are folded into a
+//! [`FlightRecorder`] in query order, mirroring `sim`'s deterministic
+//! merge so the whole recording is bit-identical across thread counts.
+
+use std::collections::VecDeque;
+
+use crate::metrics::MetricsRegistry;
+use crate::sink::TraceSink;
+use crate::taxonomy::{EventKind, Phase};
+
+/// A recorded span: `phase` occupied `[start, end)` cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    pub phase: Phase,
+    pub start: u64,
+    pub end: u64,
+}
+
+/// A recorded point event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRecord {
+    pub cycle: u64,
+    pub kind: EventKind,
+}
+
+/// Retention knobs for one query's recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecorderConfig {
+    /// Ring capacity for point events; the oldest are dropped first
+    /// (and counted) once full.
+    pub max_events: usize,
+    /// Hard cap on spans; spans past the cap are dropped (and counted).
+    pub max_spans: usize,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            max_events: 4096,
+            max_spans: 16384,
+        }
+    }
+}
+
+/// Live recording state for one query (implements [`TraceSink`]).
+#[derive(Debug, Clone)]
+pub struct QueryRecorder {
+    query: usize,
+    cfg: RecorderConfig,
+    spans: Vec<SpanRecord>,
+    events: VecDeque<EventRecord>,
+    dropped_events: u64,
+    dropped_spans: u64,
+    metrics: MetricsRegistry,
+}
+
+impl QueryRecorder {
+    /// A fresh recorder for query index `query`.
+    pub fn new(query: usize, cfg: RecorderConfig) -> Self {
+        QueryRecorder {
+            query,
+            cfg,
+            spans: Vec::new(),
+            events: VecDeque::new(),
+            dropped_events: 0,
+            dropped_spans: 0,
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Freeze into an immutable trace; `total_cycles` is the query's
+    /// end-to-end simulated latency.
+    pub fn finish(self, total_cycles: u64) -> QueryTrace {
+        QueryTrace {
+            query: self.query,
+            total_cycles,
+            spans: self.spans,
+            events: self.events.into_iter().collect(),
+            dropped_events: self.dropped_events,
+            dropped_spans: self.dropped_spans,
+            metrics: self.metrics,
+        }
+    }
+}
+
+impl TraceSink for QueryRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span(&mut self, phase: Phase, start: u64, end: u64) {
+        if self.spans.len() >= self.cfg.max_spans {
+            self.dropped_spans += 1;
+            return;
+        }
+        self.spans.push(SpanRecord { phase, start, end });
+    }
+
+    fn event(&mut self, cycle: u64, kind: EventKind) {
+        if self.cfg.max_events == 0 {
+            self.dropped_events += 1;
+            return;
+        }
+        if self.events.len() >= self.cfg.max_events {
+            self.events.pop_front();
+            self.dropped_events += 1;
+        }
+        self.events.push_back(EventRecord { cycle, kind });
+    }
+
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        self.metrics.counter_add(name, delta);
+    }
+
+    fn gauge_max(&mut self, name: &'static str, value: u64) {
+        self.metrics.gauge_max(name, value);
+    }
+
+    fn record(&mut self, name: &'static str, value: u64) {
+        self.metrics.record(name, value);
+    }
+}
+
+/// One query's frozen recording.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTrace {
+    /// Query index within the workload.
+    pub query: usize,
+    /// End-to-end simulated cycles.
+    pub total_cycles: u64,
+    /// Recorded spans, in recording order.
+    pub spans: Vec<SpanRecord>,
+    /// Recorded events (oldest may have been dropped by the ring).
+    pub events: Vec<EventRecord>,
+    /// Events dropped by the retention ring.
+    pub dropped_events: u64,
+    /// Spans dropped past the cap.
+    pub dropped_spans: u64,
+    /// This query's private metrics shard.
+    pub metrics: MetricsRegistry,
+}
+
+impl QueryTrace {
+    /// Cycles attributed to each phase (indexed like [`Phase::ALL`]).
+    pub fn phase_cycles(&self) -> [u64; Phase::ALL.len()] {
+        let mut out = [0u64; Phase::ALL.len()];
+        for s in &self.spans {
+            out[s.phase.index()] += s.end - s.start;
+        }
+        out
+    }
+
+    /// Sum of all span durations. The replay core emits spans that tile
+    /// the query's life exactly, so this equals [`total_cycles`].
+    ///
+    /// [`total_cycles`]: QueryTrace::total_cycles
+    pub fn attributed_cycles(&self) -> u64 {
+        self.phase_cycles().iter().sum()
+    }
+}
+
+/// The run-wide recording: per-query traces plus the merged registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlightRecorder {
+    /// Per-query traces, in query order.
+    pub queries: Vec<QueryTrace>,
+    /// All per-query shards merged, in query order.
+    pub metrics: MetricsRegistry,
+}
+
+impl std::fmt::Display for QueryTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "query {}: {} cycles, {} spans, {} events",
+            self.query,
+            self.total_cycles,
+            self.spans.len(),
+            self.events.len()
+        )?;
+        if self.dropped_spans + self.dropped_events > 0 {
+            write!(
+                f,
+                " ({} spans / {} events dropped by retention caps)",
+                self.dropped_spans, self.dropped_events
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl FlightRecorder {
+    /// An empty recording.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one finished query trace, folding its metrics shard into
+    /// the run-wide registry. Call in query order for determinism.
+    pub fn push(&mut self, trace: QueryTrace) {
+        self.metrics.merge(&trace.metrics);
+        self.queries.push(trace);
+    }
+
+    /// The `n` slowest queries by total cycles (ties broken by query
+    /// index, so the selection is deterministic).
+    pub fn slowest(&self, n: usize) -> Vec<&QueryTrace> {
+        let mut refs: Vec<&QueryTrace> = self.queries.iter().collect();
+        refs.sort_by(|a, b| {
+            b.total_cycles
+                .cmp(&a.total_cycles)
+                .then(a.query.cmp(&b.query))
+        });
+        refs.truncate(n);
+        refs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_captures_and_freezes() {
+        let mut r = QueryRecorder::new(3, RecorderConfig::default());
+        r.span(Phase::Traversal, 0, 100);
+        r.span(Phase::DistComp, 100, 400);
+        r.event(50, EventKind::EtResumed);
+        r.counter("lines", 7);
+        let t = r.finish(400);
+        assert_eq!(t.query, 3);
+        assert_eq!(t.attributed_cycles(), 400);
+        assert_eq!(t.phase_cycles()[Phase::DistComp.index()], 300);
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.metrics.counter("lines"), 7);
+    }
+
+    #[test]
+    fn event_ring_drops_oldest() {
+        let cfg = RecorderConfig {
+            max_events: 2,
+            max_spans: 8,
+        };
+        let mut r = QueryRecorder::new(0, cfg);
+        for c in 0..5u64 {
+            r.event(c, EventKind::BatchFormed { size: c as u32 });
+        }
+        let t = r.finish(5);
+        assert_eq!(t.dropped_events, 3);
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.events[0].cycle, 3);
+        assert_eq!(t.events[1].cycle, 4);
+    }
+
+    #[test]
+    fn span_cap_counts_drops() {
+        let cfg = RecorderConfig {
+            max_events: 8,
+            max_spans: 1,
+        };
+        let mut r = QueryRecorder::new(0, cfg);
+        r.span(Phase::Queue, 0, 1);
+        r.span(Phase::Execute, 1, 2);
+        let t = r.finish(2);
+        assert_eq!(t.spans.len(), 1);
+        assert_eq!(t.dropped_spans, 1);
+    }
+
+    #[test]
+    fn flight_recorder_merges_and_ranks() {
+        let mut fr = FlightRecorder::new();
+        for (qi, cycles) in [(0usize, 50u64), (1, 200), (2, 200), (3, 10)] {
+            let mut r = QueryRecorder::new(qi, RecorderConfig::default());
+            r.counter("n", 1);
+            fr.push(r.finish(cycles));
+        }
+        assert_eq!(fr.metrics.counter("n"), 4);
+        let slow = fr.slowest(3);
+        let order: Vec<usize> = slow.iter().map(|t| t.query).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+}

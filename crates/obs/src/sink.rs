@@ -1,0 +1,115 @@
+//! The instrumentation seam: a sink trait with a free no-op default.
+//!
+//! Hot paths take a `&mut impl TraceSink` and call it unconditionally;
+//! with [`NoopSink`] every method monomorphizes to an empty inline body,
+//! so the uninstrumented build path stays allocation-free and
+//! bit-identical to pre-instrumentation output (enforced by test in
+//! `sim`). Guard only genuinely expensive *preparation* (snapshotting
+//! DRAM stats, formatting) behind [`TraceSink::enabled`].
+
+use crate::taxonomy::{EventKind, Phase};
+
+/// Receives spans, events, and metric samples from instrumented code.
+///
+/// All timestamps are simulated cycles in the caller's clock domain
+/// (memory cycles in the replay core, serving cycles in the serve tier).
+/// Default method bodies are no-ops so sinks implement only what they
+/// keep.
+pub trait TraceSink {
+    /// Whether this sink records anything. Instrumentation may skip
+    /// expensive sample preparation when this returns `false`.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// A closed span: `phase` occupied `[start, end)` cycles.
+    fn span(&mut self, phase: Phase, start: u64, end: u64) {
+        let _ = (phase, start, end);
+    }
+
+    /// A point event at `cycle`.
+    fn event(&mut self, cycle: u64, kind: EventKind) {
+        let _ = (cycle, kind);
+    }
+
+    /// Add `delta` to the named counter.
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Raise the named gauge to at least `value` (high-watermark).
+    fn gauge_max(&mut self, name: &'static str, value: u64) {
+        let _ = (name, value);
+    }
+
+    /// Record `value` into the named histogram.
+    fn record(&mut self, name: &'static str, value: u64) {
+        let _ = (name, value);
+    }
+}
+
+/// The default sink: records nothing, compiles to nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {}
+
+/// Forward through mutable references so instrumented helpers can be
+/// called with `&mut sink` without re-borrow gymnastics.
+impl<T: TraceSink + ?Sized> TraceSink for &mut T {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    fn span(&mut self, phase: Phase, start: u64, end: u64) {
+        (**self).span(phase, start, end)
+    }
+    fn event(&mut self, cycle: u64, kind: EventKind) {
+        (**self).event(cycle, kind)
+    }
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        (**self).counter(name, delta)
+    }
+    fn gauge_max(&mut self, name: &'static str, value: u64) {
+        (**self).gauge_max(name, value)
+    }
+    fn record(&mut self, name: &'static str, value: u64) {
+        (**self).record(name, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        let mut s = NoopSink;
+        assert!(!s.enabled());
+        // All methods are callable and do nothing.
+        s.span(Phase::Traversal, 0, 10);
+        s.event(5, EventKind::EtResumed);
+        s.counter("x", 1);
+        s.gauge_max("y", 2);
+        s.record("z", 3);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        struct Probe(u64);
+        impl TraceSink for Probe {
+            fn enabled(&self) -> bool {
+                true
+            }
+            fn counter(&mut self, _name: &'static str, delta: u64) {
+                self.0 += delta;
+            }
+        }
+        let mut p = Probe(0);
+        {
+            let r: &mut Probe = &mut p;
+            assert!(r.enabled());
+            r.counter("n", 7);
+        }
+        assert_eq!(p.0, 7);
+    }
+}

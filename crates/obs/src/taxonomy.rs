@@ -1,0 +1,254 @@
+//! Span and event taxonomy shared by every instrumented layer.
+//!
+//! The vocabulary is deliberately closed: phases and events are plain
+//! `Copy` enums with integer payloads, so recording one is a couple of
+//! moves — no strings, no allocation — and the trace contents are
+//! bit-identical across runs by construction.
+
+use std::fmt;
+
+/// A span category: one phase of a query's life, in simulated cycles.
+///
+/// The first four mirror `sim`'s `QueryBreakdown` buckets (Fig. 9 of the
+/// paper); the serving tier adds queue/execute; recovery covers fault
+/// retry/fallback penalties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Host-side index traversal and result sorting.
+    Traversal,
+    /// NDP task offloading (query upload + set-search commands).
+    Offload,
+    /// Distance comparison (memory fetches + arithmetic).
+    DistComp,
+    /// Result collection (polling delay + processing).
+    ResultCollect,
+    /// Serving tier: waiting in the admission/batch queue.
+    Queue,
+    /// Serving tier: executing inside a wave batch.
+    Execute,
+    /// Host-side fault recovery (retries, backoff, exact fallback).
+    Recovery,
+}
+
+impl Phase {
+    /// Every phase, in canonical (attribution-table column) order.
+    pub const ALL: [Phase; 7] = [
+        Phase::Traversal,
+        Phase::Offload,
+        Phase::DistComp,
+        Phase::ResultCollect,
+        Phase::Queue,
+        Phase::Execute,
+        Phase::Recovery,
+    ];
+
+    /// Stable lowercase name used in JSON exports and table headers.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Phase::Traversal => "traversal",
+            Phase::Offload => "offload",
+            Phase::DistComp => "dist_comp",
+            Phase::ResultCollect => "result_collect",
+            Phase::Queue => "queue",
+            Phase::Execute => "execute",
+            Phase::Recovery => "recovery",
+        }
+    }
+
+    /// Index into [`Phase::ALL`].
+    pub fn index(&self) -> usize {
+        Phase::ALL.iter().position(|p| p == self).expect("in ALL")
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// DRAM command classes surfaced to traces (mirrors the dram crate's
+/// internal command kinds without depending on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramCommandKind {
+    Activate,
+    Precharge,
+    Read,
+    Write,
+    Refresh,
+}
+
+impl DramCommandKind {
+    /// Stable lowercase name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DramCommandKind::Activate => "activate",
+            DramCommandKind::Precharge => "precharge",
+            DramCommandKind::Read => "read",
+            DramCommandKind::Write => "write",
+            DramCommandKind::Refresh => "refresh",
+        }
+    }
+}
+
+impl fmt::Display for DramCommandKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A point event inside a query's flight recording.
+///
+/// Payloads are integers only; everything needed to render a
+/// human-readable detail string is carried in the variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// ET plan chosen for a comparison: the schedule would fetch
+    /// `full_lines` worst-case vs `natural_lines` without reordering.
+    EtPlan { full_lines: u32, natural_lines: u32 },
+    /// Bound exceeded: comparison aborted after `lines` of `planned`.
+    EtTerminated { lines: u32, planned: u32 },
+    /// Prefix-elimination outlier forced a backup recheck of `lines`.
+    EtBackup { lines: u32 },
+    /// Chunked evaluation needed a residual host round-trip.
+    EtResumed,
+    /// A dimension-group fetch of `lines` lines issued to `rank`.
+    GroupFetch { rank: u32, lines: u32 },
+    /// A QSHR entry was allocated on `rank` (`active` now in use).
+    QshrAlloc { rank: u32, active: u32 },
+    /// A QSHR entry on `rank` was freed (`active` still in use).
+    QshrFree { rank: u32, active: u32 },
+    /// Host polling for one batch: `polls` rounds, `wasted` cycles of
+    /// observation delay past actual completion.
+    PollRounds { polls: u32, wasted: u32 },
+    /// Row-buffer outcome deltas for one batch window.
+    RowBuffer {
+        hits: u32,
+        misses: u32,
+        conflicts: u32,
+    },
+    /// One DRAM command issued (opt-in, high volume).
+    DramCommand {
+        kind: DramCommandKind,
+        channel: u16,
+        rank: u16,
+    },
+    /// Recovery: retry attempt `attempt` re-offloaded to `rank`.
+    RecoveryRetry { rank: u32, attempt: u32 },
+    /// Recovery: a CRC-rejected payload from `rank`.
+    CrcRejected { rank: u32 },
+    /// Recovery: retries exhausted; exact host fallback of `lines`.
+    HostFallback { rank: u32, lines: u32 },
+    /// Serving: a batch of `size` queries was formed.
+    BatchFormed { size: u32 },
+    /// Serving: this query was shed (`deadline`: missed deadline vs
+    /// queue-depth backpressure).
+    Shed { deadline: bool },
+}
+
+impl EventKind {
+    /// Stable short name (Perfetto event title, metrics key suffix).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::EtPlan { .. } => "et_plan",
+            EventKind::EtTerminated { .. } => "et_terminated",
+            EventKind::EtBackup { .. } => "et_backup",
+            EventKind::EtResumed => "et_resumed",
+            EventKind::GroupFetch { .. } => "group_fetch",
+            EventKind::QshrAlloc { .. } => "qshr_alloc",
+            EventKind::QshrFree { .. } => "qshr_free",
+            EventKind::PollRounds { .. } => "poll_rounds",
+            EventKind::RowBuffer { .. } => "row_buffer",
+            EventKind::DramCommand { .. } => "dram_command",
+            EventKind::RecoveryRetry { .. } => "recovery_retry",
+            EventKind::CrcRejected { .. } => "crc_rejected",
+            EventKind::HostFallback { .. } => "host_fallback",
+            EventKind::BatchFormed { .. } => "batch_formed",
+            EventKind::Shed { .. } => "shed",
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EventKind::EtPlan {
+                full_lines,
+                natural_lines,
+            } => write!(f, "et_plan full={full_lines} natural={natural_lines}"),
+            EventKind::EtTerminated { lines, planned } => {
+                write!(f, "et_terminated lines={lines}/{planned}")
+            }
+            EventKind::EtBackup { lines } => write!(f, "et_backup lines={lines}"),
+            EventKind::EtResumed => write!(f, "et_resumed"),
+            EventKind::GroupFetch { rank, lines } => {
+                write!(f, "group_fetch rank={rank} lines={lines}")
+            }
+            EventKind::QshrAlloc { rank, active } => {
+                write!(f, "qshr_alloc rank={rank} active={active}")
+            }
+            EventKind::QshrFree { rank, active } => {
+                write!(f, "qshr_free rank={rank} active={active}")
+            }
+            EventKind::PollRounds { polls, wasted } => {
+                write!(f, "poll_rounds polls={polls} wasted={wasted}")
+            }
+            EventKind::RowBuffer {
+                hits,
+                misses,
+                conflicts,
+            } => write!(
+                f,
+                "row_buffer hits={hits} misses={misses} conflicts={conflicts}"
+            ),
+            EventKind::DramCommand {
+                kind,
+                channel,
+                rank,
+            } => write!(f, "dram {kind} ch={channel} rank={rank}"),
+            EventKind::RecoveryRetry { rank, attempt } => {
+                write!(f, "recovery_retry rank={rank} attempt={attempt}")
+            }
+            EventKind::CrcRejected { rank } => write!(f, "crc_rejected rank={rank}"),
+            EventKind::HostFallback { rank, lines } => {
+                write!(f, "host_fallback rank={rank} lines={lines}")
+            }
+            EventKind::BatchFormed { size } => write!(f, "batch_formed size={size}"),
+            EventKind::Shed { deadline } => write!(f, "shed deadline={deadline}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_index_roundtrips() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Phase::DistComp.to_string(), "dist_comp");
+        assert_eq!(
+            EventKind::EtTerminated {
+                lines: 3,
+                planned: 9
+            }
+            .to_string(),
+            "et_terminated lines=3/9"
+        );
+        assert_eq!(
+            EventKind::DramCommand {
+                kind: DramCommandKind::Activate,
+                channel: 1,
+                rank: 2
+            }
+            .to_string(),
+            "dram activate ch=1 rank=2"
+        );
+    }
+}

@@ -238,7 +238,7 @@ mod tests {
     fn poisson_rate_roughly_matches() {
         let t = vec![poisson_tenant(100_000.0, 2_000)];
         let a = generate_arrivals(&t, 10, 7, 2400);
-        let span = a.last().unwrap().cycle as f64;
+        let span = a.last().expect("non-empty arrival schedule").cycle as f64;
         let achieved = 2_000.0 * 2400.0 * 1e6 / span;
         assert!(
             (achieved / 100_000.0 - 1.0).abs() < 0.15,

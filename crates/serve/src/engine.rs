@@ -22,6 +22,7 @@ use ansmet_faults::{ComputeFault, FaultInjector, FaultKind, FaultPlan, FaultRate
 use ansmet_host::RetryPolicy;
 use ansmet_index::HopKind;
 use ansmet_ndp::{Partitioner, ResultPayload};
+use ansmet_obs::{EventKind, NoopSink, Phase, TraceSink};
 use ansmet_sim::{Design, RecoveryReport, SystemConfig, WaveContext, Workload};
 
 use crate::arrival::{generate_arrivals, Arrival, TenantSpec};
@@ -205,13 +206,16 @@ fn results_fingerprint(served: &[Option<usize>], workload: &Workload) -> u64 {
 /// corrupt/lost payload ⇒ a CRC rejection; each failure retries under
 /// the [`RetryPolicy`]'s backoff until the host computes the distance
 /// itself. Counters land in the shared [`RecoveryReport`].
-fn recovery_penalty(
+#[allow(clippy::too_many_arguments)]
+fn recovery_penalty<S: TraceSink>(
     injector: &mut FaultInjector,
     retry: &RetryPolicy,
     workload: &Workload,
     query: usize,
     partitioner: &Partitioner,
     rec: &mut RecoveryReport,
+    sink: &mut S,
+    at: u64,
 ) -> u64 {
     let natural_lines = workload.data.vector_lines() as u64;
     let mut penalty = 0u64;
@@ -243,6 +247,7 @@ fn recovery_penalty(
                     match injector.poll_fault(lead, &mut p) {
                         Some(FaultKind::CorruptResult { .. }) | Some(FaultKind::LostResult) => {
                             rec.crc_rejections += 1;
+                            sink.event(at + penalty, EventKind::CrcRejected { rank: lead as u32 });
                             failed = true;
                         }
                         Some(FaultKind::PollMiss) => {
@@ -258,10 +263,24 @@ fn recovery_penalty(
                 if retry.exhausted(attempt) {
                     rec.host_fallbacks += 1;
                     penalty += natural_lines * FALLBACK_CYCLES_PER_LINE;
+                    sink.event(
+                        at + penalty,
+                        EventKind::HostFallback {
+                            rank: lead as u32,
+                            lines: natural_lines as u32,
+                        },
+                    );
                     break;
                 }
                 penalty += retry.backoff(attempt);
                 rec.retries += 1;
+                sink.event(
+                    at + penalty,
+                    EventKind::RecoveryRetry {
+                        rank: lead as u32,
+                        attempt,
+                    },
+                );
                 attempt += 1;
             }
         }
@@ -276,6 +295,29 @@ fn recovery_penalty(
 /// Panics on an empty tenant list, a CPU design, a zero batch size, or
 /// a workload with no queries.
 pub fn run_serve(workload: &Workload, config: &SystemConfig, serve: &ServeConfig) -> ServeReport {
+    run_serve_with_sink(workload, config, serve, &mut NoopSink)
+}
+
+/// [`run_serve`] with a [`TraceSink`] riding along.
+///
+/// Spans are stamped on the serving clock (absolute memory cycles):
+/// each completed query contributes a queue span from arrival to
+/// dispatch, an execute span for its wave retirement, and — under fault
+/// injection — a recovery span covering its penalty. Point events mark
+/// batch formation, sheds, and recovery retries/CRC rejections/host
+/// fallbacks. The sink observes the run, never steers it: with
+/// [`NoopSink`] the report is bit-identical to [`run_serve`].
+///
+/// # Panics
+///
+/// Panics on an empty tenant list, a CPU design, a zero batch size, or
+/// a workload with no queries.
+pub fn run_serve_with_sink<S: TraceSink>(
+    workload: &Workload,
+    config: &SystemConfig,
+    serve: &ServeConfig,
+    sink: &mut S,
+) -> ServeReport {
     assert!(serve.batch.max_batch > 0, "zero batch size");
     assert!(!workload.queries.is_empty(), "empty workload");
     let mem_clock = config.dram.clock_mhz;
@@ -337,6 +379,7 @@ pub fn run_serve(workload: &Workload, config: &SystemConfig, serve: &ServeConfig
             tally.offered += 1;
             if queued_total >= serve.admission.max_queue_depth {
                 tally.shed_queue += 1;
+                sink.event(a.cycle, EventKind::Shed { deadline: false });
             } else {
                 let w = serve.tenants[a.tenant].weight;
                 let tag = virtual_now.max(last_tag[a.tenant]) + WFQ_SCALE / w;
@@ -391,6 +434,7 @@ pub fn run_serve(workload: &Workload, config: &SystemConfig, serve: &ServeConfig
             if let Some(dl) = serve.admission.deadline_cycles {
                 if now > q.arrival.cycle.saturating_add(dl) {
                     tallies[t].shed_deadline += 1;
+                    sink.event(now, EventKind::Shed { deadline: true });
                     continue;
                 }
             }
@@ -405,6 +449,12 @@ pub fn run_serve(workload: &Workload, config: &SystemConfig, serve: &ServeConfig
         let exec = ctx.execute(&ids);
         batches += 1;
         batched_queries += batch.len() as u64;
+        sink.event(
+            now,
+            EventKind::BatchFormed {
+                size: batch.len() as u32,
+            },
+        );
 
         // Fault-recovery penalties stretch individual completions and
         // hold the device (the wave's close waits for recovery).
@@ -421,6 +471,8 @@ pub fn run_serve(workload: &Workload, config: &SystemConfig, serve: &ServeConfig
                         q.arrival.query,
                         &partitioner,
                         rec,
+                        sink,
+                        now,
                     );
                     max_penalty = max_penalty.max(p);
                     p
@@ -439,6 +491,18 @@ pub fn run_serve(workload: &Workload, config: &SystemConfig, serve: &ServeConfig
             queue_hist.record(queue_cycles);
             exec_hist.record(exec_cycles);
             total_hist.record(total);
+            if queue_cycles > 0 {
+                sink.span(Phase::Queue, q.arrival.cycle, now);
+            }
+            if retire > 0 {
+                sink.span(Phase::Execute, now, now + retire);
+            }
+            if penalty > 0 {
+                sink.span(Phase::Recovery, now + retire, completion);
+            }
+            sink.record("serve.queue_cycles", queue_cycles);
+            sink.record("serve.exec_cycles", exec_cycles);
+            sink.record("serve.total_cycles", total);
             let tally = &mut tallies[q.arrival.tenant];
             tally.completed += 1;
             tally.total.record(total);
@@ -450,6 +514,19 @@ pub fn run_serve(workload: &Workload, config: &SystemConfig, serve: &ServeConfig
         }
         device_free = now + exec.total_cycles + max_penalty;
     }
+
+    sink.counter("serve.batches", batches);
+    sink.counter("serve.batched_queries", batched_queries);
+    sink.counter(
+        "serve.shed_queue",
+        tallies.iter().map(|t| t.shed_queue).sum(),
+    );
+    sink.counter(
+        "serve.shed_deadline",
+        tallies.iter().map(|t| t.shed_deadline).sum(),
+    );
+    sink.counter("serve.completed", tallies.iter().map(|t| t.completed).sum());
+    sink.gauge_max("serve.makespan_cycles", makespan);
 
     let recovery = fault_state.map(|(injector, _, mut rec)| {
         rec.injected = *injector.stats();

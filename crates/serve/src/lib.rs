@@ -60,7 +60,9 @@ pub mod report;
 pub mod sweep;
 
 pub use arrival::{generate_arrivals, Arrival, ArrivalProcess, TenantSpec};
-pub use engine::{run_serve, AdmissionConfig, BatchPolicy, FaultProfile, ServeConfig};
+pub use engine::{
+    run_serve, run_serve_with_sink, AdmissionConfig, BatchPolicy, FaultProfile, ServeConfig,
+};
 pub use experiment::serve_experiment;
 pub use histogram::LatencyHistogram;
 pub use report::{cycles_to_ms, PercentileSummary, ServeReport, TenantReport};

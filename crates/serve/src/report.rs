@@ -67,6 +67,16 @@ impl PercentileSummary {
     }
 }
 
+impl std::fmt::Display for PercentileSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} p50={} p95={} p99={} p99.9={} max={} cycles",
+            self.count, self.mean, self.p50, self.p95, self.p99, self.p999, self.max
+        )
+    }
+}
+
 /// Memory cycles → milliseconds at `mem_clock_mhz`.
 pub fn cycles_to_ms(cycles: u64, mem_clock_mhz: u64) -> f64 {
     cycles as f64 / (mem_clock_mhz as f64 * 1e3)
@@ -142,6 +152,22 @@ impl TenantReport {
         } else {
             (self.shed_queue + self.shed_deadline) as f64 / self.offered as f64
         }
+    }
+}
+
+impl std::fmt::Display for TenantReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tenant {} (w{}): offered {}, completed {}, shed {}, SLO {:.1}%, p99 {} cycles",
+            self.name,
+            self.weight,
+            self.offered,
+            self.completed,
+            self.shed_queue + self.shed_deadline,
+            self.slo_attainment() * 100.0,
+            self.total.p99,
+        )
     }
 }
 
@@ -415,6 +441,13 @@ impl ServeReport {
     }
 }
 
+impl std::fmt::Display for ServeReport {
+    /// The full multi-table rendering under a generic title.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render("serving run"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,6 +463,16 @@ mod tests {
         assert_eq!(p.max, 50_000);
         assert!(p.p50 >= 200 && p.p50 <= 320, "p50 {}", p.p50);
         assert!(p.p99 >= 50_000);
+    }
+
+    #[test]
+    fn percentile_display_is_one_line() {
+        let mut h = LatencyHistogram::new();
+        h.record(100);
+        let p = PercentileSummary::from_histogram(&h);
+        let s = p.to_string();
+        assert!(s.contains("n=1") && s.contains("cycles"));
+        assert!(!s.contains('\n'));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! exact accuracy (§5.3). Used by the timing replay and by the empirical
 //! layout selection so both see identical fetch behavior.
 
-use ansmet_core::{EtEngine, EtScratch};
+use ansmet_core::{EtEngine, EtObserver, EtScratch, NoopEtObserver};
 
 /// Per-chunk line counts and the sound rejection verdict.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,10 +45,36 @@ pub fn evaluate_chunked(
     threshold: f32,
     scratch: &mut EtScratch,
 ) -> MultiEval {
+    evaluate_chunked_obs(
+        engine,
+        id,
+        query,
+        chunks,
+        threshold,
+        scratch,
+        &mut NoopEtObserver,
+    )
+}
+
+/// [`evaluate_chunked`] reporting per-chunk termination outcomes to
+/// `obs` (see [`EtObserver`]). The observer never affects the result.
+///
+/// # Panics
+///
+/// Panics if chunks are empty or out of range.
+pub fn evaluate_chunked_obs<O: EtObserver>(
+    engine: &EtEngine<'_>,
+    id: usize,
+    query: &[f32],
+    chunks: &[std::ops::Range<usize>],
+    threshold: f32,
+    scratch: &mut EtScratch,
+    obs: &mut O,
+) -> MultiEval {
     assert!(!chunks.is_empty(), "need at least one chunk");
     let dim = engine.dataset().dim();
     if chunks.len() == 1 && chunks[0] == (0..dim) {
-        let c = engine.evaluate_with(id, query, threshold, scratch);
+        let c = engine.evaluate_obs(id, query, threshold, scratch, obs);
         return MultiEval {
             lines: vec![c.lines],
             backup_lines: c.backup_lines,
@@ -68,7 +94,7 @@ pub fn evaluate_chunked(
     for dims in chunks {
         let share = threshold * (dims.len() as f32 / dim as f32);
         let c = engine
-            .evaluate_range_with(id, query, dims.clone(), share, scratch)
+            .evaluate_range_obs(id, query, dims.clone(), share, scratch, obs)
             .expect("planner chunks are in range");
         bounds_sum += c.final_bound;
         local.push(Local {
@@ -89,7 +115,7 @@ pub fn evaluate_chunked(
             for l in local.iter_mut().filter(|l| l.stopped) {
                 let residual = (threshold as f64 - (old_sum - l.bound)) as f32;
                 let c = engine
-                    .evaluate_range_with(id, query, l.dims.clone(), residual, scratch)
+                    .evaluate_range_obs(id, query, l.dims.clone(), residual, scratch, obs)
                     .expect("planner chunks are in range");
                 bounds_sum += c.final_bound - l.bound;
                 l.bound = c.final_bound;

@@ -11,11 +11,13 @@ mod ablation;
 mod faults;
 mod figures;
 mod tables;
+mod trace;
 
 pub use ablation::ablation;
 pub use faults::faults;
 pub use figures::{fig1, fig10, fig11, fig12, fig3, fig6, fig7, fig8, fig9, loadbal};
 pub use tables::{table2, table3, table4, table5};
+pub use trace::{trace, trace_bundle, TraceBundle, TRACED_QUERIES};
 
 use ansmet_vecdata::SynthSpec;
 

@@ -46,5 +46,5 @@ pub use energy::{EnergyBreakdown, SystemEnergyModel};
 pub use error::AnsmetError;
 pub use parallel::{default_threads, queries_simulated, set_default_threads};
 pub use throughput::{run_design_throughput, BatchExecution, ThroughputResult, WaveContext};
-pub use timing::{run_design, QueryBreakdown, RunResult};
+pub use timing::{run_design, run_design_traced, QueryBreakdown, RunResult, TraceOptions};
 pub use workload::Workload;

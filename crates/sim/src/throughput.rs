@@ -263,8 +263,16 @@ impl<'a> WaveContext<'a> {
             clock += host_serial_sum / cursors.len().max(1) as u64;
             if !subs.is_empty() {
                 let t0 = clock.max(mem.now());
-                let finish =
-                    run_ndp_batch(&mut mem, &mut subs, 32, &mut req_base, t0).max(t0 + upload_max);
+                let finish = run_ndp_batch(
+                    &mut mem,
+                    &mut subs,
+                    ansmet_ndp::qshr::QSHRS_PER_UNIT,
+                    &mut req_base,
+                    t0,
+                    &mut ansmet_obs::NoopSink,
+                    t0,
+                )
+                .max(t0 + upload_max);
                 // One poll round closes the wave (streams poll in parallel on
                 // their own cores).
                 clock = finish + cpu.to_mem_cycles(cpu.poll_cycles(), mem_clock);

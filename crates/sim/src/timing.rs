@@ -10,10 +10,15 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use ansmet_core::EtEngine;
-use ansmet_dram::{AccessKind, Location, MemorySystem, Port, Request};
+use ansmet_core::{EtEngine, EtObserver};
+use ansmet_dram::{AccessKind, CommandKind, Location, MemorySystem, Port, Request};
 use ansmet_index::HopKind;
-use ansmet_ndp::{LoadTracker, Partitioner, PollingPolicy, ReplicaSet};
+use ansmet_ndp::qshr::QSHRS_PER_UNIT;
+use ansmet_ndp::{LoadTracker, Partitioner, PollingPolicy, PollingStats, ReplicaSet};
+use ansmet_obs::{
+    DramCommandKind, EventKind, FlightRecorder, NoopSink, Phase, QueryRecorder, RecorderConfig,
+    TraceSink,
+};
 
 use crate::config::SystemConfig;
 use crate::design::{Design, DesignPlan};
@@ -43,6 +48,20 @@ impl QueryBreakdown {
         self.offload += other.offload;
         self.dist_comp += other.dist_comp;
         self.result_collect += other.result_collect;
+    }
+}
+
+impl std::fmt::Display for QueryBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "traversal {} + offload {} + dist_comp {} + result_collect {} = {} cycles",
+            self.traversal,
+            self.offload,
+            self.dist_comp,
+            self.result_collect,
+            self.total()
+        )
     }
 }
 
@@ -112,6 +131,24 @@ impl RunResult {
     }
 }
 
+impl std::fmt::Display for RunResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?}: {} queries, {} cycles ({:.0} cycles/query), {} lines moved \
+             ({:.1}% effectual), {}/{} evals pruned",
+            self.design,
+            self.queries,
+            self.total_cycles,
+            self.cycles_per_query(),
+            self.total_lines(),
+            self.fetch_utilization() * 100.0,
+            self.pruned_evals,
+            self.total_evals,
+        )
+    }
+}
+
 /// Map a rank-local line index to a physical address in `rank`
 /// (global rank id). Consecutive lines fill a row (row hits), and
 /// consecutive vectors spread across banks.
@@ -166,13 +203,21 @@ impl SubTask {
 
 /// Executes the per-hop batch on the NDP units; returns the cycle when
 /// the last sub-task finished.
+///
+/// QSHR occupancy transitions (allocate on admission, free on
+/// completion) are reported to `sink` with event times rebased to
+/// `trace_base + (cycle - t0)`, so they land inside the caller's
+/// attribution-clock `dist_comp` span. With a [`NoopSink`] the calls
+/// monomorphize to nothing.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run_ndp_batch(
+pub(crate) fn run_ndp_batch<S: TraceSink>(
     mem: &mut MemorySystem,
     subs: &mut [SubTask],
     qshrs_per_rank: usize,
     req_base: &mut u64,
     t0: u64,
+    sink: &mut S,
+    trace_base: u64,
 ) -> u64 {
     debug_assert!(mem.now() <= t0 || !mem.busy());
     if mem.now() < t0 {
@@ -207,6 +252,22 @@ pub(crate) fn run_ndp_batch(
                 if active_per_rank[s.rank] < qshrs_per_rank {
                     active_per_rank[s.rank] += 1;
                     admitted[i] = true;
+                    let at = trace_base + (now - t0);
+                    sink.event(
+                        at,
+                        EventKind::QshrAlloc {
+                            rank: s.rank as u32,
+                            active: active_per_rank[s.rank] as u32,
+                        },
+                    );
+                    sink.event(
+                        at,
+                        EventKind::GroupFetch {
+                            rank: s.rank as u32,
+                            lines: s.lines_left as u32,
+                        },
+                    );
+                    sink.gauge_max("ndp.qshr_active_max", active_per_rank[s.rank] as u64);
                 } else {
                     continue;
                 }
@@ -250,6 +311,13 @@ pub(crate) fn run_ndp_batch(
                     finish_max = finish_max.max(done);
                     active_per_rank[s.rank] -= 1;
                     remaining -= 1;
+                    sink.event(
+                        trace_base + (done - t0),
+                        EventKind::QshrFree {
+                            rank: s.rank as u32,
+                            active: active_per_rank[s.rank] as u32,
+                        },
+                    );
                 }
             }
         }
@@ -399,16 +467,47 @@ fn merge_query(agg: &mut RunResult, qs: QueryStats) {
     }
 }
 
-/// Run `design` over `workload` under `config`.
+/// Run `f` for every index in `0..n`, sharded over `threads` workers,
+/// returning results in index order.
 ///
-/// Queries are independent traces replayed on private per-query memory
-/// state, so they shard freely across worker threads
-/// (`config.parallelism`); per-query stats are merged in query order, so
-/// the result is bit-identical for every thread count.
-pub fn run_design(design: Design, workload: &Workload, config: &SystemConfig) -> RunResult {
-    let prep = RunPrep::new(design, workload, config);
-    let n = workload.traces.len();
-    let mut agg = RunResult {
+/// Work-stealing only changes *which worker* runs an index, never the
+/// index's inputs or the merge order, so callers folding the returned
+/// vector left-to-right get bit-identical aggregates for every thread
+/// count.
+fn replay_ordered<T: Send>(n: usize, threads: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut parts: Vec<(usize, T)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let f = &f;
+                let next = &next;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let qi = next.fetch_add(1, Ordering::Relaxed);
+                        if qi >= n {
+                            break;
+                        }
+                        out.push((qi, f(qi)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("simulation worker panicked"))
+            .collect()
+    });
+    parts.sort_by_key(|p| p.0);
+    parts.into_iter().map(|(_, t)| t).collect()
+}
+
+fn empty_result(design: Design, queries: usize) -> RunResult {
+    RunResult {
         design,
         total_cycles: 0,
         breakdown: QueryBreakdown::default(),
@@ -422,46 +521,159 @@ pub fn run_design(design: Design, workload: &Workload, config: &SystemConfig) ->
         rank_counts: Vec::new(),
         rank_loads: Vec::new(),
         polls: 0,
-        queries: workload.queries.len(),
-    };
+        queries,
+    }
+}
+
+/// Run `design` over `workload` under `config`.
+///
+/// Queries are independent traces replayed on private per-query memory
+/// state, so they shard freely across worker threads
+/// (`config.parallelism`); per-query stats are merged in query order, so
+/// the result is bit-identical for every thread count.
+pub fn run_design(design: Design, workload: &Workload, config: &SystemConfig) -> RunResult {
+    let prep = RunPrep::new(design, workload, config);
+    let n = workload.traces.len();
+    let mut agg = empty_result(design, workload.queries.len());
     let threads = config.parallelism.resolve().min(n.max(1));
-    if threads <= 1 {
-        for qi in 0..n {
-            let qs = run_query(&prep, qi);
-            merge_query(&mut agg, qs);
-        }
-    } else {
-        let next = AtomicUsize::new(0);
-        let mut parts: Vec<(usize, QueryStats)> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    let prep = &prep;
-                    let next = &next;
-                    s.spawn(move || {
-                        let mut out = Vec::new();
-                        loop {
-                            let qi = next.fetch_add(1, Ordering::Relaxed);
-                            if qi >= n {
-                                break;
-                            }
-                            out.push((qi, run_query(prep, qi)));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("simulation worker panicked"))
-                .collect()
-        });
-        parts.sort_by_key(|p| p.0);
-        for (_, qs) in parts {
-            merge_query(&mut agg, qs);
-        }
+    for qs in replay_ordered(n, threads, |qi| run_query(&prep, qi)) {
+        merge_query(&mut agg, qs);
     }
     crate::parallel::record_queries(n as u64);
     agg
+}
+
+/// Tracing knobs for [`run_design_traced`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceOptions {
+    /// Per-query retention caps for the flight recorder.
+    pub recorder: RecorderConfig,
+    /// Record individual DRAM commands as trace events (high volume;
+    /// bounded by the event ring, which drops oldest-first).
+    pub dram_commands: bool,
+}
+
+/// [`run_design`] with a per-query flight recorder attached.
+///
+/// Each query records into its own [`QueryRecorder`] shard; traces are
+/// folded into the returned [`FlightRecorder`] in query order, so the
+/// recording — like the [`RunResult`] — is bit-identical across thread
+/// counts. The returned `RunResult` is byte-for-byte the same as an
+/// untraced [`run_design`] of the same inputs: instrumentation observes
+/// the replay, never steers it.
+pub fn run_design_traced(
+    design: Design,
+    workload: &Workload,
+    config: &SystemConfig,
+    opts: &TraceOptions,
+) -> (RunResult, FlightRecorder) {
+    let prep = RunPrep::new(design, workload, config);
+    let n = workload.traces.len();
+    let mut agg = empty_result(design, workload.queries.len());
+    let mut recorder = FlightRecorder::new();
+    let threads = config.parallelism.resolve().min(n.max(1));
+    let parts = replay_ordered(n, threads, |qi| {
+        let mut rec = QueryRecorder::new(qi, opts.recorder);
+        let qs = run_query_sink(&prep, qi, &mut rec, opts.dram_commands);
+        let total = qs.breakdown.total();
+        (qs, rec.finish(total))
+    });
+    for (qs, trace) in parts {
+        merge_query(&mut agg, qs);
+        recorder.push(trace);
+    }
+    crate::parallel::record_queries(n as u64);
+    (agg, recorder)
+}
+
+/// Emit a `phase` span of `d` cycles on the attribution clock and
+/// advance it. Pairing every `QueryBreakdown` increment with exactly one
+/// call makes the recorded spans tile `[0, breakdown.total())` — phase
+/// sums equal end-to-end cycles by construction.
+fn span_adv<S: TraceSink>(sink: &mut S, att: &mut u64, phase: Phase, d: u64) {
+    if d > 0 {
+        sink.span(phase, *att, *att + d);
+    }
+    *att += d;
+}
+
+/// Forwards ET engine callbacks as trace events stamped at `cycle`.
+struct SinkEtObserver<'a, S> {
+    sink: &'a mut S,
+    cycle: u64,
+}
+
+impl<S: TraceSink> EtObserver for SinkEtObserver<'_, S> {
+    fn terminated(&mut self, lines: usize, planned: usize) {
+        self.sink.event(
+            self.cycle,
+            EventKind::EtTerminated {
+                lines: lines as u32,
+                planned: planned as u32,
+            },
+        );
+    }
+
+    fn backup_recheck(&mut self, lines: usize) {
+        self.sink.event(
+            self.cycle,
+            EventKind::EtBackup {
+                lines: lines as u32,
+            },
+        );
+    }
+}
+
+fn obs_command_kind(kind: CommandKind) -> DramCommandKind {
+    match kind {
+        CommandKind::Activate => DramCommandKind::Activate,
+        CommandKind::Precharge => DramCommandKind::Precharge,
+        CommandKind::Read => DramCommandKind::Read,
+        CommandKind::Write => DramCommandKind::Write,
+        CommandKind::Refresh => DramCommandKind::Refresh,
+    }
+}
+
+/// Drain the DRAM command trace into `sink`, rebasing issue cycles from
+/// memory time (`t_ref`) onto the attribution clock (`att_base`).
+fn drain_dram_commands<S: TraceSink>(
+    mem: &mut MemorySystem,
+    sink: &mut S,
+    att_base: u64,
+    t_ref: u64,
+) {
+    for r in mem.take_command_trace() {
+        sink.event(
+            att_base + r.cycle.saturating_sub(t_ref),
+            EventKind::DramCommand {
+                kind: obs_command_kind(r.kind),
+                channel: r.channel as u16,
+                rank: r.rank as u16,
+            },
+        );
+    }
+}
+
+/// Emit the row-buffer outcome delta between two stats snapshots.
+fn row_buffer_delta<S: TraceSink>(
+    sink: &mut S,
+    at: u64,
+    s0: &ansmet_dram::MemoryStats,
+    s1: &ansmet_dram::MemoryStats,
+) {
+    let hits = s1.row_hits - s0.row_hits;
+    let misses = s1.row_misses - s0.row_misses;
+    let conflicts = s1.row_conflicts - s0.row_conflicts;
+    if hits + misses + conflicts > 0 {
+        sink.event(
+            at,
+            EventKind::RowBuffer {
+                hits: hits as u32,
+                misses: misses as u32,
+                conflicts: conflicts as u32,
+            },
+        );
+    }
 }
 
 /// Replay one query's trace on fresh per-query memory/NDP state.
@@ -471,6 +683,23 @@ pub fn run_design(design: Design, workload: &Workload, config: &SystemConfig) ->
 /// to this call, so the result depends only on `(prep, qi)` — never on
 /// which other queries ran before or concurrently.
 fn run_query(prep: &RunPrep, qi: usize) -> QueryStats {
+    run_query_sink(prep, qi, &mut NoopSink, false)
+}
+
+/// [`run_query`] with a [`TraceSink`] riding along.
+///
+/// The sink observes the replay — spans on a per-query attribution
+/// clock mirroring every [`QueryBreakdown`] increment, point events for
+/// ET outcomes, QSHR occupancy, polling, row-buffer behavior and
+/// (opt-in) individual DRAM commands — but never influences it: with
+/// [`NoopSink`] every call monomorphizes to nothing and the returned
+/// stats are bit-identical to the untraced replay.
+fn run_query_sink<S: TraceSink>(
+    prep: &RunPrep,
+    qi: usize,
+    sink: &mut S,
+    dram_commands: bool,
+) -> QueryStats {
     let config = prep.config;
     let workload = prep.workload;
     let design = prep.design;
@@ -487,6 +716,10 @@ fn run_query(prep: &RunPrep, qi: usize) -> QueryStats {
     let polling = &prep.polling;
 
     let mut mem = MemorySystem::new(config.dram.clone());
+    let trace_dram = dram_commands && sink.enabled();
+    if trace_dram {
+        mem.enable_command_trace();
+    }
     let mut loads = LoadTracker::new(config.ndp_units(), partitioner.group_size());
     let mut qs = QueryStats::default();
     let mut req_base: u64 = 0;
@@ -503,7 +736,20 @@ fn run_query(prep: &RunPrep, qi: usize) -> QueryStats {
     let query = &workload.queries[qi];
     let mut clock = mem.now();
     let mut bd = QueryBreakdown::default();
+    // Attribution clock: advances only with `bd` increments, so the
+    // emitted spans partition `[0, bd.total())` exactly.
+    let mut att: u64 = 0;
     let mut uploaded = vec![false; config.ndp_units()];
+
+    if let Some(eng) = engine {
+        sink.event(
+            0,
+            EventKind::EtPlan {
+                full_lines: eng.full_lines() as u32,
+                natural_lines: natural_lines as u32,
+            },
+        );
+    }
 
     for hop in &trace.hops {
         // Host traversal work for this hop.
@@ -513,6 +759,7 @@ fn run_query(prep: &RunPrep, qi: usize) -> QueryStats {
         let hop_mem = cpu.to_mem_cycles(hop_cpu, mem_clock);
         clock += hop_mem;
         bd.traversal += hop_mem;
+        span_adv(sink, &mut att, Phase::Traversal, hop_mem);
 
         if hop.evals.is_empty() {
             continue;
@@ -524,6 +771,7 @@ fn run_query(prep: &RunPrep, qi: usize) -> QueryStats {
             let m = cpu.to_mem_cycles(c, mem_clock);
             clock += m;
             bd.traversal += m;
+            span_adv(sink, &mut att, Phase::Traversal, m);
             continue;
         }
 
@@ -550,7 +798,12 @@ fn run_query(prep: &RunPrep, qi: usize) -> QueryStats {
                 let (lines, bk, pr) = match &engine {
                     None => (natural_lines, 0, false),
                     Some(eng) => {
-                        let c = eng.evaluate_with(e.id, query, e.threshold, &mut et_scratch);
+                        let mut ob = SinkEtObserver {
+                            sink: &mut *sink,
+                            cycle: att,
+                        };
+                        let c =
+                            eng.evaluate_obs(e.id, query, e.threshold, &mut et_scratch, &mut ob);
                         (c.lines, c.backup_lines, c.pruned)
                     }
                 };
@@ -572,13 +825,18 @@ fn run_query(prep: &RunPrep, qi: usize) -> QueryStats {
                     Some(eng) => {
                         let chunks: Vec<std::ops::Range<usize>> =
                             placements.iter().map(|p| p.dims.clone()).collect();
-                        let m = crate::etplan::evaluate_chunked(
+                        let mut ob = SinkEtObserver {
+                            sink: &mut *sink,
+                            cycle: att,
+                        };
+                        let m = crate::etplan::evaluate_chunked_obs(
                             eng,
                             e.id,
                             query,
                             &chunks,
                             e.threshold,
                             &mut et_scratch,
+                            &mut ob,
                         );
                         pruned = m.pruned;
                         backup = m.backup_lines;
@@ -636,6 +894,7 @@ fn run_query(prep: &RunPrep, qi: usize) -> QueryStats {
             let upload_mem = cpu.to_mem_cycles(upload_cpu, mem_clock);
             clock += offload_mem;
             bd.offload += offload_mem;
+            span_adv(sink, &mut att, Phase::Offload, offload_mem);
 
             // Build sub-tasks and execute.
             let mut subs: Vec<SubTask> = Vec::new();
@@ -651,13 +910,31 @@ fn run_query(prep: &RunPrep, qi: usize) -> QueryStats {
                     ));
                 }
             }
+            let rb0 = if sink.enabled() {
+                Some(mem.stats().clone())
+            } else {
+                None
+            };
             let t0 = clock.max(mem.now());
-            let mut finish = run_ndp_batch(&mut mem, &mut subs, 32, &mut req_base, t0);
+            // Batch events are rebased to the attribution clock at the
+            // start of the dist_comp span emitted below.
+            let att_batch = att;
+            let mut finish = run_ndp_batch(
+                &mut mem,
+                &mut subs,
+                QSHRS_PER_UNIT,
+                &mut req_base,
+                t0,
+                sink,
+                att_batch,
+            );
             // The overlapped query upload may outlast the fetches.
+            let mut upload_extra = 0;
             if t0 + upload_mem > finish {
                 let extra = t0 + upload_mem - finish;
                 finish += extra;
                 bd.offload += extra;
+                upload_extra = extra;
                 if mem.now() < finish && !mem.busy() {
                     mem.fast_forward_to(finish).expect("idle fast-forward");
                 }
@@ -671,8 +948,20 @@ fn run_query(prep: &RunPrep, qi: usize) -> QueryStats {
                 if mem.now() < finish && !mem.busy() {
                     mem.fast_forward_to(finish).expect("idle fast-forward");
                 }
+                sink.event(att_batch + (finish - t0), EventKind::EtResumed);
             }
             bd.dist_comp += finish - t0;
+            // dist_comp first so the batch's rebased events fall inside
+            // it; the upload-overshoot share of offload follows.
+            span_adv(sink, &mut att, Phase::DistComp, finish - t0);
+            span_adv(sink, &mut att, Phase::Offload, upload_extra);
+            if trace_dram {
+                drain_dram_commands(&mut mem, sink, att_batch, t0);
+            }
+            if let Some(s0) = rb0 {
+                let s1 = mem.stats().clone();
+                row_buffer_delta(sink, att, &s0, &s1);
+            }
 
             // Polling. Tasks on one rank occupy distinct QSHRs and
             // run in parallel, so the expected batch latency is that
@@ -689,7 +978,7 @@ fn run_query(prep: &RunPrep, qi: usize) -> QueryStats {
                     // short batches either.
                     let first = (batch_ewma.ceil() as u64).min(240);
                     batch_ewma = 0.7 * batch_ewma + 0.3 * actual as f64;
-                    observe_at(first, (*retry_period).min(40), actual)
+                    PollingStats::observe_at(first, (*retry_period).min(40), actual)
                 }
             };
             qs.polls += stats.polls as u64;
@@ -700,6 +989,14 @@ fn run_query(prep: &RunPrep, qi: usize) -> QueryStats {
             let observe_abs = t0 + stats.observed_at;
             let after_poll = observe_abs + cpu.to_mem_cycles(poll_cpu, mem_clock);
             bd.result_collect += after_poll - finish;
+            span_adv(sink, &mut att, Phase::ResultCollect, after_poll - finish);
+            sink.event(
+                att,
+                EventKind::PollRounds {
+                    polls: stats.polls,
+                    wasted: stats.wasted_delay.min(u32::MAX as u64) as u32,
+                },
+            );
             clock = after_poll;
             if mem.now() < clock && !mem.busy() {
                 mem.fast_forward_to(clock).expect("idle fast-forward");
@@ -716,6 +1013,13 @@ fn run_query(prep: &RunPrep, qi: usize) -> QueryStats {
             // so per-core streaming bandwidth is capped at
             // channels/cores of the peak.
             let hop_start = clock;
+            let att_hop = att;
+            let mem_hop0 = mem.now();
+            let rb0 = if sink.enabled() {
+                Some(mem.stats().clone())
+            } else {
+                None
+            };
             let llc_mem = cpu.to_mem_cycles(60, mem_clock);
             let burst = config.dram.timing.burst_cycles;
             let contention = cpu.cores as u64 * burst / config.dram.channels as u64;
@@ -769,34 +1073,38 @@ fn run_query(prep: &RunPrep, qi: usize) -> QueryStats {
                 clock += cpu.to_mem_cycles(c, mem_clock);
             }
             bd.dist_comp += clock - hop_start;
+            span_adv(sink, &mut att, Phase::DistComp, clock - hop_start);
+            if trace_dram {
+                drain_dram_commands(&mut mem, sink, att_hop, mem_hop0);
+            }
+            if let Some(s0) = rb0 {
+                let s1 = mem.stats().clone();
+                row_buffer_delta(sink, att, &s0, &s1);
+            }
         }
     }
 
     let _ = clock;
+    debug_assert_eq!(att, bd.total(), "attribution clock mirrors breakdown");
+    sink.counter("replay.queries", 1);
+    sink.counter("replay.evals", qs.total_evals);
+    sink.counter("replay.evals_pruned", qs.pruned_evals);
+    sink.counter("replay.lines_effectual", qs.effectual_lines);
+    sink.counter("replay.lines_ineffectual", qs.ineffectual_lines);
+    sink.counter("replay.lines_backup", qs.backup_lines);
+    sink.counter("replay.polls", qs.polls);
+    sink.counter("replay.host_cpu_cycles", qs.host_cpu_cycles);
+    {
+        let st = mem.stats();
+        sink.counter("dram.row_hits", st.row_hits);
+        sink.counter("dram.row_misses", st.row_misses);
+        sink.counter("dram.row_conflicts", st.row_conflicts);
+    }
+    sink.record("replay.query_cycles", bd.total());
     qs.breakdown = bd;
     qs.rank_counts = mem.rank_command_counts();
     qs.rank_loads = loads.loads().to_vec();
     qs
-}
-
-/// First poll at `first`, retries every `retry` cycles, for a batch that
-/// actually finished at `actual` (all relative to issue).
-fn observe_at(first: u64, retry: u64, actual: u64) -> ansmet_ndp::PollingStats {
-    let retry = retry.max(1);
-    if first >= actual {
-        return ansmet_ndp::PollingStats {
-            polls: 1,
-            observed_at: first,
-            wasted_delay: first - actual,
-        };
-    }
-    let extra = (actual - first).div_ceil(retry);
-    let observed = first + extra * retry;
-    ansmet_ndp::PollingStats {
-        polls: 1 + extra as u32,
-        observed_at: observed,
-        wasted_delay: observed - actual,
-    }
 }
 
 /// Translate the sampled termination histogram (bit positions) into a
@@ -895,6 +1203,44 @@ mod tests {
             opt.fetch_utilization(),
             base.fetch_utilization()
         );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_attributes_every_cycle() {
+        let wl = small_workload();
+        let cfg = SystemConfig::default();
+        let plain = run_design(Design::NdpEtOpt, &wl, &cfg);
+        let (traced, rec) =
+            run_design_traced(Design::NdpEtOpt, &wl, &cfg, &TraceOptions::default());
+        // Instrumentation observes, never steers.
+        assert_eq!(plain, traced);
+        assert_eq!(rec.queries.len(), wl.traces.len());
+        // Phase sums tile each query's end-to-end latency exactly.
+        let refs: Vec<&ansmet_obs::QueryTrace> = rec.queries.iter().collect();
+        ansmet_obs::attribution_check(&refs).expect("spans tile total cycles");
+        // The run-wide shard saw every query.
+        assert_eq!(
+            rec.metrics.counter("replay.queries"),
+            wl.traces.len() as u64
+        );
+        assert!(rec.metrics.counter("replay.evals") > 0);
+    }
+
+    #[test]
+    fn dram_command_trace_events_present_when_enabled() {
+        let wl = small_workload();
+        let cfg = SystemConfig::default();
+        let opts = TraceOptions {
+            dram_commands: true,
+            ..TraceOptions::default()
+        };
+        let (_, rec) = run_design_traced(Design::NdpEt, &wl, &cfg, &opts);
+        let has_cmd = rec.queries.iter().any(|t| {
+            t.events
+                .iter()
+                .any(|e| matches!(e.kind, ansmet_obs::EventKind::DramCommand { .. }))
+        });
+        assert!(has_cmd, "expected DRAM command events");
     }
 
     #[test]

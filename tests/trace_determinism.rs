@@ -1,0 +1,129 @@
+//! The tracing & metrics layer must be invisible and deterministic:
+//! a no-op sink leaves results bit-identical to the uninstrumented
+//! replay, recordings are byte-stable across reruns and thread counts,
+//! and every query's phase spans sum exactly to its end-to-end cycles.
+
+use ansmet::obs::{attribution_check, perfetto_trace_json, QueryRecorder, RecorderConfig};
+use ansmet::sim::{
+    run_design, run_design_traced, Design, Parallelism, SystemConfig, TraceOptions, Workload,
+};
+use ansmet::vecdata::SynthSpec;
+
+fn workload() -> Workload {
+    Workload::prepare(&SynthSpec::sift().scaled(600, 6), 10, Some(40))
+}
+
+fn cfg(threads: usize) -> SystemConfig {
+    SystemConfig {
+        parallelism: Parallelism::Threads(threads),
+        ..SystemConfig::default()
+    }
+}
+
+/// Serialize a recording to its two export formats (the byte-stability
+/// contract is stated at the export boundary).
+fn exports(rec: &ansmet::obs::FlightRecorder, mem_clock_mhz: u64) -> (String, String) {
+    let refs: Vec<&ansmet::obs::QueryTrace> = rec.queries.iter().collect();
+    (
+        perfetto_trace_json(&refs, mem_clock_mhz),
+        rec.metrics.to_json(),
+    )
+}
+
+/// Tracing observes the replay, never steers it: the traced run's
+/// `RunResult` equals the untraced one field-for-field.
+#[test]
+fn noop_gating_traced_equals_untraced() {
+    let wl = workload();
+    let cfg = cfg(1);
+    for design in [Design::CpuEt, Design::NdpEtOpt] {
+        let plain = run_design(design, &wl, &cfg);
+        let (traced, _) = run_design_traced(design, &wl, &cfg, &TraceOptions::default());
+        assert_eq!(plain, traced, "{design:?} steered by instrumentation");
+    }
+}
+
+/// Two identical runs produce byte-identical trace and metrics exports.
+#[test]
+fn recording_is_bit_identical_across_reruns() {
+    let wl = workload();
+    let cfg = cfg(1);
+    let opts = TraceOptions {
+        dram_commands: true,
+        ..TraceOptions::default()
+    };
+    let (_, a) = run_design_traced(Design::NdpEtOpt, &wl, &cfg, &opts);
+    let (_, b) = run_design_traced(Design::NdpEtOpt, &wl, &cfg, &opts);
+    assert_eq!(
+        exports(&a, cfg.dram.clock_mhz),
+        exports(&b, cfg.dram.clock_mhz)
+    );
+}
+
+/// Worker-thread count must not leak into the recording: per-query
+/// shards merge in query order.
+#[test]
+fn recording_is_bit_identical_across_thread_counts() {
+    let wl = workload();
+    let opts = TraceOptions::default();
+    let (r1, a) = run_design_traced(Design::NdpEtOpt, &wl, &cfg(1), &opts);
+    let (r4, b) = run_design_traced(Design::NdpEtOpt, &wl, &cfg(4), &opts);
+    assert_eq!(r1, r4, "RunResult diverged across thread counts");
+    let mem_clock = cfg(1).dram.clock_mhz;
+    assert_eq!(exports(&a, mem_clock), exports(&b, mem_clock));
+}
+
+/// Attribution exactness: every recorded query's phase spans tile its
+/// end-to-end latency, and the recorded total matches the breakdown.
+#[test]
+fn phase_spans_sum_to_total_cycles_for_every_query() {
+    let wl = workload();
+    let cfg = cfg(2);
+    for design in [
+        Design::NdpBase,
+        Design::NdpEt,
+        Design::NdpEtOpt,
+        Design::CpuEt,
+    ] {
+        let (run, rec) = run_design_traced(design, &wl, &cfg, &TraceOptions::default());
+        assert_eq!(rec.queries.len(), wl.traces.len());
+        let refs: Vec<&ansmet::obs::QueryTrace> = rec.queries.iter().collect();
+        if let Err((q, attributed, total)) = attribution_check(&refs) {
+            panic!("{design:?} query {q}: attributed {attributed} != total {total}");
+        }
+        let recorded: u64 = rec.queries.iter().map(|t| t.total_cycles).sum();
+        assert_eq!(recorded, run.total_cycles, "{design:?} totals diverged");
+    }
+}
+
+/// The serving tier's sink hooks are also pure observers: a recording
+/// sink leaves the report identical to the plain run, while capturing
+/// queue/execute spans and batch events.
+#[test]
+fn serve_sink_observes_without_steering() {
+    use ansmet::serve::{run_serve, run_serve_with_sink, ServeConfig};
+
+    let wl = workload();
+    let cfg = cfg(1);
+    let serve = ServeConfig::open_loop(7, 40_000.0, 30, 2_000_000);
+    let plain = run_serve(&wl, &cfg, &serve);
+    let mut rec = QueryRecorder::new(0, RecorderConfig::default());
+    let observed = run_serve_with_sink(&wl, &cfg, &serve, &mut rec);
+    assert_eq!(plain, observed, "serving report steered by instrumentation");
+    let trace = rec.finish(plain.makespan_cycles);
+    assert!(
+        trace
+            .spans
+            .iter()
+            .any(|s| s.phase == ansmet::obs::Phase::Execute),
+        "no execute spans recorded"
+    );
+    assert!(
+        trace
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, ansmet::obs::EventKind::BatchFormed { .. })),
+        "no batch events recorded"
+    );
+    assert_eq!(trace.metrics.counter("serve.completed"), plain.completed());
+}
