@@ -9,12 +9,31 @@ pub use ansmet_sim::experiment::Scale;
 
 /// All experiment names accepted by the `experiments` binary.
 pub const EXPERIMENTS: &[&str] = &[
-    "table2", "fig1", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table3",
-    "table4", "table5", "loadbal", "ablation", "faults", "serve", "trace",
+    "table2",
+    "fig1",
+    "fig3",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table3",
+    "table4",
+    "table5",
+    "loadbal",
+    "ablation",
+    "faults",
+    "serve",
+    "resilience",
+    "trace",
 ];
 
 /// Default artifact file written by the `serve` experiment.
 pub const SERVING_ARTIFACT: &str = "BENCH_serving.json";
+/// Default artifact file written by the `resilience` experiment.
+pub const RESILIENCE_ARTIFACT: &str = "BENCH_resilience.json";
 /// Perfetto trace written by the `trace` experiment.
 pub const TRACE_ARTIFACT: &str = "trace.json";
 /// Metrics snapshot written by the `trace` experiment.
@@ -30,10 +49,10 @@ pub struct Artifact {
 }
 
 /// Run one experiment by name, returning its text report plus any
-/// artifacts it wants written (`serve` emits its serving report JSON;
-/// `trace` emits a Perfetto trace and a metrics snapshot; everything
-/// else emits none). BENCH JSON artifacts carry a provenance header
-/// (git revision + config fingerprint).
+/// artifacts it wants written (`serve` and `resilience` emit their
+/// report JSON; `trace` emits a Perfetto trace and a metrics snapshot;
+/// everything else emits none). BENCH JSON artifacts carry a provenance
+/// header (git revision + config fingerprint).
 ///
 /// Returns `None` for an unknown name.
 pub fn run_experiment_with_artifacts(name: &str, scale: Scale) -> Option<(String, Vec<Artifact>)> {
@@ -44,6 +63,16 @@ pub fn run_experiment_with_artifacts(name: &str, scale: Scale) -> Option<(String
                 text,
                 vec![Artifact {
                     path: SERVING_ARTIFACT,
+                    body: with_provenance(&json),
+                }],
+            ))
+        }
+        "resilience" => {
+            let (text, json) = ansmet_serve::resilience_experiment(scale);
+            Some((
+                text,
+                vec![Artifact {
+                    path: RESILIENCE_ARTIFACT,
                     body: with_provenance(&json),
                 }],
             ))
@@ -97,6 +126,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Option<String> {
         "ablation" => e::ablation(scale),
         "faults" => e::faults(scale),
         "serve" => ansmet_serve::serve_experiment(scale).0,
+        "resilience" => ansmet_serve::resilience_experiment(scale).0,
         "trace" => e::trace(scale),
         _ => return None,
     };
@@ -159,7 +189,8 @@ mod tests {
 
     #[test]
     fn experiment_list_is_complete() {
-        assert_eq!(EXPERIMENTS.len(), 18);
+        assert_eq!(EXPERIMENTS.len(), 19);
+        assert!(EXPERIMENTS.contains(&"resilience"));
     }
 
     #[test]

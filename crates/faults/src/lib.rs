@@ -32,7 +32,11 @@
 //! ```
 
 pub mod injector;
+pub mod json;
 pub mod plan;
+pub mod storm;
 
 pub use injector::{ComputeFault, FaultInjector, FaultStats};
+pub use json::Json;
 pub use plan::{FaultEvent, FaultKind, FaultPlan, FaultRates};
+pub use storm::{StormKind, StormPlan, StormWindow};

@@ -9,6 +9,8 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::json::Json;
+
 /// What goes wrong.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
@@ -198,6 +200,84 @@ impl FaultPlan {
         }
         FaultPlan { events }
     }
+
+    /// Serialize to JSON (stable field order, byte-deterministic), so
+    /// plans can live in `tests/` as fixtures.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"rank\":");
+            s.push_str(&e.rank.to_string());
+            s.push_str(",\"at\":");
+            s.push_str(&e.at.to_string());
+            match e.kind {
+                FaultKind::Stall { cycles } => {
+                    s.push_str(",\"kind\":\"stall\",\"cycles\":");
+                    s.push_str(&cycles.to_string());
+                }
+                FaultKind::Hang => s.push_str(",\"kind\":\"hang\""),
+                FaultKind::DropInstruction => s.push_str(",\"kind\":\"drop_instruction\""),
+                FaultKind::CorruptResult { bit } => {
+                    s.push_str(",\"kind\":\"corrupt_result\",\"bit\":");
+                    s.push_str(&bit.to_string());
+                }
+                FaultKind::LostResult => s.push_str(",\"kind\":\"lost_result\""),
+                FaultKind::PollMiss => s.push_str(",\"kind\":\"poll_miss\""),
+            }
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Parse a plan serialized by [`FaultPlan::to_json`].
+    pub fn from_json(src: &str) -> Result<Self, String> {
+        let root = Json::parse(src)?;
+        let events = root
+            .get("events")
+            .and_then(Json::as_array)
+            .ok_or("missing \"events\" array")?;
+        let mut out = Vec::with_capacity(events.len());
+        for e in events {
+            let rank = e
+                .get("rank")
+                .and_then(Json::as_u64)
+                .ok_or("event missing \"rank\"")? as usize;
+            let at = e
+                .get("at")
+                .and_then(Json::as_u64)
+                .ok_or("event missing \"at\"")?;
+            let kind = match e.get("kind").and_then(Json::as_str) {
+                Some("stall") => FaultKind::Stall {
+                    cycles: e
+                        .get("cycles")
+                        .and_then(Json::as_u64)
+                        .ok_or("stall event missing \"cycles\"")?,
+                },
+                Some("hang") => FaultKind::Hang,
+                Some("drop_instruction") => FaultKind::DropInstruction,
+                Some("corrupt_result") => {
+                    let bit = e
+                        .get("bit")
+                        .and_then(Json::as_u64)
+                        .ok_or("corrupt_result event missing \"bit\"")?;
+                    if bit >= 512 {
+                        return Err(format!("corrupt_result bit {bit} out of range"));
+                    }
+                    FaultKind::CorruptResult { bit: bit as u16 }
+                }
+                Some("lost_result") => FaultKind::LostResult,
+                Some("poll_miss") => FaultKind::PollMiss,
+                Some(other) => return Err(format!("unknown fault kind {other:?}")),
+                None => return Err("event missing \"kind\"".into()),
+            };
+            out.push(FaultEvent { rank, at, kind });
+        }
+        Ok(FaultPlan::new(out))
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +309,69 @@ mod tests {
         assert!(has(|k| matches!(k, FaultKind::CorruptResult { .. })));
         assert!(has(|k| matches!(k, FaultKind::LostResult)));
         assert!(has(|k| matches!(k, FaultKind::PollMiss)));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_kind() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                rank: 0,
+                at: 3,
+                kind: FaultKind::Stall { cycles: 4_096 },
+            },
+            FaultEvent {
+                rank: 1,
+                at: 0,
+                kind: FaultKind::Hang,
+            },
+            FaultEvent {
+                rank: 2,
+                at: 7,
+                kind: FaultKind::DropInstruction,
+            },
+            FaultEvent {
+                rank: 3,
+                at: 11,
+                kind: FaultKind::CorruptResult { bit: 511 },
+            },
+            FaultEvent {
+                rank: 4,
+                at: 2,
+                kind: FaultKind::LostResult,
+            },
+            FaultEvent {
+                rank: 5,
+                at: 9,
+                kind: FaultKind::PollMiss,
+            },
+        ]);
+        let json = plan.to_json();
+        let back = FaultPlan::from_json(&json).unwrap();
+        assert_eq!(plan, back);
+        assert_eq!(back.to_json(), json, "serialization is byte-stable");
+    }
+
+    #[test]
+    fn json_round_trip_of_random_plan() {
+        let plan = FaultPlan::random(42, 8, 100, FaultRates::mixed());
+        assert!(!plan.is_empty());
+        assert_eq!(FaultPlan::from_json(&plan.to_json()).unwrap(), plan);
+        let empty = FaultPlan::none();
+        assert_eq!(empty.to_json(), "{\"events\":[]}");
+        assert_eq!(FaultPlan::from_json(&empty.to_json()).unwrap(), empty);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_plans() {
+        assert!(FaultPlan::from_json("{}").is_err());
+        assert!(FaultPlan::from_json(r#"{"events":[{"rank":0}]}"#).is_err());
+        assert!(
+            FaultPlan::from_json(r#"{"events":[{"rank":0,"at":0,"kind":"gremlin"}]}"#).is_err()
+        );
+        assert!(FaultPlan::from_json(
+            r#"{"events":[{"rank":0,"at":0,"kind":"corrupt_result","bit":512}]}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,412 @@
+//! Cross-query rank-group health tracking and circuit breaking.
+//!
+//! Per-query recovery ([`RetryPolicy`](crate::RetryPolicy)) survives a
+//! fault, but it rediscovers a *persistently* sick rank group from
+//! scratch on every query: each one burns its full retry budget against
+//! a unit that has been hung for a million cycles. [`HealthTracker`]
+//! closes that gap with state that lives *across* queries: a per-group
+//! fixed-point EWMA of offload failures plus a consecutive-failure
+//! counter drive a classic closed → open → half-open circuit breaker.
+//! While a group's breaker is open, the driver stops offering it work
+//! (re-routing to a replica group or computing on the host instead);
+//! after a cooldown the breaker lets a probe through, and a run of probe
+//! successes closes it again.
+//!
+//! Everything here is integer arithmetic on the caller's simulated
+//! clock, so the tracker is deterministic: the same sequence of
+//! `(cycle, outcome)` observations produces the same transitions, no
+//! matter the host, thread count, or wall-clock time.
+
+/// Circuit-breaker state for one rank group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BreakerState {
+    /// Healthy: offloads flow normally.
+    Closed,
+    /// Tripped: the group receives no work until the cooldown elapses.
+    Open,
+    /// Probing: one offload at a time is allowed through; successes
+    /// close the breaker, a failure re-opens it.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name for reports and JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Fixed-point scale of the failure-rate EWMA (1.0 == `EWMA_SCALE`).
+pub const EWMA_SCALE: u32 = 1 << 16;
+
+/// Circuit-breaker policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// EWMA time constant: each observation moves the failure rate by
+    /// `1/2^ewma_shift` of the gap toward 0 (success) or 1 (failure).
+    pub ewma_shift: u32,
+    /// Open when the EWMA failure rate reaches this fraction of
+    /// [`EWMA_SCALE`].
+    pub open_threshold: u32,
+    /// Open after this many consecutive failures regardless of the EWMA
+    /// (fast trip for a group that just died).
+    pub consecutive_failures: u32,
+    /// Cycles an open breaker waits before letting a probe through.
+    pub cooldown_cycles: u64,
+    /// Probe successes required to close a half-open breaker.
+    pub probe_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            ewma_shift: 3,
+            open_threshold: EWMA_SCALE * 6 / 10,
+            consecutive_failures: 3,
+            cooldown_cycles: 100_000,
+            probe_successes: 2,
+        }
+    }
+}
+
+/// One recorded breaker transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerTransition {
+    /// Simulated cycle at which the transition happened.
+    pub cycle: u64,
+    /// The rank group whose breaker moved.
+    pub group: usize,
+    /// The state it moved to.
+    pub to: BreakerState,
+}
+
+#[derive(Debug, Clone)]
+struct GroupHealth {
+    state: BreakerState,
+    /// EWMA failure rate in `[0, EWMA_SCALE]`.
+    ewma: u32,
+    consecutive: u32,
+    /// Cycle at which the breaker last opened.
+    opened_at: u64,
+    probe_ok: u32,
+    failures: u64,
+    successes: u64,
+}
+
+impl GroupHealth {
+    fn new() -> Self {
+        GroupHealth {
+            state: BreakerState::Closed,
+            ewma: 0,
+            consecutive: 0,
+            opened_at: 0,
+            probe_ok: 0,
+            failures: 0,
+            successes: 0,
+        }
+    }
+}
+
+/// Deterministic per-rank-group health state shared across queries.
+#[derive(Debug, Clone)]
+pub struct HealthTracker {
+    groups: Vec<GroupHealth>,
+    cfg: BreakerConfig,
+    transitions: Vec<BreakerTransition>,
+    opens: u64,
+    closes: u64,
+}
+
+impl HealthTracker {
+    /// A tracker over `n_groups` rank groups, all breakers closed.
+    pub fn new(n_groups: usize, cfg: BreakerConfig) -> Self {
+        HealthTracker {
+            groups: (0..n_groups).map(|_| GroupHealth::new()).collect(),
+            cfg,
+            transitions: Vec::new(),
+            opens: 0,
+            closes: 0,
+        }
+    }
+
+    /// Rank groups tracked.
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The configured policy.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.cfg
+    }
+
+    /// Current breaker state of `group`.
+    pub fn state(&self, group: usize) -> BreakerState {
+        self.groups[group].state
+    }
+
+    /// EWMA failure rate of `group` as a fraction in `[0, 1]`.
+    pub fn failure_rate(&self, group: usize) -> f64 {
+        self.groups[group].ewma as f64 / EWMA_SCALE as f64
+    }
+
+    /// Groups whose breaker is currently open.
+    pub fn open_groups(&self) -> usize {
+        self.groups
+            .iter()
+            .filter(|g| g.state == BreakerState::Open)
+            .count()
+    }
+
+    /// Times any breaker opened / closed so far.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// Times any breaker returned to closed.
+    pub fn closes(&self) -> u64 {
+        self.closes
+    }
+
+    /// Every transition recorded so far, in observation order.
+    pub fn transitions(&self) -> &[BreakerTransition] {
+        &self.transitions
+    }
+
+    /// Whether `group` would accept work at `cycle` without mutating any
+    /// state (no open → half-open promotion). Used to pick re-route and
+    /// hedge targets: only groups in steady closed state qualify.
+    pub fn would_accept(&self, group: usize) -> bool {
+        self.groups[group].state == BreakerState::Closed
+    }
+
+    /// Whether `group` accepts an offload at `cycle`. An open breaker
+    /// whose cooldown has elapsed transitions to half-open here (the
+    /// caller's offload becomes the probe) and the transition is
+    /// recorded.
+    pub fn admits(&mut self, group: usize, cycle: u64) -> bool {
+        let cooldown = self.cfg.cooldown_cycles;
+        let g = &mut self.groups[group];
+        match g.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if cycle >= g.opened_at.saturating_add(cooldown) {
+                    g.state = BreakerState::HalfOpen;
+                    g.probe_ok = 0;
+                    self.transitions.push(BreakerTransition {
+                        cycle,
+                        group,
+                        to: BreakerState::HalfOpen,
+                    });
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn ewma_observe(g: &mut GroupHealth, shift: u32, fail: bool) {
+        let target = if fail { EWMA_SCALE as i64 } else { 0 };
+        let delta = (target - g.ewma as i64) >> shift;
+        g.ewma = (g.ewma as i64 + delta).clamp(0, EWMA_SCALE as i64) as u32;
+    }
+
+    /// Record a successful offload on `group` at `cycle`. Returns the
+    /// transition if this success closed a half-open breaker.
+    pub fn record_success(&mut self, group: usize, cycle: u64) -> Option<BreakerTransition> {
+        let cfg = self.cfg;
+        let g = &mut self.groups[group];
+        g.successes += 1;
+        g.consecutive = 0;
+        Self::ewma_observe(g, cfg.ewma_shift, false);
+        if g.state == BreakerState::HalfOpen {
+            g.probe_ok += 1;
+            if g.probe_ok >= cfg.probe_successes {
+                g.state = BreakerState::Closed;
+                g.ewma = 0;
+                let t = BreakerTransition {
+                    cycle,
+                    group,
+                    to: BreakerState::Closed,
+                };
+                self.transitions.push(t);
+                self.closes += 1;
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Record a failed offload (timeout, CRC rejection) on `group` at
+    /// `cycle`. Returns the transition if this failure opened (or
+    /// re-opened) the breaker.
+    pub fn record_failure(&mut self, group: usize, cycle: u64) -> Option<BreakerTransition> {
+        let cfg = self.cfg;
+        let g = &mut self.groups[group];
+        g.failures += 1;
+        g.consecutive += 1;
+        Self::ewma_observe(g, cfg.ewma_shift, true);
+        let trip = match g.state {
+            // A probe failure re-opens immediately.
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => {
+                g.consecutive >= cfg.consecutive_failures || g.ewma >= cfg.open_threshold
+            }
+            BreakerState::Open => false,
+        };
+        if trip {
+            g.state = BreakerState::Open;
+            g.opened_at = cycle;
+            let t = BreakerTransition {
+                cycle,
+                group,
+                to: BreakerState::Open,
+            };
+            self.transitions.push(t);
+            self.opens += 1;
+            return Some(t);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            ewma_shift: 2,
+            open_threshold: EWMA_SCALE / 2,
+            consecutive_failures: 3,
+            cooldown_cycles: 1_000,
+            probe_successes: 2,
+        }
+    }
+
+    #[test]
+    fn consecutive_failures_trip_the_breaker() {
+        let mut h = HealthTracker::new(4, cfg());
+        assert!(h.record_failure(1, 10).is_none());
+        assert!(h.record_failure(1, 20).is_none());
+        let t = h.record_failure(1, 30).expect("third strike opens");
+        assert_eq!(t.to, BreakerState::Open);
+        assert_eq!(h.state(1), BreakerState::Open);
+        assert_eq!(h.open_groups(), 1);
+        assert_eq!(h.opens(), 1);
+        // Other groups are untouched.
+        assert_eq!(h.state(0), BreakerState::Closed);
+    }
+
+    #[test]
+    fn open_breaker_rejects_until_cooldown_then_probes() {
+        let mut h = HealthTracker::new(2, cfg());
+        for c in [0, 1, 2] {
+            h.record_failure(0, c);
+        }
+        assert_eq!(h.state(0), BreakerState::Open);
+        assert!(!h.admits(0, 500), "cooldown not elapsed");
+        assert!(h.admits(0, 2_000), "cooldown elapsed: probe allowed");
+        assert_eq!(h.state(0), BreakerState::HalfOpen);
+        // A probe failure re-opens with a fresh cooldown.
+        let t = h.record_failure(0, 2_100).expect("probe failure re-opens");
+        assert_eq!(t.to, BreakerState::Open);
+        assert!(!h.admits(0, 2_500));
+        assert!(h.admits(0, 3_200));
+        // Two probe successes close it.
+        assert!(h.record_success(0, 3_300).is_none());
+        let t = h.record_success(0, 3_400).expect("second success closes");
+        assert_eq!(t.to, BreakerState::Closed);
+        assert_eq!(h.state(0), BreakerState::Closed);
+        assert_eq!(h.closes(), 1);
+        assert_eq!(h.failure_rate(0), 0.0, "ewma resets on close");
+    }
+
+    #[test]
+    fn ewma_rate_trips_without_consecutive_run() {
+        let mut h = HealthTracker::new(
+            1,
+            BreakerConfig {
+                consecutive_failures: u32::MAX,
+                ..cfg()
+            },
+        );
+        // Alternate failure/success: consecutive never exceeds 1, but the
+        // EWMA climbs toward ~2/3 > 1/2 under 2:1 failures.
+        let mut opened = false;
+        for i in 0..64u64 {
+            if i % 3 == 2 {
+                h.record_success(0, i);
+            } else if h.record_failure(0, i).is_some() {
+                opened = true;
+                break;
+            }
+        }
+        assert!(opened, "ewma {} must trip", h.failure_rate(0));
+    }
+
+    #[test]
+    fn successes_keep_breaker_closed() {
+        let mut h = HealthTracker::new(2, cfg());
+        for i in 0..100u64 {
+            assert!(h.record_success(0, i).is_none());
+        }
+        // A sparse failure here and there never trips.
+        for i in 0..20u64 {
+            h.record_failure(0, 1_000 + i * 50);
+            for j in 0..5 {
+                h.record_success(0, 1_000 + i * 50 + j + 1);
+            }
+        }
+        assert_eq!(h.state(0), BreakerState::Closed);
+        assert_eq!(h.opens(), 0);
+        assert!(h.transitions().is_empty());
+    }
+
+    #[test]
+    fn would_accept_is_pure() {
+        let mut h = HealthTracker::new(1, cfg());
+        for c in [0, 1, 2] {
+            h.record_failure(0, c);
+        }
+        assert!(!h.would_accept(0));
+        // Past the cooldown, would_accept still refuses (no promotion)…
+        assert!(!h.would_accept(0));
+        assert_eq!(h.state(0), BreakerState::Open);
+        // …while admits promotes to half-open.
+        assert!(h.admits(0, 5_000));
+        assert_eq!(h.state(0), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn transitions_log_is_ordered_and_complete() {
+        let mut h = HealthTracker::new(2, cfg());
+        for c in [10, 20, 30] {
+            h.record_failure(1, c);
+        }
+        assert!(h.admits(1, 5_000));
+        h.record_success(1, 5_100);
+        h.record_success(1, 5_200);
+        let tos: Vec<_> = h.transitions().iter().map(|t| (t.group, t.to)).collect();
+        assert_eq!(
+            tos,
+            vec![
+                (1, BreakerState::Open),
+                (1, BreakerState::HalfOpen),
+                (1, BreakerState::Closed),
+            ]
+        );
+        let cycles: Vec<_> = h.transitions().iter().map(|t| t.cycle).collect();
+        assert!(cycles.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

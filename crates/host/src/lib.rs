@@ -19,8 +19,10 @@
 
 pub mod cache;
 pub mod cpu;
+pub mod health;
 pub mod recovery;
 
 pub use cache::{AccessResult, Cache, CacheConfig, CacheHierarchy};
 pub use cpu::{CpuModel, HostCosts};
+pub use health::{BreakerConfig, BreakerState, BreakerTransition, HealthTracker, EWMA_SCALE};
 pub use recovery::RetryPolicy;

@@ -134,4 +134,54 @@ mod tests {
         // a millisecond of DDR5-4800 cycles.
         assert!(p.total_backoff() < 2_400_000);
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// For every policy, the backoff schedule is monotone
+            /// non-decreasing in the attempt number and never exceeds the
+            /// configured bound — including huge attempt counts where the
+            /// doubling saturates.
+            fn backoff_monotone_and_capped(
+                base in 0u64..1_000_000,
+                cap in 0u64..100_000_000,
+                attempts in 1u32..200,
+            ) {
+                let p = RetryPolicy {
+                    max_retries: attempts,
+                    base_backoff: base,
+                    max_backoff: cap,
+                };
+                let mut prev = 0u64;
+                for a in 0..attempts {
+                    let b = p.backoff(a);
+                    prop_assert!(b >= prev, "attempt {a}: {b} < {prev}");
+                    prop_assert!(b <= cap, "attempt {a}: {b} exceeds cap {cap}");
+                    prev = b;
+                }
+                // Saturated attempts stay at the cap (or 0 base forever).
+                let saturated = if base == 0 { 0 } else { cap };
+                prop_assert_eq!(p.backoff(63), saturated);
+                prop_assert_eq!(p.backoff(200), saturated);
+                prop_assert!(p.total_backoff() <= (attempts as u64).saturating_mul(cap));
+            }
+
+            /// The retry budget is exhausted exactly at `max_retries`,
+            /// never before.
+            fn exhaustion_boundary(retries in 0u32..100) {
+                let p = RetryPolicy {
+                    max_retries: retries,
+                    base_backoff: 7,
+                    max_backoff: 70,
+                };
+                if retries > 0 {
+                    prop_assert!(!p.exhausted(retries - 1));
+                }
+                prop_assert!(p.exhausted(retries));
+                prop_assert!(p.exhausted(retries + 1));
+            }
+        }
+    }
 }

@@ -188,6 +188,21 @@ impl ReplicaSet {
             self.hot.len() as f64 * (groups.saturating_sub(1)) as f64 / n_vectors as f64
         }
     }
+
+    /// Deterministic replica target for a vector homed in group `home`:
+    /// the `attempt`-th alternative on the fixed probe ring
+    /// `home+1, home+2, …` (mod `groups`, never `home` itself). Hedged
+    /// offloads and breaker reroutes walk this ring so replica selection
+    /// is a pure function of `(home, attempt)` — no RNG, no shared
+    /// state, byte-stable across reruns and thread counts. Returns
+    /// `None` when the fleet has a single group (nowhere to go).
+    pub fn replica_group(home: usize, groups: usize, attempt: usize) -> Option<usize> {
+        if groups <= 1 {
+            return None;
+        }
+        let offset = 1 + attempt % (groups - 1);
+        Some((home + offset) % groups)
+    }
 }
 
 /// Per-rank load accounting (comparison tasks assigned), used both for
@@ -317,6 +332,33 @@ mod tests {
         assert_eq!(r.len(), 3);
         // 3 vectors × 7 extra copies / 1000 vectors.
         assert!((r.extra_space_frac(1000, 8) - 0.021).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replica_ring_skips_home_and_covers_all_alternatives() {
+        let groups = 8;
+        for home in 0..groups {
+            let mut seen = HashSet::new();
+            for attempt in 0..groups - 1 {
+                let g = ReplicaSet::replica_group(home, groups, attempt).unwrap();
+                assert_ne!(g, home, "ring never lands on the home group");
+                seen.insert(g);
+            }
+            assert_eq!(seen.len(), groups - 1, "ring covers every alternative");
+            // Past the ring length the walk wraps deterministically.
+            assert_eq!(
+                ReplicaSet::replica_group(home, groups, 0),
+                ReplicaSet::replica_group(home, groups, groups - 1),
+            );
+        }
+    }
+
+    #[test]
+    fn replica_ring_single_group_has_nowhere_to_go() {
+        assert_eq!(ReplicaSet::replica_group(0, 1, 0), None);
+        assert_eq!(ReplicaSet::replica_group(0, 1, 5), None);
+        assert_eq!(ReplicaSet::replica_group(0, 2, 0), Some(1));
+        assert_eq!(ReplicaSet::replica_group(1, 2, 3), Some(0));
     }
 
     #[test]

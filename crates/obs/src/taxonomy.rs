@@ -144,6 +144,24 @@ pub enum EventKind {
     /// Serving: this query was shed (`deadline`: missed deadline vs
     /// queue-depth backpressure).
     Shed { deadline: bool },
+    /// Resilience: the circuit breaker on rank group `group` tripped
+    /// open — offloads stop targeting the group.
+    BreakerOpen { group: u32 },
+    /// Resilience: the breaker on `group` entered half-open after its
+    /// cooldown; the next offload probes the group.
+    BreakerHalfOpen { group: u32 },
+    /// Resilience: the breaker on `group` closed — probes succeeded and
+    /// the group is back in service.
+    BreakerClose { group: u32 },
+    /// Resilience: a still-pending offload on group `from` was hedged to
+    /// replica group `to` after the hedge delay elapsed.
+    HedgeIssued { from: u32, to: u32 },
+    /// Resilience: the hedge to `to` returned the first valid
+    /// CRC-checked result and won the race.
+    HedgeWin { to: u32 },
+    /// Resilience: brownout admission control moved to `level`
+    /// (0 = normal; higher levels shed earlier).
+    Brownout { level: u32 },
 }
 
 impl EventKind {
@@ -165,6 +183,12 @@ impl EventKind {
             EventKind::HostFallback { .. } => "host_fallback",
             EventKind::BatchFormed { .. } => "batch_formed",
             EventKind::Shed { .. } => "shed",
+            EventKind::BreakerOpen { .. } => "breaker_open",
+            EventKind::BreakerHalfOpen { .. } => "breaker_half_open",
+            EventKind::BreakerClose { .. } => "breaker_close",
+            EventKind::HedgeIssued { .. } => "hedge_issued",
+            EventKind::HedgeWin { .. } => "hedge_win",
+            EventKind::Brownout { .. } => "brownout",
         }
     }
 }
@@ -215,6 +239,16 @@ impl fmt::Display for EventKind {
             }
             EventKind::BatchFormed { size } => write!(f, "batch_formed size={size}"),
             EventKind::Shed { deadline } => write!(f, "shed deadline={deadline}"),
+            EventKind::BreakerOpen { group } => write!(f, "breaker_open group={group}"),
+            EventKind::BreakerHalfOpen { group } => {
+                write!(f, "breaker_half_open group={group}")
+            }
+            EventKind::BreakerClose { group } => write!(f, "breaker_close group={group}"),
+            EventKind::HedgeIssued { from, to } => {
+                write!(f, "hedge_issued from={from} to={to}")
+            }
+            EventKind::HedgeWin { to } => write!(f, "hedge_win to={to}"),
+            EventKind::Brownout { level } => write!(f, "brownout level={level}"),
         }
     }
 }
@@ -250,5 +284,23 @@ mod tests {
             .to_string(),
             "dram activate ch=1 rank=2"
         );
+        assert_eq!(
+            EventKind::BreakerOpen { group: 3 }.to_string(),
+            "breaker_open group=3"
+        );
+        assert_eq!(
+            EventKind::HedgeIssued { from: 0, to: 5 }.to_string(),
+            "hedge_issued from=0 to=5"
+        );
+        assert_eq!(
+            EventKind::Brownout { level: 2 }.to_string(),
+            "brownout level=2"
+        );
+        assert_eq!(
+            EventKind::BreakerHalfOpen { group: 1 }.name(),
+            "breaker_half_open"
+        );
+        assert_eq!(EventKind::BreakerClose { group: 1 }.name(), "breaker_close");
+        assert_eq!(EventKind::HedgeWin { to: 2 }.name(), "hedge_win");
     }
 }

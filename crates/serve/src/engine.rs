@@ -18,7 +18,7 @@
 
 use std::collections::VecDeque;
 
-use ansmet_faults::{ComputeFault, FaultInjector, FaultKind, FaultPlan, FaultRates};
+use ansmet_faults::{ComputeFault, FaultInjector, FaultKind, FaultPlan, FaultRates, StormPlan};
 use ansmet_host::RetryPolicy;
 use ansmet_index::HopKind;
 use ansmet_ndp::{Partitioner, ResultPayload};
@@ -28,6 +28,7 @@ use ansmet_sim::{Design, RecoveryReport, SystemConfig, WaveContext, Workload};
 use crate::arrival::{generate_arrivals, Arrival, TenantSpec};
 use crate::histogram::LatencyHistogram;
 use crate::report::{ServeReport, TenantReport};
+use crate::resilience::{FleetState, ResilienceConfig, StormProfile, WindowStats};
 
 /// Dynamic batch-formation policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +97,12 @@ pub struct ServeConfig {
     pub admission: AdmissionConfig,
     /// Optional fault injection (recovery shows up as tail latency).
     pub faults: Option<FaultProfile>,
+    /// Optional scripted sustained-degradation storm (rank groups sick
+    /// over serving-clock windows).
+    pub storm: Option<StormProfile>,
+    /// Optional fleet-resilience layer (health tracking, circuit
+    /// breakers, hedged offloads, brownout admission).
+    pub resilience: Option<ResilienceConfig>,
 }
 
 impl ServeConfig {
@@ -115,6 +122,8 @@ impl ServeConfig {
             batch: BatchPolicy::default(),
             admission: AdmissionConfig::default(),
             faults: None,
+            storm: None,
+            resilience: None,
         }
     }
 
@@ -144,6 +153,18 @@ impl ServeConfig {
         self.faults = Some(profile);
         self
     }
+
+    /// The same config with a scripted storm enabled.
+    pub fn with_storm(mut self, storm: StormProfile) -> Self {
+        self.storm = Some(storm);
+        self
+    }
+
+    /// The same config with the fleet-resilience layer enabled.
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = Some(resilience);
+        self
+    }
 }
 
 /// Weighted-fair-queueing virtual-time scale: tags advance by
@@ -152,13 +173,13 @@ const WFQ_SCALE: u64 = 1 << 20;
 
 /// Cycles one abandoned poll window costs when a batch times out
 /// (mirrors the degraded-mode runner's deadline scale).
-const TIMEOUT_PENALTY_CYCLES: u64 = 4_096;
+pub(crate) const TIMEOUT_PENALTY_CYCLES: u64 = 4_096;
 /// One conventional poll period (100 ns at DDR5-4800), charged per
 /// transient poll miss.
-const POLL_MISS_PENALTY_CYCLES: u64 = 240;
+pub(crate) const POLL_MISS_PENALTY_CYCLES: u64 = 240;
 /// Cycles per 64 B line for the host's exact-fallback recompute
 /// (matches `ansmet_sim::degraded`).
-const FALLBACK_CYCLES_PER_LINE: u64 = 60;
+pub(crate) const FALLBACK_CYCLES_PER_LINE: u64 = 60;
 
 /// A query waiting in its tenant's queue.
 #[derive(Debug, Clone, Copy)]
@@ -335,7 +356,7 @@ pub fn run_serve_with_sink<S: TraceSink>(
         workload.data.dtype().bytes(),
     );
 
-    let mut fault_state = serve.faults.as_ref().map(|f| {
+    let make_injector = |f: &FaultProfile| {
         let evals: u64 = workload
             .traces
             .iter()
@@ -348,8 +369,57 @@ pub fn run_serve_with_sink<S: TraceSink>(
             / (workload.traces.len() as u64).max(1)
             + 64;
         let plan = FaultPlan::random(f.seed, config.ndp_units(), per_rank, f.rates);
-        (FaultInjector::new(plan), f.retry, RecoveryReport::default())
-    });
+        FaultInjector::new(plan)
+    };
+    // The fleet path (storm and/or resilience layer) supersedes the
+    // legacy per-query recovery model; configs with only `faults` keep
+    // the original model bit-for-bit.
+    let mut fleet = if serve.storm.is_some() || serve.resilience.is_some() {
+        let retry = serve
+            .storm
+            .as_ref()
+            .map(|s| s.retry)
+            .or_else(|| serve.faults.as_ref().map(|f| f.retry))
+            .unwrap_or_else(RetryPolicy::default_ndp);
+        let plan = serve
+            .storm
+            .as_ref()
+            .map(|s| s.plan.clone())
+            .unwrap_or_else(StormPlan::none);
+        Some(FleetState::new(
+            workload,
+            &partitioner,
+            serve.faults.as_ref().map(make_injector),
+            retry,
+            plan,
+            serve.resilience,
+        ))
+    } else {
+        None
+    };
+    let mut fault_state = if fleet.is_some() {
+        None
+    } else {
+        serve
+            .faults
+            .as_ref()
+            .map(|f| (make_injector(f), f.retry, RecoveryReport::default()))
+    };
+    let storm_span = serve.storm.as_ref().and_then(|s| s.plan.span());
+    let window_of = |cycle: u64| -> usize {
+        match storm_span {
+            Some((start, _)) if cycle < start => 0,
+            Some((_, end)) if cycle < end => 1,
+            _ => 2,
+        }
+    };
+    let mut window_stats = [WindowStats::default(); 3];
+    let mut window_hists = [
+        LatencyHistogram::new(),
+        LatencyHistogram::new(),
+        LatencyHistogram::new(),
+    ];
+    let top_weight = serve.tenants.iter().map(|t| t.weight).max().unwrap_or(1);
 
     // Per-tenant FIFO queues; WFQ tags assigned at admission.
     let n_tenants = serve.tenants.len();
@@ -372,14 +442,37 @@ pub fn run_serve_with_sink<S: TraceSink>(
     let mut makespan = 0u64;
 
     loop {
+        // Brownout: detected capacity loss (open breakers) tightens
+        // admission before this round. High-priority (top-weight)
+        // tenants are shifted half as hard.
+        let brownout = match &mut fleet {
+            Some(fl) => fl.brownout_level(now, sink),
+            None => 0,
+        };
+        let shift_of = |weight: u64| -> u32 {
+            if weight >= top_weight {
+                brownout / 2
+            } else {
+                brownout
+            }
+        };
         // Admit everything that has arrived by `now`.
         while ev < arrivals.len() && arrivals[ev].cycle <= now {
             let a = arrivals[ev];
             let tally = &mut tallies[a.tenant];
             tally.offered += 1;
-            if queued_total >= serve.admission.max_queue_depth {
+            window_stats[window_of(a.cycle)].offered += 1;
+            let depth_limit = (serve.admission.max_queue_depth
+                >> shift_of(serve.tenants[a.tenant].weight))
+            .max(1);
+            if queued_total >= depth_limit {
                 tally.shed_queue += 1;
                 sink.event(a.cycle, EventKind::Shed { deadline: false });
+                if brownout > 0 {
+                    if let Some(fl) = &mut fleet {
+                        fl.brownout_sheds += 1;
+                    }
+                }
             } else {
                 let w = serve.tenants[a.tenant].weight;
                 let tag = virtual_now.max(last_tag[a.tenant]) + WFQ_SCALE / w;
@@ -432,9 +525,15 @@ pub fn run_serve_with_sink<S: TraceSink>(
             queued_total -= 1;
             virtual_now = q.tag;
             if let Some(dl) = serve.admission.deadline_cycles {
+                let dl = (dl >> shift_of(serve.tenants[t].weight)).max(1);
                 if now > q.arrival.cycle.saturating_add(dl) {
                     tallies[t].shed_deadline += 1;
                     sink.event(now, EventKind::Shed { deadline: true });
+                    if brownout > 0 {
+                        if let Some(fl) = &mut fleet {
+                            fl.brownout_sheds += 1;
+                        }
+                    }
                     continue;
                 }
             }
@@ -459,28 +558,42 @@ pub fn run_serve_with_sink<S: TraceSink>(
         // Fault-recovery penalties stretch individual completions and
         // hold the device (the wave's close waits for recovery).
         let mut max_penalty = 0u64;
-        let penalties: Vec<u64> = match &mut fault_state {
-            None => vec![0; batch.len()],
-            Some((injector, retry, rec)) => batch
+        let penalties: Vec<u64> = if let Some(fl) = &mut fleet {
+            batch
                 .iter()
                 .map(|q| {
-                    let p = recovery_penalty(
-                        injector,
-                        retry,
-                        workload,
-                        q.arrival.query,
-                        &partitioner,
-                        rec,
-                        sink,
-                        now,
-                    );
+                    let p = fl.query_penalty(workload, q.arrival.query, &partitioner, now, sink);
                     max_penalty = max_penalty.max(p);
                     p
                 })
-                .collect(),
+                .collect()
+        } else {
+            match &mut fault_state {
+                None => vec![0; batch.len()],
+                Some((injector, retry, rec)) => batch
+                    .iter()
+                    .map(|q| {
+                        let p = recovery_penalty(
+                            injector,
+                            retry,
+                            workload,
+                            q.arrival.query,
+                            &partitioner,
+                            rec,
+                            sink,
+                            now,
+                        );
+                        max_penalty = max_penalty.max(p);
+                        p
+                    })
+                    .collect(),
+            }
         };
-        if let Some((_, _, rec)) = &mut fault_state {
-            rec.added_latency_cycles += penalties.iter().sum::<u64>();
+        let added: u64 = penalties.iter().sum();
+        if let Some(fl) = &mut fleet {
+            fl.rec.added_latency_cycles += added;
+        } else if let Some((_, _, rec)) = &mut fault_state {
+            rec.added_latency_cycles += added;
         }
 
         for ((q, &retire), &penalty) in batch.iter().zip(&exec.per_query_cycles).zip(&penalties) {
@@ -506,8 +619,12 @@ pub fn run_serve_with_sink<S: TraceSink>(
             let tally = &mut tallies[q.arrival.tenant];
             tally.completed += 1;
             tally.total.record(total);
+            let w = window_of(q.arrival.cycle);
+            window_stats[w].completed += 1;
+            window_hists[w].record(total);
             if total <= serve.tenants[q.arrival.tenant].slo_cycles {
                 tally.slo_attained += 1;
+                window_stats[w].slo_attained += 1;
             }
             makespan = makespan.max(completion);
             served[arrival_index(&arrivals, q.arrival)] = Some(q.arrival.query);
@@ -528,9 +645,26 @@ pub fn run_serve_with_sink<S: TraceSink>(
     sink.counter("serve.completed", tallies.iter().map(|t| t.completed).sum());
     sink.gauge_max("serve.makespan_cycles", makespan);
 
-    let recovery = fault_state.map(|(injector, _, mut rec)| {
-        rec.injected = *injector.stats();
-        rec
+    let recovery = match &fleet {
+        Some(fl) => Some(fl.recovery_report()),
+        None => fault_state.map(|(injector, _, mut rec)| {
+            rec.injected = *injector.stats();
+            rec
+        }),
+    };
+    let resilience = fleet.map(|fl| {
+        fl.resilience_report(storm_span.map(|(start, end)| {
+            for (i, h) in window_hists.iter().enumerate() {
+                window_stats[i].p99_cycles = h.quantile(0.99);
+            }
+            (
+                start,
+                end,
+                window_stats[0],
+                window_stats[1],
+                window_stats[2],
+            )
+        }))
     });
     let fingerprint = results_fingerprint(&served, workload);
     let tenants = serve
@@ -563,6 +697,7 @@ pub fn run_serve_with_sink<S: TraceSink>(
         &total_hist,
         tenants,
         recovery,
+        resilience,
         fingerprint,
     )
 }

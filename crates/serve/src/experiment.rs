@@ -1,33 +1,28 @@
-//! The `serve` experiment: a multi-tenant open-loop serving run with
-//! clean and fault-injected passes plus a QPS sweep, rendered as text
-//! and as the `BENCH_serving.json` artifact.
+//! The `serve` and `resilience` experiments: multi-tenant open-loop
+//! serving runs rendered as text and as the `BENCH_serving.json` /
+//! `BENCH_resilience.json` artifacts.
 //!
-//! Not a paper experiment — it answers the question the paper's §5.2
-//! wave model raises but cannot: what QPS can the NDP designs sustain at
-//! a bounded p99 under realistic arrivals, batching, and faults?
+//! Neither is a paper experiment — `serve` answers the question the
+//! paper's §5.2 wave model raises but cannot (what QPS can the NDP
+//! designs sustain at a bounded p99 under realistic arrivals, batching,
+//! and faults?), and `resilience` is the chaos/soak harness: a scripted
+//! rank-group storm served unmitigated, with circuit breakers, and with
+//! hedged offloads, reporting SLO attainment before/during/after the
+//! storm and the measured MTTR.
 
 use std::fmt::Write as _;
 
-use ansmet_faults::FaultRates;
+use ansmet_faults::{FaultRates, StormPlan};
 use ansmet_host::RetryPolicy;
 use ansmet_sim::experiment::Scale;
-use ansmet_sim::{Design, SystemConfig, Workload};
+use ansmet_sim::{saturated_capacity_qps, Design, SystemConfig, Workload};
 use ansmet_vecdata::SynthSpec;
 
-use crate::arrival::{ArrivalProcess, TenantSpec};
+use crate::arrival::{generate_arrivals, ArrivalProcess, TenantSpec};
 use crate::engine::{run_serve, AdmissionConfig, BatchPolicy, FaultProfile, ServeConfig};
-use crate::report::cycles_to_ms;
+use crate::report::{cycles_to_ms, ServeReport};
+use crate::resilience::{ResilienceConfig, StormProfile};
 use crate::sweep::sweep_qps;
-
-/// Estimate device capacity (QPS) by executing the whole workload as one
-/// saturated cohort through the wave model.
-fn estimate_capacity_qps(workload: &Workload, config: &SystemConfig, design: Design) -> f64 {
-    let ctx = ansmet_sim::WaveContext::new(design, workload, config);
-    let ids: Vec<usize> = (0..workload.traces.len()).collect();
-    let exec = ctx.execute(&ids);
-    let secs = exec.total_cycles as f64 / (config.dram.clock_mhz as f64 * 1e6);
-    ids.len() as f64 / secs.max(1e-12)
-}
 
 /// Build the experiment's two-tenant serving config at roughly 60 % of
 /// the estimated capacity: an interactive tenant (weight 4, Poisson,
@@ -64,6 +59,8 @@ fn experiment_config(seed: u64, capacity_qps: f64, queries: usize, slo_cycles: u
             deadline_cycles: Some(slo_cycles * 8),
         },
         faults: None,
+        storm: None,
+        resilience: None,
     }
 }
 
@@ -79,7 +76,7 @@ pub fn serve_experiment(scale: Scale) -> (String, String) {
         Scale::Full => 400,
     };
 
-    let capacity = estimate_capacity_qps(&wl, &cfg, Design::NdpEtOpt);
+    let capacity = saturated_capacity_qps(&wl, &cfg, Design::NdpEtOpt);
     // SLO: generous multiple of the saturated per-query service time so
     // a healthy run attains it and queueing/faults measurably erode it.
     let per_query = (mem_clock as f64 * 1e6 / capacity.max(1e-9)) as u64;
@@ -171,6 +168,190 @@ pub fn serve_experiment(scale: Scale) -> (String, String) {
     (text, json)
 }
 
+/// p99 total latency of the queries that arrived *during* the storm.
+fn during_p99(r: &ServeReport) -> u64 {
+    r.resilience
+        .as_ref()
+        .and_then(|res| res.storm)
+        .map(|s| s.during.p99_cycles)
+        .unwrap_or(0)
+}
+
+/// SLO attainment of the queries that arrived during the storm (for the
+/// unmitigated pass, which carries no resilience report, this falls back
+/// to the aggregate attainment).
+fn storm_line(r: &ServeReport) -> String {
+    match r.resilience.as_ref().and_then(|res| res.storm) {
+        Some(s) => format!(
+            "slo {:.1}% -> {:.1}% -> {:.1}%, during p99 {} cycles, mttr {}",
+            s.before.slo_attainment() * 100.0,
+            s.during.slo_attainment() * 100.0,
+            s.after.slo_attainment() * 100.0,
+            s.during.p99_cycles,
+            match s.mttr_cycles {
+                Some(c) => format!("{c} cycles"),
+                None => "n/a".into(),
+            },
+        ),
+        None => format!("aggregate slo {:.1}%", r.slo_attainment() * 100.0),
+    }
+}
+
+/// Run the chaos/soak resilience experiment at `scale`; returns
+/// `(text, json)` where `json` is the `BENCH_resilience.json` artifact
+/// body.
+///
+/// Five passes over the same workload and arrival schedule: fault-free
+/// baseline; a scripted single-group storm with only the per-query
+/// retry/fallback model; the storm with circuit breakers (hedging off);
+/// the storm with breakers *and* hedged offloads; and the storm with the
+/// full layer plus brownout admission under the normal shedding config.
+/// The first four disable shedding so every query completes and the
+/// served-results fingerprint must be identical across them.
+pub fn resilience_experiment(scale: Scale) -> (String, String) {
+    let spec = scale.spec(SynthSpec::sift());
+    let wl = Workload::prepare(&spec, 10, None);
+    let cfg = SystemConfig::default();
+    let mem_clock = cfg.dram.clock_mhz;
+    let queries = match scale {
+        Scale::Quick => 60,
+        Scale::Full => 300,
+    };
+
+    let capacity = saturated_capacity_qps(&wl, &cfg, Design::NdpEtOpt);
+    let per_query = (mem_clock as f64 * 1e6 / capacity.max(1e-9)) as u64;
+    let slo_cycles = per_query * 32;
+    let mut base = experiment_config(0xC1A0, capacity, queries, slo_cycles);
+    // Fingerprint-compared passes complete everything.
+    base.admission = AdmissionConfig {
+        max_queue_depth: usize::MAX,
+        deadline_cycles: None,
+    };
+
+    // Storm envelope: the second quarter of the arrival horizon, rank
+    // group 0 hung throughout — derived from the schedule itself so both
+    // scales exercise a mid-run outage with recovery headroom.
+    let arrivals = generate_arrivals(&base.tenants, wl.queries.len(), base.seed, mem_clock);
+    let horizon = arrivals.last().map(|a| a.cycle).unwrap_or(0).max(4);
+    let (storm_start, storm_end) = (horizon / 4, horizon / 2);
+    let storm = StormProfile {
+        plan: StormPlan::single_group_outage(0, storm_start, storm_end),
+        retry: RetryPolicy::default_ndp(),
+    };
+
+    let clean = run_serve(&wl, &cfg, &base);
+    let unmitigated = run_serve(&wl, &cfg, &base.clone().with_storm(storm.clone()));
+    let breaker = run_serve(
+        &wl,
+        &cfg,
+        &base
+            .clone()
+            .with_storm(storm.clone())
+            .with_resilience(ResilienceConfig::without_hedging()),
+    );
+    let hedged = run_serve(
+        &wl,
+        &cfg,
+        &base
+            .clone()
+            .with_storm(storm.clone())
+            .with_resilience(ResilienceConfig::default()),
+    );
+    // Brownout pass: the normal shedding admission config, so detected
+    // capacity loss visibly tightens admission by tenant priority.
+    let brownout = run_serve(
+        &wl,
+        &cfg,
+        &experiment_config(0xC1A0, capacity, queries, slo_cycles)
+            .with_storm(storm.clone())
+            .with_resilience(ResilienceConfig::default()),
+    );
+
+    let fingerprints_identical = clean.results_fingerprint == unmitigated.results_fingerprint
+        && clean.results_fingerprint == breaker.results_fingerprint
+        && clean.results_fingerprint == hedged.results_fingerprint;
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "resilience — {} ({} base queries, est. capacity {:.0} qps, SLO {} cycles, storm on group 0 over [{storm_start}, {storm_end}))",
+        wl.name,
+        wl.queries.len(),
+        capacity,
+        slo_cycles,
+    );
+    text.push_str(&clean.render("resilience (clean)"));
+    text.push_str(&unmitigated.render("resilience (storm, unmitigated)"));
+    text.push_str(&breaker.render("resilience (storm + breakers)"));
+    text.push_str(&hedged.render("resilience (storm + breakers + hedging)"));
+    text.push_str(&brownout.render("resilience (storm + brownout admission)"));
+    let _ = writeln!(
+        text,
+        "   storm windows (breakers):        {}",
+        storm_line(&breaker)
+    );
+    let _ = writeln!(
+        text,
+        "   storm windows (hedged):          {}",
+        storm_line(&hedged)
+    );
+    let _ = writeln!(
+        text,
+        "   during-storm p99: unmitigated {} cycles, breakers {}, hedged {} ({})",
+        during_p99(&unmitigated),
+        during_p99(&breaker),
+        during_p99(&hedged),
+        if during_p99(&hedged) <= during_p99(&breaker) {
+            "hedging helps"
+        } else {
+            "hedging DID NOT help"
+        },
+    );
+    let _ = writeln!(
+        text,
+        "   results identical across clean/storm passes: {}",
+        if fingerprints_identical { "yes" } else { "NO" },
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"experiment\": \"resilience\",");
+    let _ = writeln!(
+        json,
+        "  \"scale\": \"{}\",",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    );
+    let _ = writeln!(json, "  \"dataset\": \"{}\",", wl.name);
+    let _ = writeln!(json, "  \"estimated_capacity_qps\": {capacity:.3},");
+    let _ = writeln!(json, "  \"slo_cycles\": {slo_cycles},");
+    let _ = writeln!(
+        json,
+        "  \"storm\": {{\"group\": 0, \"start_cycle\": {storm_start}, \"end_cycle\": {storm_end}}},",
+    );
+    let _ = writeln!(
+        json,
+        "  \"fingerprints_identical\": {fingerprints_identical},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"p99_during_storm\": {{\"unmitigated\": {}, \"breaker\": {}, \"hedged\": {}}},",
+        during_p99(&unmitigated),
+        during_p99(&breaker),
+        during_p99(&hedged),
+    );
+    let _ = writeln!(json, "  \"clean\": {},", clean.to_json());
+    let _ = writeln!(json, "  \"storm_unmitigated\": {},", unmitigated.to_json());
+    let _ = writeln!(json, "  \"storm_breaker\": {},", breaker.to_json());
+    let _ = writeln!(json, "  \"storm_hedged\": {},", hedged.to_json());
+    let _ = writeln!(json, "  \"storm_brownout\": {}", brownout.to_json());
+    json.push_str("}\n");
+
+    (text, json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,5 +367,19 @@ mod tests {
         let (t2, j2) = serve_experiment(Scale::Quick);
         assert_eq!(t1, t2, "text report must be bit-identical");
         assert_eq!(j1, j2, "json artifact must be bit-identical");
+    }
+
+    #[test]
+    fn quick_resilience_experiment_holds_its_invariants() {
+        let (t, j) = resilience_experiment(Scale::Quick);
+        assert!(
+            t.contains("results identical across clean/storm passes: yes"),
+            "storm passes must serve identical results:\n{t}"
+        );
+        assert!(t.contains("hedging helps"), "{t}");
+        assert!(j.contains("\"experiment\": \"resilience\""));
+        assert!(j.contains("\"fingerprints_identical\": true"));
+        assert!(j.contains("\"storm_hedged\""));
+        assert!(j.contains("\"mttr_cycles\""));
     }
 }

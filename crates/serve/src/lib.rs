@@ -21,8 +21,12 @@
 //!   deterministic JSON (`BENCH_serving.json`).
 //! * [`sweep`] — QPS sweep finding the max sustainable throughput at a
 //!   p99 target.
-//! * [`experiment`] — the `serve` experiment driver for the bench
-//!   binary.
+//! * [`resilience`] — fleet-level resilience: per-rank-group circuit
+//!   breakers fed by EWMA health tracking, hedged offloads with a
+//!   histogram-derived hedge delay, brownout admission control, and
+//!   scripted storm evaluation (SLO before/during/after, MTTR).
+//! * [`experiment`] — the `serve` and `resilience` experiment drivers
+//!   for the bench binary.
 //!
 //! Fault integration: a [`FaultProfile`](engine::FaultProfile) routes
 //! every comparison's offload through the `ansmet-faults` injector and
@@ -57,13 +61,18 @@ pub mod engine;
 pub mod experiment;
 pub mod histogram;
 pub mod report;
+pub mod resilience;
 pub mod sweep;
 
 pub use arrival::{generate_arrivals, Arrival, ArrivalProcess, TenantSpec};
 pub use engine::{
     run_serve, run_serve_with_sink, AdmissionConfig, BatchPolicy, FaultProfile, ServeConfig,
 };
-pub use experiment::serve_experiment;
+pub use experiment::{resilience_experiment, serve_experiment};
 pub use histogram::LatencyHistogram;
 pub use report::{cycles_to_ms, PercentileSummary, ServeReport, TenantReport};
+pub use resilience::{
+    BrownoutConfig, HedgeConfig, ReplicationMode, ResilienceConfig, ResilienceReport, StormOutcome,
+    StormProfile, WindowStats,
+};
 pub use sweep::{sweep_qps, QpsSweep, SweepPoint};

@@ -13,6 +13,7 @@ use ansmet_sim::{Design, RecoveryReport};
 use crate::arrival::TenantSpec;
 use crate::engine::ServeConfig;
 use crate::histogram::LatencyHistogram;
+use crate::resilience::ResilienceReport;
 
 /// Percentiles of one latency distribution, in memory cycles.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -206,6 +207,9 @@ pub struct ServeReport {
     pub tenants: Vec<TenantReport>,
     /// Recovery counters when fault injection was enabled.
     pub recovery: Option<RecoveryReport>,
+    /// Resilience-layer outcome when a storm or the resilience layer
+    /// was configured.
+    pub resilience: Option<ResilienceReport>,
     /// FNV-1a fingerprint of the served queries' neighbor ids (faults
     /// must never change it).
     pub results_fingerprint: u64,
@@ -225,6 +229,7 @@ impl ServeReport {
         total: &LatencyHistogram,
         tenants: Vec<TenantReport>,
         recovery: Option<RecoveryReport>,
+        resilience: Option<ResilienceReport>,
         results_fingerprint: u64,
     ) -> Self {
         ServeReport {
@@ -239,6 +244,7 @@ impl ServeReport {
             total: PercentileSummary::from_histogram(total),
             tenants,
             recovery,
+            resilience,
             results_fingerprint,
         }
     }
@@ -358,6 +364,9 @@ impl ServeReport {
                 rec.added_latency_cycles,
             );
         }
+        if let Some(res) = &self.resilience {
+            res.render_into(&mut s, self.mem_clock_mhz);
+        }
         s
     }
 
@@ -400,6 +409,7 @@ impl ServeReport {
                 s,
                 "    \"recovery\": {{\"injected\": {}, \"timeouts\": {}, \"crc_rejections\": {}, \
                  \"retries\": {}, \"host_fallbacks\": {}, \"poll_misses\": {}, \
+                 \"hedges\": {}, \"hedge_wins\": {}, \"breaker_fast_paths\": {}, \
                  \"added_latency_cycles\": {}}},",
                 rec.injected.total(),
                 rec.timeouts,
@@ -407,8 +417,14 @@ impl ServeReport {
                 rec.retries,
                 rec.host_fallbacks,
                 rec.poll_misses,
+                rec.hedges,
+                rec.hedge_wins,
+                rec.breaker_fast_paths,
                 rec.added_latency_cycles,
             );
+        }
+        if let Some(res) = &self.resilience {
+            let _ = writeln!(s, "    \"resilience\": {},", res.to_json());
         }
         s.push_str("    \"tenants\": [\n");
         for (i, t) in self.tenants.iter().enumerate() {

@@ -62,6 +62,15 @@ pub struct RecoveryReport {
     pub crc_rejections: u64,
     /// Transient stale polls absorbed by one extra poll.
     pub poll_misses: u64,
+    /// Hedged offloads issued to a replica group while the primary was
+    /// still pending (serving tier only).
+    pub hedges: u64,
+    /// Hedges whose replica returned the first valid result.
+    pub hedge_wins: u64,
+    /// Offloads rerouted or host-computed *without* waiting out a
+    /// timeout because the target group's circuit breaker was open
+    /// (serving tier only).
+    pub breaker_fast_paths: u64,
     /// Recovery cycles added on top of the fault-free execution (backoff
     /// waits, abandoned poll windows, wasted poll delay, fallback
     /// compute).
@@ -82,7 +91,7 @@ impl RecoveryReport {
     /// Render as a two-column text table for experiment output.
     pub fn render(&self, title: &str) -> String {
         let mut t = Table::new(title, &["event", "count"]);
-        let rows: [(&str, u64); 10] = [
+        let rows: [(&str, u64); 13] = [
             ("comparisons", self.comparisons),
             ("offloads", self.offloads),
             ("faults injected", self.injected.total()),
@@ -91,6 +100,9 @@ impl RecoveryReport {
             ("poll misses absorbed", self.poll_misses),
             ("retries", self.retries),
             ("re-offloads", self.reoffloads),
+            ("hedges issued", self.hedges),
+            ("hedge wins", self.hedge_wins),
+            ("breaker fast paths", self.breaker_fast_paths),
             ("host fallbacks", self.host_fallbacks),
             ("added latency (cycles)", self.added_latency_cycles),
         ];
@@ -572,6 +584,98 @@ mod tests {
         assert_eq!(r.crc_rejections, 1);
         assert_eq!(r.retries, 1);
         assert_eq!(r.host_fallbacks, 0);
+    }
+
+    /// A group with exactly `QUARANTINE_STRIKES` timeouts is no longer a
+    /// re-offload target; one strike below the threshold it still is.
+    #[test]
+    fn group_at_exact_strike_threshold_is_avoided() {
+        let (data, _queries) = SynthSpec::sift().scaled(64, 1).generate();
+        let engine = EtEngine::new(
+            &data,
+            EtConfig::new(FetchSchedule::uniform(data.dtype(), 4)),
+        );
+        let part = Partitioner::new(
+            PartitionScheme::Horizontal,
+            8,
+            data.dim(),
+            data.dtype().bytes(),
+        );
+        let replicas = ReplicaSet::default();
+        let mut oracle = FaultyNdpOracle::new(
+            &engine,
+            &part,
+            &replicas,
+            FaultPlan::none(),
+            RetryPolicy::default_ndp(),
+            PollingPolicy::conventional_100ns(),
+        );
+        // One strike short of quarantine: group 0 (least index, all loads
+        // zero) is still the preferred alternative.
+        oracle.strikes[0] = QUARANTINE_STRIKES - 1;
+        assert_eq!(oracle.healthy_alternative(1), Some(0));
+        // Exactly at the threshold: group 0 is skipped.
+        oracle.strikes[0] = QUARANTINE_STRIKES;
+        assert_eq!(oracle.healthy_alternative(1), Some(2));
+        assert_eq!(oracle.report().quarantined_groups, 1);
+        // Quarantining everything except the group under suspicion
+        // leaves nowhere to go.
+        for g in 0..part.rank_groups() {
+            if g != 1 {
+                oracle.strikes[g] = QUARANTINE_STRIKES;
+            }
+        }
+        assert_eq!(oracle.healthy_alternative(1), None);
+    }
+
+    /// A replicated vector in a single-group fleet has no alternative
+    /// group: recovery must fall back to host compute rather than spin
+    /// re-offloading to the same dead group.
+    #[test]
+    fn single_group_replica_falls_back_to_host() {
+        let (data, queries) = SynthSpec::sift().scaled(64, 1).generate();
+        let engine = EtEngine::new(
+            &data,
+            EtConfig::new(FetchSchedule::uniform(data.dtype(), 4)),
+        );
+        // Vertical partitioning: one group spanning all ranks.
+        let part = Partitioner::new(
+            PartitionScheme::Vertical,
+            8,
+            data.dim(),
+            data.dtype().bytes(),
+        );
+        assert_eq!(part.rank_groups(), 1);
+        let id = 4usize;
+        let replicas = ReplicaSet::new([id]);
+        let plan = FaultPlan::new(
+            (0..8)
+                .map(|at| FaultEvent {
+                    rank: 0,
+                    at,
+                    kind: FaultKind::Hang,
+                })
+                .collect(),
+        );
+        let retry = RetryPolicy::default_ndp();
+        let mut oracle = FaultyNdpOracle::new(
+            &engine,
+            &part,
+            &replicas,
+            plan,
+            retry,
+            PollingPolicy::conventional_100ns(),
+        );
+        let got = oracle.evaluate(id, &queries[0], f32::INFINITY);
+        let want = engine.evaluate(id, &queries[0], f32::INFINITY);
+        assert_eq!(got.distance(), want.distance, "accuracy survives");
+        let r = oracle.report();
+        assert_eq!(r.host_fallbacks, 1, "{r:?}");
+        assert_eq!(r.reoffloads, 0, "no alternative group exists");
+        assert_eq!(
+            r.retries, retry.max_retries as u64,
+            "budget bounds the spin"
+        );
     }
 
     #[test]

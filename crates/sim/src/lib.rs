@@ -45,6 +45,8 @@ pub use design::{Design, DesignPlan, EtKind};
 pub use energy::{EnergyBreakdown, SystemEnergyModel};
 pub use error::AnsmetError;
 pub use parallel::{default_threads, queries_simulated, set_default_threads};
-pub use throughput::{run_design_throughput, BatchExecution, ThroughputResult, WaveContext};
+pub use throughput::{
+    run_design_throughput, saturated_capacity_qps, BatchExecution, ThroughputResult, WaveContext,
+};
 pub use timing::{run_design, run_design_traced, QueryBreakdown, RunResult, TraceOptions};
 pub use workload::Workload;

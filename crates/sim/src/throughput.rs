@@ -304,6 +304,18 @@ impl<'a> WaveContext<'a> {
     }
 }
 
+/// Estimate device capacity (QPS) by executing the whole workload as one
+/// saturated cohort through the wave model. The serving and resilience
+/// experiments use this to place their offered load relative to what the
+/// device can actually sustain.
+pub fn saturated_capacity_qps(workload: &Workload, config: &SystemConfig, design: Design) -> f64 {
+    let ctx = WaveContext::new(design, workload, config);
+    let ids: Vec<usize> = (0..workload.traces.len()).collect();
+    let exec = ctx.execute(&ids);
+    let secs = exec.total_cycles as f64 / (config.dram.clock_mhz as f64 * 1e6);
+    ids.len() as f64 / secs.max(1e-12)
+}
+
 /// Run `design` over `workload` with up to `streams` concurrent query
 /// streams (NDP designs only).
 ///
