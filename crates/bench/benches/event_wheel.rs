@@ -1,0 +1,155 @@
+//! Event-wheel microbenchmarks: schedule/pop throughput at various
+//! pending-set sizes, merge cost, and coalesced (`pop_due`) vs.
+//! per-event (`pop_next`) wakeup draining — the access patterns of the
+//! cross-stack co-simulation scheduler.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ansmet_sim::EventWheel;
+
+/// Deterministic pseudo-random gaps (xorshift); the wheel drivers see a
+/// mix of near (compute-delay) and far (refresh-horizon) wakeups.
+fn gaps(n: usize, spread: u64) -> Vec<u64> {
+    let mut x = 0x243F_6A88_85A3_08D3u64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            1 + x % spread
+        })
+        .collect()
+}
+
+/// Schedule `n` wakeups then drain them one at a time in cycle order.
+fn insert_pop(n: usize, spread: u64) -> u64 {
+    let g = gaps(n, spread);
+    let mut wheel = EventWheel::new(0);
+    for (i, &d) in g.iter().enumerate() {
+        wheel.schedule(d, i as u32);
+    }
+    let mut acc = 0u64;
+    while let Some(w) = wheel.pop_next() {
+        acc = acc.wrapping_add(w.cycle).wrapping_add(w.token as u64);
+    }
+    acc
+}
+
+/// Steady-state churn: each popped wakeup reschedules itself later, as a
+/// QSHR does after every fill completion.
+fn churn(n: usize, rounds: usize, spread: u64) -> u64 {
+    let g = gaps(n, spread);
+    let mut wheel = EventWheel::new(0);
+    for (i, &d) in g.iter().enumerate() {
+        wheel.schedule(d, i as u32);
+    }
+    let mut acc = 0u64;
+    for _ in 0..rounds {
+        let w = wheel.pop_next().expect("non-empty wheel");
+        acc = acc.wrapping_add(w.cycle);
+        wheel.schedule(w.cycle + 1 + (w.token as u64 % spread), w.token);
+    }
+    acc
+}
+
+/// Drain with one coalesced `pop_due` call per distinct cycle (how the
+/// NDP batch driver services all same-cycle completions in one round).
+fn drain_coalesced(n: usize, spread: u64) -> u64 {
+    let g = gaps(n, spread);
+    let mut wheel = EventWheel::new(0);
+    for (i, &d) in g.iter().enumerate() {
+        wheel.schedule(d, i as u32);
+    }
+    let mut due = Vec::new();
+    let mut acc = 0u64;
+    while let Some(cycle) = wheel.next_due() {
+        wheel.pop_due(cycle, &mut due);
+        acc = acc.wrapping_add(due.len() as u64);
+        due.clear();
+    }
+    acc
+}
+
+fn merge_wheels(n: usize, spread: u64) -> usize {
+    let g = gaps(n, spread);
+    let mut a = EventWheel::new(0);
+    let mut b = EventWheel::new(0);
+    for (i, &d) in g.iter().enumerate() {
+        if i % 2 == 0 {
+            a.schedule(d, i as u32);
+        } else {
+            b.schedule(d, i as u32);
+        }
+    }
+    a.merge(&b);
+    a.len()
+}
+
+fn bench_wheel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_wheel");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        // spread ~4n keeps a realistic near/far mix for every size.
+        let spread = (4 * n) as u64;
+        group.bench_function(format!("insert-pop-{n}"), |b| {
+            b.iter(|| insert_pop(black_box(n), spread))
+        });
+        group.bench_function(format!("churn-{n}"), |b| {
+            b.iter(|| churn(black_box(n), 4 * n, spread))
+        });
+        group.bench_function(format!("drain-coalesced-{n}"), |b| {
+            b.iter(|| drain_coalesced(black_box(n), spread))
+        });
+        group.bench_function(format!("merge-{n}"), |b| {
+            b.iter(|| merge_wheels(black_box(n), spread))
+        });
+    }
+    group.finish();
+}
+
+/// Coalesced vs. per-QSHR polling on a same-cycle completion burst: the
+/// tick driver polled every in-flight sub-task each round, the wheel
+/// driver services exactly the due set.
+fn bench_polling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ndp_polling");
+    let inflight = 1024usize;
+    // 32 distinct completion cycles, 32 sub-tasks due at each.
+    let per_cycle = inflight / 32;
+    group.bench_function("coalesced-pop-due", |b| {
+        b.iter(|| {
+            let mut wheel = EventWheel::new(0);
+            for i in 0..inflight {
+                wheel.schedule(1 + (i / per_cycle) as u64, i as u32);
+            }
+            let mut due = Vec::new();
+            let mut serviced = 0usize;
+            while let Some(cycle) = wheel.next_due() {
+                wheel.pop_due(cycle, &mut due);
+                serviced += due.len();
+                due.clear();
+            }
+            black_box(serviced)
+        })
+    });
+    group.bench_function("per-qshr-scan", |b| {
+        b.iter(|| {
+            // The pre-wheel pattern: every visited cycle scans the whole
+            // in-flight set for ready sub-tasks.
+            let ready: Vec<u64> = (0..inflight).map(|i| 1 + (i / per_cycle) as u64).collect();
+            let mut done = vec![false; inflight];
+            let mut serviced = 0usize;
+            for cycle in 1..=(inflight / per_cycle) as u64 {
+                for i in 0..inflight {
+                    if !done[i] && ready[i] == cycle {
+                        done[i] = true;
+                        serviced += 1;
+                    }
+                }
+            }
+            black_box(serviced)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wheel, bench_polling);
+criterion_main!(benches);

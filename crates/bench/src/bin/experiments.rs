@@ -27,6 +27,10 @@ struct TimingRecord {
     name: String,
     seconds: f64,
     queries: u64,
+    /// DRAM cycles actually ticked by the cycle-accurate model.
+    cycles_simulated: u64,
+    /// DRAM cycles jumped over by the event-wheel / skip-ahead drivers.
+    cycles_skipped: u64,
 }
 
 /// Hand-rolled JSON (the repo deliberately carries no serde dependency).
@@ -47,16 +51,18 @@ fn timing_json(scale: Scale, threads: usize, records: &[TimingRecord]) -> String
     let _ = writeln!(s, "  \"total_seconds\": {total:.3},");
     s.push_str("  \"experiments\": [\n");
     for (i, r) in records.iter().enumerate() {
-        let qps = if r.seconds > 0.0 {
-            r.queries as f64 / r.seconds
+        // Experiments that replay no queries (table2, table4, ...) have no
+        // meaningful rate: emit null rather than a misleading 0.0.
+        let qps = if r.queries > 0 && r.seconds > 0.0 {
+            format!("{:.1}", r.queries as f64 / r.seconds)
         } else {
-            0.0
+            "null".to_string()
         };
         let _ = write!(
             s,
             "    {{\"name\": \"{}\", \"seconds\": {:.3}, \"queries_simulated\": {}, \
-             \"queries_per_sec\": {:.1}}}",
-            r.name, r.seconds, r.queries, qps
+             \"queries_per_sec\": {}, \"cycles_simulated\": {}, \"cycles_skipped\": {}}}",
+            r.name, r.seconds, r.queries, qps, r.cycles_simulated, r.cycles_skipped
         );
         s.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
@@ -129,6 +135,8 @@ fn main() {
     for name in &names {
         let t0 = std::time::Instant::now();
         let q0 = ansmet_sim::queries_simulated();
+        let c0 = ansmet_sim::cycles_simulated();
+        let k0 = ansmet_sim::cycles_skipped();
         match run_experiment_with_artifacts(name, scale) {
             Some((report, artifacts)) => {
                 println!("{report}");
@@ -138,6 +146,8 @@ fn main() {
                     name: name.clone(),
                     seconds,
                     queries: ansmet_sim::queries_simulated() - q0,
+                    cycles_simulated: ansmet_sim::cycles_simulated() - c0,
+                    cycles_skipped: ansmet_sim::cycles_skipped() - k0,
                 });
                 for a in artifacts {
                     // `experiments serve --json FILE` redirects the serving

@@ -91,6 +91,54 @@ fn run_stream(cfg: &DramConfig, ops: &[Op], skip: bool) -> StreamOutcome {
         guard += 1;
         assert!(guard < 50_000_000, "driver failed to converge");
     }
+    // The tick/skip accounting tiles the timeline: every cycle reached
+    // was either simulated or skipped, never both, never neither.
+    assert_eq!(
+        mem.cycles_ticked() + mem.cycles_skipped(),
+        mem.now(),
+        "cycle accounting does not tile [0, now)"
+    );
+    if !skip {
+        assert_eq!(mem.cycles_skipped(), 0, "tick driver skipped cycles");
+    }
+    done.sort_unstable();
+    (done, mem.stats().clone(), mem.rank_command_counts())
+}
+
+/// Drive `ops` with the explicit wakeup-driven drain APIs
+/// (`advance_until_accept` on back-pressure, `drain_all` at the end)
+/// instead of open-coded tick loops.
+fn run_stream_drained(cfg: &DramConfig, ops: &[Op]) -> StreamOutcome {
+    let mut mem = MemorySystem::new(cfg.clone());
+    let mut done: Vec<(u64, u64)> = Vec::new();
+    for (i, &(at, line, read, ndp)) in ops.iter().enumerate() {
+        // Wait out the arrival gap with bounded skip-ahead (`fast_forward_to`
+        // would jump over refresh cycles the tick reference performs).
+        while mem.now() < at {
+            mem.tick();
+            for r in mem.take_completed() {
+                done.push((r.id, r.finish));
+            }
+            mem.skip_to_event(at);
+        }
+        let kind = if read {
+            AccessKind::Read
+        } else {
+            AccessKind::Write
+        };
+        let port = if ndp { Port::Ndp } else { Port::Host };
+        mem.advance_until_accept(line * 64, port);
+        for r in mem.take_completed() {
+            done.push((r.id, r.finish));
+        }
+        mem.enqueue(Request::new(i as u64, kind, line * 64, port))
+            .expect("slot guaranteed by advance_until_accept");
+    }
+    mem.drain_all();
+    for r in mem.take_completed() {
+        done.push((r.id, r.finish));
+    }
+    assert_eq!(mem.cycles_ticked() + mem.cycles_skipped(), mem.now());
     done.sort_unstable();
     (done, mem.stats().clone(), mem.rank_command_counts())
 }
@@ -164,6 +212,35 @@ mod properties {
             prop_assert_eq!(done_t, done_s);
             prop_assert_eq!(stats_t, stats_s);
             prop_assert_eq!(counts_t, counts_s);
+        }
+
+        /// A shallow queue keeps back-pressure constant; skip-ahead must
+        /// not change when slots free up or requests are accepted.
+        fn random_streams_queue_pressure(seed in 0u64..100_000, ops in 8u64..48) {
+            let mut cfg = DramConfig::tiny();
+            cfg.refresh_enabled = true;
+            cfg.queue_depth = 3;
+            let s = stream(&cfg, seed, ops);
+            let (done_t, stats_t, counts_t) = run_stream(&cfg, &s, false);
+            let (done_s, stats_s, counts_s) = run_stream(&cfg, &s, true);
+            prop_assert_eq!(done_t, done_s);
+            prop_assert_eq!(stats_t, stats_s);
+            prop_assert_eq!(counts_t, counts_s);
+        }
+
+        /// The explicit drain APIs (`advance_until_accept`, `drain_all`)
+        /// are just packaged tick/skip loops: identical completions,
+        /// stats, and command streams as the per-cycle reference.
+        fn drain_apis_match_tick_reference(seed in 0u64..100_000, ops in 4u64..40) {
+            let mut cfg = DramConfig::tiny();
+            cfg.refresh_enabled = true;
+            cfg.queue_depth = 4;
+            let s = stream(&cfg, seed, ops);
+            let (done_t, stats_t, counts_t) = run_stream(&cfg, &s, false);
+            let (done_d, stats_d, counts_d) = run_stream_drained(&cfg, &s);
+            prop_assert_eq!(done_t, done_d);
+            prop_assert_eq!(stats_t, stats_d);
+            prop_assert_eq!(counts_t, counts_d);
         }
     }
 }

@@ -23,7 +23,7 @@ use ansmet_host::RetryPolicy;
 use ansmet_index::HopKind;
 use ansmet_ndp::{Partitioner, ResultPayload};
 use ansmet_obs::{EventKind, NoopSink, Phase, TraceSink};
-use ansmet_sim::{Design, RecoveryReport, SystemConfig, WaveContext, Workload};
+use ansmet_sim::{Design, EventWheel, RecoveryReport, SystemConfig, WaveContext, Workload};
 
 use crate::arrival::{generate_arrivals, Arrival, TenantSpec};
 use crate::histogram::LatencyHistogram;
@@ -170,6 +170,11 @@ impl ServeConfig {
 /// Weighted-fair-queueing virtual-time scale: tags advance by
 /// `WFQ_SCALE / weight` per dispatched query, all in integer arithmetic.
 const WFQ_SCALE: u64 = 1 << 20;
+
+/// Serve-clock timer tokens (agents on the shared [`EventWheel`]).
+const WAKE_ARRIVAL: u32 = 0;
+const WAKE_DEVICE_FREE: u32 = 1;
+const WAKE_LINGER: u32 = 2;
 
 /// Cycles one abandoned poll window costs when a batch times out
 /// (mirrors the degraded-mode runner's deadline scale).
@@ -440,6 +445,11 @@ pub fn run_serve_with_sink<S: TraceSink>(
     let mut batches = 0u64;
     let mut batched_queries = 0u64;
     let mut makespan = 0u64;
+    // All serve-clock timers (next arrival, device-free, batch linger)
+    // register wakeups here; the loop advances by popping the earliest.
+    // Exactly one timer is armed per idle decision, so the pop returns
+    // the same cycle the pre-wheel code computed inline.
+    let mut timers = EventWheel::new(0);
 
     loop {
         // Brownout: detected capacity loss (open breakers) tightens
@@ -486,11 +496,16 @@ pub fn run_serve_with_sink<S: TraceSink>(
             if ev >= arrivals.len() {
                 break;
             }
-            now = now.max(arrivals[ev].cycle);
+            timers.schedule(arrivals[ev].cycle.max(now), WAKE_ARRIVAL);
+            now = timers.pop_next().expect("arrival timer armed").cycle;
             continue;
         }
         if device_free > now {
-            now = device_free;
+            // Queries arriving while the device is busy are admitted
+            // retroactively at their own arrival cycle, so the wakeup
+            // jumps straight to device-free.
+            timers.schedule(device_free, WAKE_DEVICE_FREE);
+            now = timers.pop_next().expect("device timer armed").cycle;
             continue;
         }
         // Batch-formation decision.
@@ -507,7 +522,8 @@ pub fn run_serve_with_sink<S: TraceSink>(
             let wake = arrivals[ev]
                 .cycle
                 .min(oldest.saturating_add(serve.batch.max_linger_cycles));
-            now = wake.max(now + 1);
+            timers.schedule(wake.max(now + 1), WAKE_LINGER);
+            now = timers.pop_next().expect("linger timer armed").cycle;
             continue;
         }
 

@@ -68,7 +68,7 @@ fn experiment_config(seed: u64, capacity_qps: f64, queries: usize, slo_cycles: u
 /// `json` is the `BENCH_serving.json` artifact body.
 pub fn serve_experiment(scale: Scale) -> (String, String) {
     let spec = scale.spec(SynthSpec::sift());
-    let wl = Workload::prepare(&spec, 10, None);
+    let wl = Workload::prepare_shared(&spec, 10, None);
     let cfg = SystemConfig::default();
     let mem_clock = cfg.dram.clock_mhz;
     let queries = match scale {
@@ -210,7 +210,7 @@ fn storm_line(r: &ServeReport) -> String {
 /// served-results fingerprint must be identical across them.
 pub fn resilience_experiment(scale: Scale) -> (String, String) {
     let spec = scale.spec(SynthSpec::sift());
-    let wl = Workload::prepare(&spec, 10, None);
+    let wl = Workload::prepare_shared(&spec, 10, None);
     let cfg = SystemConfig::default();
     let mem_clock = cfg.dram.clock_mhz;
     let queries = match scale {

@@ -7,16 +7,16 @@ use ansmet_vecdata::SynthSpec;
 use crate::design::Design;
 use crate::experiment::Scale;
 use crate::report::{speedup, Table};
-use crate::timing::run_design;
+use crate::timing::run_design_shared;
 use crate::workload::Workload;
 use crate::SystemConfig;
 
 /// Run the ablation table.
 pub fn ablation(scale: Scale) -> String {
     let spec = scale.spec(SynthSpec::deep());
-    let wl = Workload::prepare(&spec, 10, None);
+    let wl = Workload::prepare_shared(&spec, 10, None);
     let full_cfg = SystemConfig::default();
-    let full = run_design(Design::NdpEtOpt, &wl, &full_cfg);
+    let full = run_design_shared(Design::NdpEtOpt, &wl, &full_cfg);
     let norm = full.total_cycles as f64;
     let norm_lines = full.total_lines() as f64;
 
@@ -25,7 +25,7 @@ pub fn ablation(scale: Scale) -> String {
         &["variant", "rel. latency", "rel. traffic", "what it shows"],
     );
     let mut row = |label: &str, design: Design, cfg: &SystemConfig, note: &str| {
-        let r = run_design(design, &wl, cfg);
+        let r = run_design_shared(design, &wl, cfg);
         t.row(vec![
             label.to_string(),
             speedup(r.total_cycles as f64 / norm),

@@ -34,7 +34,7 @@ fn profiles() -> Vec<(&'static str, FaultRates)> {
 /// against the fault-free run.
 pub fn faults(scale: Scale) -> String {
     let spec = scale.spec(SynthSpec::sift());
-    let wl = Workload::prepare(&spec, 10, None);
+    let wl = Workload::prepare_shared(&spec, 10, None);
     let cfg = SystemConfig::default();
     let retry = RetryPolicy::default_ndp();
     let ops = wl

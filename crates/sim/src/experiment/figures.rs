@@ -33,7 +33,7 @@ use crate::design::Design;
 use crate::energy::SystemEnergyModel;
 use crate::experiment::Scale;
 use crate::report::{pct, speedup, Table};
-use crate::timing::run_design;
+use crate::timing::{run_design, run_design_shared};
 use crate::workload::{IndexKind, Workload};
 use crate::SystemConfig;
 
@@ -52,8 +52,8 @@ pub fn fig1(scale: Scale) -> String {
     let cfg = SystemConfig::default();
     for (kind, label) in [(IndexKind::Hnsw, "HNSW"), (IndexKind::Ivf, "IVF")] {
         for spec in [scale.spec(SynthSpec::sift()), scale.spec(SynthSpec::gist())] {
-            let wl = Workload::prepare_with_index(&spec, 10, None, kind);
-            let r = run_design(Design::CpuBase, &wl, &cfg);
+            let wl = Workload::prepare_shared_with_index(&spec, 10, None, kind);
+            let r = run_design_shared(Design::CpuBase, &wl, &cfg);
             let dist = r.breakdown.dist_comp as f64;
             let other = (r.total_cycles - r.breakdown.dist_comp) as f64;
             let total = r.total_cycles as f64;
@@ -143,11 +143,11 @@ pub fn fig6(scale: Scale, ks: &[usize]) -> String {
         let mut geo: Vec<f64> = vec![1.0; 8];
         let mut n = 0usize;
         for spec in scale.datasets() {
-            let wl = Workload::prepare(&spec, k, None);
-            let base = run_design(Design::CpuBase, &wl, &cfg).total_cycles as f64;
+            let wl = Workload::prepare_shared(&spec, k, None);
+            let base = run_design_shared(Design::CpuBase, &wl, &cfg).total_cycles as f64;
             let mut row = vec![wl.name.clone()];
             for (i, d) in Design::all().iter().skip(1).enumerate() {
-                let r = run_design(*d, &wl, &cfg);
+                let r = run_design_shared(*d, &wl, &cfg);
                 let s = base / r.total_cycles as f64;
                 geo[i] *= s;
                 row.push(speedup(s));
@@ -192,13 +192,15 @@ pub fn fig7(scale: Scale) -> String {
         ],
     );
     for spec in scale.datasets() {
-        let wl = Workload::prepare(&spec, 10, None);
+        let wl = Workload::prepare_shared(&spec, 10, None);
         let base = model
-            .compute(&run_design(Design::CpuBase, &wl, &cfg), &cfg)
+            .compute(&run_design_shared(Design::CpuBase, &wl, &cfg), &cfg)
             .total_nj();
         let mut row = vec![wl.name.clone()];
         for d in designs {
-            let e = model.compute(&run_design(d, &wl, &cfg), &cfg).total_nj();
+            let e = model
+                .compute(&run_design_shared(d, &wl, &cfg), &cfg)
+                .total_nj();
             row.push(format!("{:.3}", e / base));
         }
         t.row(row);
@@ -213,7 +215,7 @@ pub fn fig8(scale: Scale) -> String {
     let mut out = String::new();
     for base_spec in [SynthSpec::sift(), SynthSpec::gist()] {
         let spec = scale.spec(base_spec);
-        let mut wl = Workload::prepare(&spec, 10, Some(10));
+        let mut wl = Workload::prepare_owned(&spec, 10, Some(10));
         let mut t = Table::new(
             format!("Fig.8: recall vs QPS — {}", wl.name),
             &[
@@ -225,7 +227,11 @@ pub fn fig8(scale: Scale) -> String {
             ],
         );
         for ef in [10usize, 20, 40, 80, 160] {
-            wl.retrace(ef);
+            // retrace is deterministic, so the prepared ef=10 traces are
+            // already exactly what retrace(10) would rebuild.
+            if wl.ef != ef {
+                wl.retrace(ef);
+            }
             let mut row = vec![ef.to_string(), format!("{:.3}", wl.recall)];
             for d in [Design::CpuBase, Design::NdpBase, Design::NdpEtOpt] {
                 let r = run_design(d, &wl, &cfg);
@@ -244,7 +250,7 @@ pub fn fig8(scale: Scale) -> String {
 /// Normalized to NDP-Base.
 pub fn fig9(scale: Scale) -> String {
     let spec = scale.spec(SynthSpec::sift());
-    let wl = Workload::prepare(&spec, 10, None);
+    let wl = Workload::prepare_shared(&spec, 10, None);
     let runs = [
         ("CPU-Base", Design::CpuBase, SystemConfig::default()),
         ("NDP-Base", Design::NdpBase, SystemConfig::default()),
@@ -259,7 +265,8 @@ pub fn fig9(scale: Scale) -> String {
             SystemConfig::default(),
         ),
     ];
-    let norm = run_design(Design::NdpBase, &wl, &SystemConfig::default()).total_cycles as f64;
+    let norm =
+        run_design_shared(Design::NdpBase, &wl, &SystemConfig::default()).total_cycles as f64;
     let mut t = Table::new(
         "Fig.9: latency breakdown (normalized to NDP-Base)",
         &[
@@ -272,7 +279,7 @@ pub fn fig9(scale: Scale) -> String {
         ],
     );
     for (label, d, cfg) in runs {
-        let r = run_design(d, &wl, &cfg);
+        let r = run_design_shared(d, &wl, &cfg);
         let b = r.breakdown;
         t.row(vec![
             label.to_string(),
@@ -301,10 +308,10 @@ pub fn fig10(scale: Scale) -> String {
         ],
     );
     for spec in scale.datasets() {
-        let wl = Workload::prepare(&spec, 10, None);
-        let base = run_design(Design::NdpBase, &wl, &cfg).total_lines() as f64;
+        let wl = Workload::prepare_shared(&spec, 10, None);
+        let base = run_design_shared(Design::NdpBase, &wl, &cfg).total_lines() as f64;
         for d in Design::ndp_designs() {
-            let r = run_design(d, &wl, &cfg);
+            let r = run_design_shared(d, &wl, &cfg);
             t.row(vec![
                 wl.name.clone(),
                 d.label().to_string(),
@@ -325,7 +332,7 @@ pub fn fig10(scale: Scale) -> String {
 /// threshold percentile (DEEP dataset).
 pub fn fig11(scale: Scale) -> String {
     let spec = scale.spec(SynthSpec::deep());
-    let wl = Workload::prepare(&spec, 10, None);
+    let wl = Workload::prepare_shared(&spec, 10, None);
     let data = &wl.data;
     // "True" distribution: the early-termination positions real queries
     // produce on the full dataset, under the thresholds the search
@@ -409,7 +416,7 @@ pub fn fig11(scale: Scale) -> String {
 /// 256 B / 512 B / 1 kB / 2 kB, Horizontal. Normalized to Hybrid 1 kB.
 pub fn fig12(scale: Scale) -> String {
     let spec = scale.spec(SynthSpec::gist());
-    let wl = Workload::prepare(&spec, 10, None);
+    let wl = Workload::prepare_shared(&spec, 10, None);
     let schemes = [
         ("Vertical", PartitionScheme::Vertical),
         ("Hybrid 256B", PartitionScheme::Hybrid { subvec_bytes: 256 }),
@@ -418,7 +425,7 @@ pub fn fig12(scale: Scale) -> String {
         ("Hybrid 2kB", PartitionScheme::Hybrid { subvec_bytes: 2048 }),
         ("Horizontal", PartitionScheme::Horizontal),
     ];
-    let base = run_design(
+    let base = run_design_shared(
         Design::NdpEtOpt,
         &wl,
         &SystemConfig::default().with_partition(PartitionScheme::Hybrid { subvec_bytes: 1024 }),
@@ -433,7 +440,7 @@ pub fn fig12(scale: Scale) -> String {
         ],
     );
     for (label, scheme) in schemes {
-        let r = run_design(
+        let r = run_design_shared(
             Design::NdpEtOpt,
             &wl,
             &SystemConfig::default().with_partition(scheme),
@@ -451,7 +458,7 @@ pub fn fig12(scale: Scale) -> String {
 /// with uniform and zipf-skewed query mixes (GIST).
 pub fn loadbal(scale: Scale) -> String {
     let spec = scale.spec(SynthSpec::gist());
-    let mut wl = Workload::prepare(&spec, 10, None);
+    let mut wl = Workload::prepare_owned(&spec, 10, None);
     let mut t = Table::new(
         "§5.3: rank load imbalance (max / average)",
         &["query mix", "no replication", "with replication"],

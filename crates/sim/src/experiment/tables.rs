@@ -10,7 +10,7 @@ use ansmet_vecdata::{recall::mean_recall_at_k, SynthSpec};
 use crate::design::Design;
 use crate::experiment::Scale;
 use crate::report::{pct, speedup, Table};
-use crate::timing::run_design;
+use crate::timing::{run_design, run_design_shared};
 use crate::workload::Workload;
 use crate::SystemConfig;
 
@@ -50,19 +50,19 @@ pub fn table3(scale: Scale) -> String {
         &["units", "geomean speedup", "scaling vs 8 units"],
     );
     // Enough queries to keep all 16 streams busy.
-    let workloads: Vec<Workload> = scale
+    let workloads: Vec<_> = scale
         .datasets()
         .into_iter()
         .map(|s| {
             let n = s.n_vectors;
-            Workload::prepare(&s.scaled(n, 32), 10, None)
+            Workload::prepare_shared(&s.scaled(n, 32), 10, None)
         })
         .collect();
     let cfg0 = SystemConfig::default();
     let cpu_qps: Vec<f64> = workloads
         .iter()
         .map(|wl| {
-            let r = run_design(Design::CpuBase, wl, &cfg0);
+            let r = run_design_shared(Design::CpuBase, wl, &cfg0);
             r.qps(cfg0.dram.clock_mhz) * cfg0.cpu.cores as f64
         })
         .collect();
@@ -89,7 +89,7 @@ pub fn table4(scale: Scale) -> String {
         &["dataset", "preproc (s)", "graph constr (s)", "overhead"],
     );
     for spec in scale.datasets() {
-        let wl = Workload::prepare(&spec, 10, Some(10));
+        let wl = Workload::prepare_shared(&spec, 10, Some(10));
         let data = &wl.data;
         let t0 = std::time::Instant::now();
         // The full offline pipeline: sampling, prefix selection, dual
@@ -126,13 +126,13 @@ pub fn table4(scale: Scale) -> String {
 /// backup re-check is disabled.
 pub fn table5(scale: Scale) -> String {
     let spec = scale.spec(SynthSpec::spacev());
-    let wl = Workload::prepare(&spec, 10, None);
+    let wl = Workload::prepare_shared(&spec, 10, None);
     let data = &wl.data;
     let dtype = data.dtype();
     let cfg = SystemConfig::default();
     // Baseline: ET without prefix elimination.
     let base_cycles = {
-        let r = run_design(Design::NdpEtDual, &wl, &cfg);
+        let r = run_design_shared(Design::NdpEtDual, &wl, &cfg);
         r.total_cycles as f64
     };
 
@@ -148,12 +148,15 @@ pub fn table5(scale: Scale) -> String {
             "recall loss w/o backup",
         ],
     );
+    // One owned workload, re-used across outlier fractions: preparation
+    // is deterministic, so mutating `outlier_frac` between replays is
+    // identical to preparing a fresh workload per fraction.
+    let mut wl2 = Workload::prepare_owned(&scale.spec(SynthSpec::spacev()), 10, Some(wl.ef));
     for frac in [0.0, 0.0001, 0.001, 0.01, 0.2] {
         let spec_p = PrefixSpec::choose(data, &wl.profile.sample_ids, frac);
         let stats = spec_p.stats(data);
         // Run NDP-ETOpt with this prefix spec by overriding the workload's
         // outlier fraction.
-        let mut wl2 = Workload::prepare(&scale.spec(SynthSpec::spacev()), 10, Some(wl.ef));
         wl2.outlier_frac = frac;
         let r = run_design(Design::NdpEtOpt, &wl2, &cfg);
         let extra_accesses =

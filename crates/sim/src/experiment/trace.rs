@@ -38,7 +38,7 @@ pub struct TraceBundle {
 /// end-to-end cycles (the attribution-exactness contract).
 pub fn trace_bundle(scale: Scale) -> TraceBundle {
     let spec = scale.spec(SynthSpec::sift());
-    let wl = Workload::prepare(&spec, 10, None);
+    let wl = Workload::prepare_shared(&spec, 10, None);
     let cfg = SystemConfig::default();
     let design = Design::NdpEtOpt;
     let opts = TraceOptions {

@@ -32,6 +32,7 @@ pub mod design;
 pub mod energy;
 pub mod error;
 pub mod etplan;
+pub mod events;
 pub mod experiment;
 pub mod parallel;
 pub mod report;
@@ -44,9 +45,15 @@ pub use degraded::{run_degraded, DegradedRunResult, FaultyNdpOracle, RecoveryRep
 pub use design::{Design, DesignPlan, EtKind};
 pub use energy::{EnergyBreakdown, SystemEnergyModel};
 pub use error::AnsmetError;
-pub use parallel::{default_threads, queries_simulated, set_default_threads};
+pub use events::{EventWheel, Wakeup};
+pub use parallel::{
+    cycles_simulated, cycles_skipped, default_threads, queries_simulated, set_default_threads,
+};
 pub use throughput::{
     run_design_throughput, saturated_capacity_qps, BatchExecution, ThroughputResult, WaveContext,
 };
-pub use timing::{run_design, run_design_traced, QueryBreakdown, RunResult, TraceOptions};
+pub use timing::{
+    batch_driver, run_design, run_design_shared, run_design_traced, set_batch_driver, BatchDriver,
+    QueryBreakdown, RunResult, TraceOptions,
+};
 pub use workload::Workload;

@@ -10,6 +10,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(1);
 static QUERIES_SIMULATED: AtomicU64 = AtomicU64::new(0);
+static CYCLES_SIMULATED: AtomicU64 = AtomicU64::new(0);
+static CYCLES_SKIPPED: AtomicU64 = AtomicU64::new(0);
 
 /// Set the thread count `Parallelism::Auto` resolves to (clamped ≥ 1).
 pub fn set_default_threads(n: usize) {
@@ -30,4 +32,26 @@ pub fn queries_simulated() -> u64 {
 
 pub(crate) fn record_queries(n: u64) {
     QUERIES_SIMULATED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// DRAM cycles actually stepped (`tick` calls) since process start,
+/// summed over every memory system the simulator instantiated.
+pub fn cycles_simulated() -> u64 {
+    CYCLES_SIMULATED.load(Ordering::Relaxed)
+}
+
+/// DRAM cycles the event machinery jumped over without ticking since
+/// process start. `skipped / (simulated + skipped)` is the fraction of
+/// simulated time that cost nothing — the skip-effectiveness number the
+/// timing report records per experiment.
+pub fn cycles_skipped() -> u64 {
+    CYCLES_SKIPPED.load(Ordering::Relaxed)
+}
+
+/// Fold one retired memory system's tick/skip counters into the
+/// process-wide totals. Sums are order-independent, so parallel replay
+/// reports the same totals as serial.
+pub(crate) fn record_mem_cycles(mem: &ansmet_dram::MemorySystem) {
+    CYCLES_SIMULATED.fetch_add(mem.cycles_ticked(), Ordering::Relaxed);
+    CYCLES_SKIPPED.fetch_add(mem.cycles_skipped(), Ordering::Relaxed);
 }

@@ -297,6 +297,7 @@ impl<'a> WaveContext<'a> {
                 .collect();
         }
 
+        crate::parallel::record_mem_cycles(&mem);
         BatchExecution {
             total_cycles: clock.max(1),
             per_query_cycles: retire,

@@ -7,8 +7,8 @@
 //! on the NDP designs through per-rank QSHRs issuing rank-local fetches.
 //! All data movement goes through the cycle-accurate DDR5 simulator.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 
 use ansmet_core::{EtEngine, EtObserver};
 use ansmet_dram::{AccessKind, CommandKind, Location, MemorySystem, Port, Request};
@@ -22,6 +22,7 @@ use ansmet_obs::{
 
 use crate::config::SystemConfig;
 use crate::design::{Design, DesignPlan};
+use crate::events::{EventWheel, Wakeup};
 use crate::workload::Workload;
 
 /// Per-query latency breakdown (Fig. 9 buckets), in memory cycles.
@@ -173,7 +174,7 @@ fn rank_line_addr(mem: &MemorySystem, global_rank: usize, line_idx: u64) -> u64 
 }
 
 /// One comparison sub-task bound for one rank.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct SubTask {
     rank: usize,
     lines_left: usize,
@@ -201,6 +202,36 @@ impl SubTask {
     }
 }
 
+/// Which driver advances time inside [`run_ndp_batch`].
+///
+/// Both produce bit-identical results; `Tick` is the original
+/// scan-every-sub-each-cycle reference kept for equivalence testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchDriver {
+    /// Event-wheel driver: wakeups (compute-gap expiries, admissions)
+    /// are scheduled explicitly and dead spans are jumped. The default.
+    Wheel,
+    /// Reference driver: rescans every sub-task at every visited cycle.
+    Tick,
+}
+
+static BATCH_DRIVER: AtomicU8 = AtomicU8::new(0);
+
+/// Select the batch time-stepping driver process-wide. Test hook for
+/// wheel-vs-tick equivalence runs; production code never calls this.
+#[doc(hidden)]
+pub fn set_batch_driver(driver: BatchDriver) {
+    BATCH_DRIVER.store(driver as u8, Ordering::Relaxed);
+}
+
+/// The currently selected batch driver.
+pub fn batch_driver() -> BatchDriver {
+    match BATCH_DRIVER.load(Ordering::Relaxed) {
+        0 => BatchDriver::Wheel,
+        _ => BatchDriver::Tick,
+    }
+}
+
 /// Executes the per-hop batch on the NDP units; returns the cycle when
 /// the last sub-task finished.
 ///
@@ -209,8 +240,248 @@ impl SubTask {
 /// `trace_base + (cycle - t0)`, so they land inside the caller's
 /// attribution-clock `dist_comp` span. With a [`NoopSink`] the calls
 /// monomorphize to nothing.
+///
+/// With the `dual-driver` feature, every call additionally replays the
+/// batch on the tick-driven reference and asserts the two drivers agree
+/// on every observable: finish cycle, memory clock, stats, per-rank
+/// command counts, request-id cursor, and each sub-task's completion
+/// cycle.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_ndp_batch<S: TraceSink>(
+    mem: &mut MemorySystem,
+    subs: &mut [SubTask],
+    qshrs_per_rank: usize,
+    req_base: &mut u64,
+    t0: u64,
+    sink: &mut S,
+    trace_base: u64,
+) -> u64 {
+    #[cfg(feature = "dual-driver")]
+    let reference = {
+        let mut mem_ref = mem.clone();
+        let mut subs_ref: Vec<SubTask> = subs.to_vec();
+        let mut req_ref = *req_base;
+        let fin = run_ndp_batch_tick(
+            &mut mem_ref,
+            &mut subs_ref,
+            qshrs_per_rank,
+            &mut req_ref,
+            t0,
+            &mut NoopSink,
+            trace_base,
+        );
+        (mem_ref, subs_ref, req_ref, fin)
+    };
+
+    let finish = match batch_driver() {
+        BatchDriver::Wheel => {
+            run_ndp_batch_wheel(mem, subs, qshrs_per_rank, req_base, t0, sink, trace_base)
+        }
+        BatchDriver::Tick => {
+            run_ndp_batch_tick(mem, subs, qshrs_per_rank, req_base, t0, sink, trace_base)
+        }
+    };
+
+    #[cfg(feature = "dual-driver")]
+    {
+        let (mem_ref, subs_ref, req_ref, fin_ref) = reference;
+        assert_eq!(finish, fin_ref, "dual-driver: finish cycle diverged");
+        assert_eq!(mem.now(), mem_ref.now(), "dual-driver: clock diverged");
+        assert_eq!(*req_base, req_ref, "dual-driver: request ids diverged");
+        assert_eq!(mem.stats(), mem_ref.stats(), "dual-driver: stats diverged");
+        assert_eq!(
+            mem.rank_command_counts(),
+            mem_ref.rank_command_counts(),
+            "dual-driver: command counts diverged"
+        );
+        for (i, (s, r)) in subs.iter().zip(&subs_ref).enumerate() {
+            assert_eq!(
+                s.finished_at, r.finished_at,
+                "dual-driver: sub-task {i} completion diverged"
+            );
+        }
+    }
+
+    finish
+}
+
+/// Event-wheel batch driver. Each visited cycle costs O(due wakeups +
+/// completions) instead of the reference driver's O(all sub-tasks):
+/// compute-gap expiries live in an [`EventWheel`], unadmitted sub-tasks
+/// wait in per-rank queues scanned only when a QSHR frees, and the skip
+/// target is `min(DRAM event horizon, wheel.next_due())`.
+///
+/// Cycle-for-cycle equivalent to [`run_ndp_batch_tick`] by construction:
+/// fetches enqueue at the same cycles (admission order is ascending
+/// sub-index, retries after a queue-full block happen at the very next
+/// cycle), ticks and skips interleave identically, and sink events fire
+/// in the same order at the same rebased times.
+#[allow(clippy::too_many_arguments)]
+fn run_ndp_batch_wheel<S: TraceSink>(
+    mem: &mut MemorySystem,
+    subs: &mut [SubTask],
+    qshrs_per_rank: usize,
+    req_base: &mut u64,
+    t0: u64,
+    sink: &mut S,
+    trace_base: u64,
+) -> u64 {
+    debug_assert!(mem.now() <= t0 || !mem.busy());
+    if mem.now() < t0 {
+        mem.fast_forward_to(t0).expect("idle fast-forward");
+    }
+    let mut finish_max = t0;
+    // Zero-line sub-tasks finish immediately.
+    for s in subs.iter_mut() {
+        s.ready_at = s.ready_at.max(t0);
+        if s.lines_left == 0 {
+            s.finished_at = Some(t0);
+        }
+    }
+    let n_ranks_total = mem.config().total_ranks();
+    let mut active_per_rank = vec![0usize; n_ranks_total];
+    // Unadmitted sub-tasks per rank, in ascending sub-index order (the
+    // reference driver's admission scan order).
+    let mut waiting: Vec<VecDeque<u32>> = vec![VecDeque::new(); n_ranks_total];
+    let mut remaining = 0usize;
+    for (i, s) in subs.iter().enumerate() {
+        if s.finished_at.is_none() {
+            waiting[s.rank].push_back(i as u32);
+            remaining += 1;
+        }
+    }
+    // Sub-tasks ready to issue a fetch this cycle (admitted, no
+    // outstanding request, compute gap elapsed). Queue-full failures
+    // stay and retry at the next cycle.
+    let mut issuable: Vec<u32> = Vec::new();
+    // Compute-gap expiries of admitted sub-tasks.
+    let mut wheel = EventWheel::new(mem.now());
+    let mut due: Vec<Wakeup> = Vec::new();
+    // Request id → sub index; batch ids are sequential, so a Vec indexed
+    // by `id - id_base` replaces the reference driver's hash map.
+    let id_base = *req_base;
+    let mut inflight: Vec<u32> = Vec::new();
+    // QSHR slots only free at completions, so the admission scan runs at
+    // the first cycle and after any completion — never in between.
+    let mut admit_scan = true;
+    let mut admitted_now: Vec<(u32, u32)> = Vec::new();
+
+    while remaining > 0 {
+        let now = mem.now();
+        // Wake admitted sub-tasks whose compute gap elapsed.
+        wheel.pop_due(now, &mut due);
+        for w in &due {
+            issuable.push(w.token);
+        }
+        if admit_scan {
+            admit_scan = false;
+            admitted_now.clear();
+            for (rank, q) in waiting.iter_mut().enumerate() {
+                while active_per_rank[rank] < qshrs_per_rank {
+                    match q.pop_front() {
+                        Some(i) => {
+                            active_per_rank[rank] += 1;
+                            admitted_now.push((i, active_per_rank[rank] as u32));
+                        }
+                        None => break,
+                    }
+                }
+            }
+            // Emit admissions in ascending sub-index order across ranks,
+            // matching the reference driver's single scan.
+            admitted_now.sort_unstable();
+            let at = trace_base + (now - t0);
+            for &(i, active) in &admitted_now {
+                let s = &subs[i as usize];
+                sink.event(
+                    at,
+                    EventKind::QshrAlloc {
+                        rank: s.rank as u32,
+                        active,
+                    },
+                );
+                sink.event(
+                    at,
+                    EventKind::GroupFetch {
+                        rank: s.rank as u32,
+                        lines: s.lines_left as u32,
+                    },
+                );
+                sink.gauge_max("ndp.qshr_active_max", active as u64);
+                issuable.push(i);
+            }
+        }
+        // Issue fetches in ascending sub-index order; a full rank queue
+        // blocks the sub (and suppresses the skip) until the next cycle.
+        let mut blocked = false;
+        if !issuable.is_empty() {
+            issuable.sort_unstable();
+            issuable.retain(|&iu| {
+                let addr = {
+                    let s = &subs[iu as usize];
+                    debug_assert!(s.outstanding.is_none() && s.lines_left > 0 && s.ready_at <= now);
+                    rank_line_addr(mem, s.rank, s.next_line)
+                };
+                let id = *req_base;
+                let req = Request::new(id, AccessKind::Read, addr, Port::Ndp);
+                if mem.enqueue(req).is_ok() {
+                    *req_base += 1;
+                    subs[iu as usize].outstanding = Some(id);
+                    inflight.push(iu);
+                    false
+                } else {
+                    blocked = true;
+                    true
+                }
+            });
+        }
+        mem.tick();
+        let now = mem.now();
+        let responses = mem.take_completed();
+        if responses.is_empty() && !blocked {
+            // Dead cycles until the DRAM model can act again or a compute
+            // gap elapses — jump straight there.
+            mem.skip_to_event(wheel.next_due().unwrap_or(u64::MAX));
+        }
+        for resp in responses {
+            let iu = inflight[(resp.id - id_base) as usize];
+            let s = &mut subs[iu as usize];
+            debug_assert_eq!(s.outstanding, Some(resp.id));
+            s.outstanding = None;
+            s.lines_left -= 1;
+            s.next_line += 1;
+            s.ready_at = now + s.compute_delay;
+            if s.lines_left == 0 {
+                let done = s.ready_at;
+                s.finished_at = Some(done);
+                finish_max = finish_max.max(done);
+                active_per_rank[s.rank] -= 1;
+                remaining -= 1;
+                admit_scan = true;
+                sink.event(
+                    trace_base + (done - t0),
+                    EventKind::QshrFree {
+                        rank: s.rank as u32,
+                        active: active_per_rank[s.rank] as u32,
+                    },
+                );
+            } else {
+                wheel.schedule(s.ready_at, iu);
+            }
+        }
+    }
+    // Let the memory system settle past the final compute.
+    if mem.now() < finish_max && !mem.busy() {
+        mem.fast_forward_to(finish_max).expect("idle fast-forward");
+    }
+    finish_max
+}
+
+/// Tick-driven reference batch driver: the original implementation,
+/// kept always-compiled as the equivalence oracle for the wheel driver
+/// (see [`BatchDriver`] and the `dual-driver` feature).
+#[allow(clippy::too_many_arguments)]
+fn run_ndp_batch_tick<S: TraceSink>(
     mem: &mut MemorySystem,
     subs: &mut [SubTask],
     qshrs_per_rank: usize,
@@ -541,6 +812,45 @@ pub fn run_design(design: Design, workload: &Workload, config: &SystemConfig) ->
     }
     crate::parallel::record_queries(n as u64);
     agg
+}
+
+/// Memoized [`run_design`] for cache-resident workloads.
+///
+/// Replay is a pure function of `(design, workload, config)`, and the
+/// experiment suite re-runs many identical combinations (the energy,
+/// speedup, and fetch-utilization figures all replay the same designs
+/// over the same datasets under the default config). The workload is
+/// identified by its [`Arc`] pointer — sound because shared workloads
+/// live forever in the [`Workload::prepare_shared`] cache and are
+/// immutable behind the `Arc` — and the config by its `Debug` rendering.
+///
+/// Hits still count toward [`crate::parallel::queries_simulated`] (the
+/// queries were logically replayed) but add no DRAM tick/skip cycles
+/// (no simulation actually ran).
+pub fn run_design_shared(
+    design: Design,
+    workload: &std::sync::Arc<Workload>,
+    config: &SystemConfig,
+) -> RunResult {
+    use std::sync::{Arc, Mutex, OnceLock};
+    type Key = (usize, Design, String);
+    static CACHE: OnceLock<Mutex<HashMap<Key, RunResult>>> = OnceLock::new();
+    let key = (
+        Arc::as_ptr(workload) as usize,
+        design,
+        format!("{config:?}"),
+    );
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(r) = cache.lock().expect("run cache poisoned").get(&key) {
+        crate::parallel::record_queries(workload.traces.len() as u64);
+        return r.clone();
+    }
+    let r = run_design(design, workload, config);
+    cache
+        .lock()
+        .expect("run cache poisoned")
+        .insert(key, r.clone());
+    r
 }
 
 /// Tracing knobs for [`run_design_traced`].
@@ -1032,34 +1342,20 @@ fn run_query_sink<S: TraceSink>(
                     }
                     let start = mem.now();
                     let base_line = (p.id as u64) * (full_lines as u64 + natural_lines as u64 + 2);
-                    let mut pending = 0usize;
                     for l in 0..lines as u64 {
                         let addr = (base_line + l) * 64;
                         let req = Request::new(req_base, AccessKind::Read, addr, Port::Host);
                         req_base += 1;
-                        if mem.enqueue(req).is_ok() {
-                            pending += 1;
-                        }
+                        let accepted = mem.enqueue(req).is_ok();
+                        debug_assert!(accepted, "host fetch dropped: queue full after wait");
+                        let _ = accepted;
                         // Respect queue capacity. Queue slots free only
                         // at command-issue events, so skipping dead
                         // cycles between them is exact.
-                        while !mem.can_accept((base_line + l + 1) * 64, Port::Host) && pending > 0 {
-                            mem.tick();
-                            let done = mem.take_completed().len();
-                            pending -= done;
-                            if done == 0 {
-                                mem.skip_to_event(u64::MAX);
-                            }
-                        }
+                        mem.advance_until_accept((base_line + l + 1) * 64, Port::Host);
                     }
-                    while pending > 0 {
-                        mem.tick();
-                        let done = mem.take_completed().len();
-                        pending -= done;
-                        if done == 0 {
-                            mem.skip_to_event(u64::MAX);
-                        }
-                    }
+                    mem.drain_all();
+                    mem.take_completed();
                     let drained = mem.now() - start;
                     let bw_floor = lines as u64 * contention;
                     clock += drained.max(bw_floor) + llc_mem;
@@ -1104,6 +1400,7 @@ fn run_query_sink<S: TraceSink>(
     qs.breakdown = bd;
     qs.rank_counts = mem.rank_command_counts();
     qs.rank_loads = loads.loads().to_vec();
+    crate::parallel::record_mem_cycles(&mem);
     qs
 }
 
