@@ -16,6 +16,8 @@
 //!   the experiment drivers regenerating the paper's tables and figures.
 //! * [`serve`] — the online serving layer: open-loop load generation,
 //!   dynamic batching, admission control, and tail-latency SLO reports.
+//! * [`freshness`] — online inserts/deletes, epoch compaction and layout
+//!   re-validation, checksummed snapshots, and churn-aware serving.
 //! * [`obs`] — the tracing & metrics layer: per-query flight recorder,
 //!   cycle attribution, Perfetto export, deterministic metric shards.
 //!
@@ -34,6 +36,7 @@
 
 pub use ansmet_core as core;
 pub use ansmet_dram as dram;
+pub use ansmet_freshness as freshness;
 pub use ansmet_host as host;
 pub use ansmet_index as index;
 pub use ansmet_ndp as ndp;

@@ -28,12 +28,15 @@ pub const EXPERIMENTS: &[&str] = &[
     "serve",
     "resilience",
     "trace",
+    "freshness",
 ];
 
 /// Default artifact file written by the `serve` experiment.
 pub const SERVING_ARTIFACT: &str = "BENCH_serving.json";
 /// Default artifact file written by the `resilience` experiment.
 pub const RESILIENCE_ARTIFACT: &str = "BENCH_resilience.json";
+/// Default artifact file written by the `freshness` experiment.
+pub const FRESHNESS_ARTIFACT: &str = "BENCH_freshness.json";
 /// Perfetto trace written by the `trace` experiment.
 pub const TRACE_ARTIFACT: &str = "trace.json";
 /// Metrics snapshot written by the `trace` experiment.
@@ -73,6 +76,16 @@ pub fn run_experiment_with_artifacts(name: &str, scale: Scale) -> Option<(String
                 text,
                 vec![Artifact {
                     path: RESILIENCE_ARTIFACT,
+                    body: with_provenance(&json),
+                }],
+            ))
+        }
+        "freshness" => {
+            let (text, json) = ansmet_freshness::freshness_experiment(scale);
+            Some((
+                text,
+                vec![Artifact {
+                    path: FRESHNESS_ARTIFACT,
                     body: with_provenance(&json),
                 }],
             ))
@@ -127,6 +140,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Option<String> {
         "faults" => e::faults(scale),
         "serve" => ansmet_serve::serve_experiment(scale).0,
         "resilience" => ansmet_serve::resilience_experiment(scale).0,
+        "freshness" => ansmet_freshness::freshness_experiment(scale).0,
         "trace" => e::trace(scale),
         _ => return None,
     };
@@ -189,8 +203,9 @@ mod tests {
 
     #[test]
     fn experiment_list_is_complete() {
-        assert_eq!(EXPERIMENTS.len(), 19);
+        assert_eq!(EXPERIMENTS.len(), 20);
         assert!(EXPERIMENTS.contains(&"resilience"));
+        assert!(EXPERIMENTS.contains(&"freshness"));
     }
 
     #[test]

@@ -111,6 +111,33 @@ impl PrefixSpec {
         }
     }
 
+    /// Reassemble a spec from snapshot parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is too long for the dtype or a prefix value does
+    /// not fit in `len` bits.
+    pub fn from_parts(dtype: ElemType, len: u32, dim_prefixes: Vec<u32>) -> Self {
+        assert!(
+            len < dtype.bits(),
+            "prefix length {len} out of range for {dtype:?}"
+        );
+        assert!(
+            len == 0 || dim_prefixes.iter().all(|&p| p >> len == 0),
+            "prefix value wider than the declared length"
+        );
+        PrefixSpec {
+            dtype,
+            len,
+            dim_prefixes,
+        }
+    }
+
+    /// The element datatype this spec applies to.
+    pub fn dtype(&self) -> ElemType {
+        self.dtype
+    }
+
     /// Eliminated prefix length `L`.
     pub fn len(&self) -> u32 {
         self.len
@@ -175,6 +202,17 @@ impl PrefixSpec {
         } else {
             1 + 32 - self.len.leading_zeros()
         }
+    }
+
+    /// Number of vectors among `ids` that contain at least one outlier
+    /// element under this spec — the epoch manager's re-validation
+    /// signal: a mutated corpus whose outlier count outgrows the chosen
+    /// budget needs its prefix re-chosen (or the affected vectors demoted
+    /// to conservative full fetch).
+    pub fn outlier_vector_count(&self, data: &Dataset, ids: &[usize]) -> usize {
+        ids.iter()
+            .filter(|&&id| self.vector_has_outlier(data, id))
+            .count()
     }
 
     /// Dataset-wide statistics (outlier fractions, space saved/added).

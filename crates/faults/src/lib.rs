@@ -34,6 +34,7 @@
 pub mod injector;
 pub mod json;
 pub mod plan;
+pub mod snapshot;
 pub mod storm;
 
 pub use injector::{ComputeFault, FaultInjector, FaultStats};

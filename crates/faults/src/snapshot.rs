@@ -1,0 +1,107 @@
+//! Durable-state fault models: snapshot corruption and torn writes.
+//!
+//! The freshness subsystem persists epoch snapshots (index, layout plan,
+//! and epoch metadata) to byte buffers guarded by a trailing checksum.
+//! This module supplies the *attack side* for its recovery tests: flip a
+//! single bit or byte (media corruption, a bad DMA), or truncate the
+//! tail (a torn write — power loss mid-`write(2)` leaves a prefix).
+//! Both are pure functions over the buffer so tests stay deterministic.
+
+/// XOR one byte of `buf` with `mask` (a single-event upset when `mask`
+/// has one bit set, a wild write otherwise). Returns the original byte.
+///
+/// # Panics
+///
+/// Panics if `offset` is out of range or `mask` is zero (a zero mask is
+/// a no-op "corruption" that would silently pass round-trip tests).
+pub fn flip_byte(buf: &mut [u8], offset: usize, mask: u8) -> u8 {
+    assert!(
+        offset < buf.len(),
+        "corruption offset {offset} outside buffer of {} bytes",
+        buf.len()
+    );
+    assert_ne!(mask, 0, "a zero mask does not corrupt anything");
+    let original = buf[offset];
+    buf[offset] ^= mask;
+    original
+}
+
+/// Simulate a torn write: keep only the first `kept` bytes of the
+/// snapshot (the prefix that reached the medium before the tear).
+///
+/// # Panics
+///
+/// Panics if `kept >= buf.len()` — an untorn "tear" would defeat the
+/// test's purpose.
+pub fn torn_tail(buf: &[u8], kept: usize) -> Vec<u8> {
+    assert!(
+        kept < buf.len(),
+        "torn write must lose at least one byte ({kept} >= {})",
+        buf.len()
+    );
+    buf[..kept].to_vec()
+}
+
+/// Deterministic corruption offset for seed `s` over a buffer of `len`
+/// bytes: a splitmix-style hash so sweeps over seeds touch varied
+/// regions (header, payload, checksum trailer) without an RNG dependency.
+pub fn corruption_offset(seed: u64, len: usize) -> usize {
+    assert!(len > 0, "cannot corrupt an empty buffer");
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % len as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_byte_round_trips() {
+        let mut buf = vec![0u8, 1, 2, 3];
+        let orig = flip_byte(&mut buf, 2, 0b0100);
+        assert_eq!(orig, 2);
+        assert_eq!(buf[2], 6);
+        flip_byte(&mut buf, 2, 0b0100);
+        assert_eq!(buf, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero mask")]
+    fn zero_mask_rejected() {
+        flip_byte(&mut [1, 2, 3], 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside buffer")]
+    fn out_of_range_offset_rejected() {
+        flip_byte(&mut [1, 2], 5, 1);
+    }
+
+    #[test]
+    fn torn_tail_keeps_prefix() {
+        let buf = vec![9u8; 10];
+        let torn = torn_tail(&buf, 4);
+        assert_eq!(torn, vec![9u8; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lose at least one byte")]
+    fn untorn_tear_rejected() {
+        let buf = vec![0u8; 3];
+        let _ = torn_tail(&buf, 3);
+    }
+
+    #[test]
+    fn corruption_offsets_are_deterministic_and_spread() {
+        let a = corruption_offset(1, 1000);
+        let b = corruption_offset(1, 1000);
+        assert_eq!(a, b);
+        // Different seeds hit different regions more often than not.
+        let distinct: std::collections::HashSet<usize> =
+            (0..32).map(|s| corruption_offset(s, 1000)).collect();
+        assert!(distinct.len() > 16, "offsets too clustered: {distinct:?}");
+    }
+}

@@ -1,0 +1,794 @@
+//! Checksummed, versioned epoch snapshots: dataset + index + layout
+//! plan + epoch metadata in one self-validating byte buffer.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset 0   u32  magic  "ANSF"
+//! offset 4   u16  format version (currently 1)
+//! offset 6   u16  reserved (0)
+//! offset 8   u64  total snapshot length, checksum included
+//! offset 16  ...  sections (dataset, backend, mutation state, layout,
+//!                 epoch metadata)
+//! tail       u64  FNV-1a checksum over everything before it
+//! ```
+//!
+//! The explicit length makes torn writes (a crash mid-`write`) a
+//! *typed* failure — [`SnapshotError::Torn`] — distinct from bit rot
+//! ([`SnapshotError::ChecksumMismatch`]), and [`load_with_fallback`]
+//! turns both into recovery-on-load from the previous epoch's snapshot.
+//! The `ansmet-faults` snapshot injector (`flip_byte`, `torn_tail`)
+//! exercises exactly these paths in tests.
+//!
+//! Restore is bit-exact: the dataset is rebuilt from raw storage words
+//! ([`Dataset::from_raw`]), the index from its structural parts, and the
+//! streaming level RNG is replayed to its saved position — searches and
+//! subsequent inserts on a restored index are byte-identical to the
+//! original's.
+
+use ansmet_core::{FetchSchedule, PrefixSpec};
+use ansmet_index::{Hnsw, HnswParams, Ivf};
+use ansmet_ndp::ReplicaSet;
+use ansmet_obs::fingerprint64;
+use ansmet_vecdata::{Dataset, ElemType, Metric};
+
+use crate::mutable::{ListDrift, MutableIndex};
+use crate::revalidate::LayoutArtifacts;
+
+const MAGIC: u32 = u32::from_le_bytes(*b"ANSF");
+const VERSION: u16 = 1;
+const HEADER_LEN: usize = 16;
+const CHECKSUM_LEN: usize = 8;
+
+/// Why a snapshot failed to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer ends before the named section is complete.
+    Truncated {
+        /// Which part of the format was being read.
+        section: &'static str,
+    },
+    /// The first four bytes are not the snapshot magic.
+    BadMagic {
+        /// The bytes found instead.
+        found: u32,
+    },
+    /// A format version this build cannot read.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u16,
+    },
+    /// Torn write: the header promises more bytes than are present.
+    Torn {
+        /// Length the header promises.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// The trailing checksum disagrees with the content.
+    ChecksumMismatch {
+        /// Checksum stored in the snapshot.
+        expected: u64,
+        /// Checksum recomputed over the content.
+        actual: u64,
+    },
+    /// Structurally invalid content (bad enum code, shape mismatch).
+    Malformed {
+        /// What was wrong.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated { section } => {
+                write!(f, "snapshot truncated while reading {section}")
+            }
+            SnapshotError::BadMagic { found } => {
+                write!(f, "not a snapshot: bad magic {found:#010x}")
+            }
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported snapshot version {found} (this build reads {VERSION})"
+                )
+            }
+            SnapshotError::Torn { expected, actual } => {
+                write!(
+                    f,
+                    "torn snapshot: header promises {expected} bytes, found {actual}"
+                )
+            }
+            SnapshotError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "snapshot checksum mismatch: stored {expected:#018x}, computed {actual:#018x}"
+                )
+            }
+            SnapshotError::Malformed { what } => write!(f, "malformed snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Epoch bookkeeping carried alongside the index in a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochMeta {
+    /// Epochs completed when the snapshot was taken.
+    pub epoch: u64,
+    /// Serving-clock cycle of the last completed epoch.
+    pub last_epoch_cycle: u64,
+}
+
+/// A fully restored snapshot.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The restored mutable index (dataset, backend, tombstones, RNG).
+    pub index: MutableIndex,
+    /// The restored layout plan.
+    pub layout: LayoutArtifacts,
+    /// Epoch bookkeeping.
+    pub meta: EpochMeta,
+}
+
+/// Serialize `index` + `layout` + `meta` into one checksummed buffer.
+///
+/// # Panics
+///
+/// Panics if the index holds more than `u32::MAX` vectors (ids are
+/// stored as `u32`).
+pub fn save(index: &MutableIndex, layout: &LayoutArtifacts, meta: &EpochMeta) -> Vec<u8> {
+    assert!(
+        index.len() < u32::MAX as usize,
+        "snapshot ids are stored as u32"
+    );
+    let mut w = Writer::new();
+    write_dataset(&mut w, index.data());
+    match (index.hnsw(), index.ivf()) {
+        (Some(h), None) => {
+            w.u8(0);
+            write_hnsw(&mut w, h);
+        }
+        (None, Some(v)) => {
+            w.u8(1);
+            write_ivf(&mut w, v);
+        }
+        _ => unreachable!("MutableIndex always has exactly one backend"),
+    }
+    w.bools(&index.tombstones);
+    w.bools(&index.purged);
+    w.bools(&index.conservative);
+    w.u64(index.generation);
+    w.u64(index.level_seed);
+    w.u64(index.levels_drawn);
+    w.u64(index.inserts);
+    w.u64(index.deletes);
+    w.u32(index.drift.len() as u32);
+    for d in &index.drift {
+        w.u64(d.appends);
+        w.f64(d.dist_sum);
+    }
+    write_layout(&mut w, layout);
+    w.u64(meta.epoch);
+    w.u64(meta.last_epoch_cycle);
+    w.finish()
+}
+
+/// Validate and parse one snapshot buffer.
+pub fn load(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(SnapshotError::Truncated { section: "header" });
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("sliced 4 bytes"));
+    if magic != MAGIC {
+        return Err(SnapshotError::BadMagic { found: magic });
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("sliced 2 bytes"));
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion { found: version });
+    }
+    let total = u64::from_le_bytes(bytes[8..16].try_into().expect("sliced 8 bytes"));
+    if (bytes.len() as u64) < total {
+        return Err(SnapshotError::Torn {
+            expected: total,
+            actual: bytes.len() as u64,
+        });
+    }
+    if (total as usize) < HEADER_LEN + CHECKSUM_LEN {
+        return Err(SnapshotError::Malformed {
+            what: format!("impossible total length {total}"),
+        });
+    }
+    let total = total as usize;
+    let body_end = total - CHECKSUM_LEN;
+    let stored = u64::from_le_bytes(bytes[body_end..total].try_into().expect("sliced 8 bytes"));
+    let computed = fingerprint64(&bytes[..body_end]);
+    if stored != computed {
+        return Err(SnapshotError::ChecksumMismatch {
+            expected: stored,
+            actual: computed,
+        });
+    }
+    let mut r = Reader {
+        buf: &bytes[HEADER_LEN..body_end],
+        pos: 0,
+    };
+    let data = read_dataset(&mut r)?;
+    let backend = r.u8("backend tag")?;
+    let (hnsw, ivf) = match backend {
+        0 => (Some(read_hnsw(&mut r)?), None),
+        1 => (None, Some(read_ivf(&mut r, data.dim())?)),
+        other => {
+            return Err(SnapshotError::Malformed {
+                what: format!("unknown backend tag {other}"),
+            })
+        }
+    };
+    let n = data.len();
+    let tombstones = r.bools(n, "tombstones")?;
+    let purged = r.bools(n, "purge flags")?;
+    let conservative = r.bools(n, "conservative flags")?;
+    let generation = r.u64("generation")?;
+    let level_seed = r.u64("level seed")?;
+    let levels_drawn = r.u64("levels drawn")?;
+    let inserts = r.u64("insert count")?;
+    let deletes = r.u64("delete count")?;
+    let n_drift = r.u32("drift count")? as usize;
+    let mut drift = Vec::with_capacity(n_drift);
+    for _ in 0..n_drift {
+        drift.push(ListDrift {
+            appends: r.u64("drift appends")?,
+            dist_sum: r.f64("drift distance")?,
+        });
+    }
+    let layout = read_layout(&mut r)?;
+    let meta = EpochMeta {
+        epoch: r.u64("epoch count")?,
+        last_epoch_cycle: r.u64("last epoch cycle")?,
+    };
+    if r.pos != r.buf.len() {
+        return Err(SnapshotError::Malformed {
+            what: format!(
+                "{} trailing bytes after the last section",
+                r.buf.len() - r.pos
+            ),
+        });
+    }
+    let index = MutableIndex::restore(
+        data,
+        hnsw,
+        ivf,
+        tombstones,
+        purged,
+        conservative,
+        generation,
+        level_seed,
+        levels_drawn,
+        inserts,
+        deletes,
+        drift,
+    );
+    Ok(Snapshot {
+        index,
+        layout,
+        meta,
+    })
+}
+
+/// Load `primary`, recovering from `fallback` (the previous epoch's
+/// snapshot) when the primary is torn or corrupt. Returns the snapshot
+/// and whether the fallback was used. When both fail, the *primary*'s
+/// error is returned.
+pub fn load_with_fallback(
+    primary: &[u8],
+    fallback: &[u8],
+) -> Result<(Snapshot, bool), SnapshotError> {
+    match load(primary) {
+        Ok(s) => Ok((s, false)),
+        Err(primary_err) => match load(fallback) {
+            Ok(s) => Ok((s, true)),
+            Err(_) => Err(primary_err),
+        },
+    }
+}
+
+// ---- element serializers ------------------------------------------------
+
+fn dtype_code(dtype: ElemType) -> u8 {
+    match dtype {
+        ElemType::U8 => 0,
+        ElemType::I8 => 1,
+        ElemType::F32 => 2,
+        ElemType::F16 => 3,
+        ElemType::Bf16 => 4,
+    }
+}
+
+fn dtype_from(code: u8) -> Result<ElemType, SnapshotError> {
+    Ok(match code {
+        0 => ElemType::U8,
+        1 => ElemType::I8,
+        2 => ElemType::F32,
+        3 => ElemType::F16,
+        4 => ElemType::Bf16,
+        other => {
+            return Err(SnapshotError::Malformed {
+                what: format!("unknown dtype code {other}"),
+            })
+        }
+    })
+}
+
+fn metric_code(metric: Metric) -> u8 {
+    match metric {
+        Metric::L2 => 0,
+        Metric::Ip => 1,
+        // Cosine folds to IP before a dataset is ever constructed.
+        Metric::Cosine => unreachable!("datasets store the folded search metric"),
+    }
+}
+
+fn metric_from(code: u8) -> Result<Metric, SnapshotError> {
+    Ok(match code {
+        0 => Metric::L2,
+        1 => Metric::Ip,
+        other => {
+            return Err(SnapshotError::Malformed {
+                what: format!("unknown metric code {other}"),
+            })
+        }
+    })
+}
+
+fn write_dataset(w: &mut Writer, data: &Dataset) {
+    w.str(data.name());
+    w.u8(dtype_code(data.dtype()));
+    w.u8(metric_code(data.metric()));
+    w.u32(data.dim() as u32);
+    w.u32(data.len() as u32);
+    for i in 0..data.len() {
+        for &word in data.raw_vector(i) {
+            w.u32(word);
+        }
+    }
+}
+
+fn read_dataset(r: &mut Reader) -> Result<Dataset, SnapshotError> {
+    let name = r.str("dataset name")?;
+    let dtype = dtype_from(r.u8("dataset dtype")?)?;
+    let metric = metric_from(r.u8("dataset metric")?)?;
+    let dim = r.u32("dataset dim")? as usize;
+    let n = r.u32("dataset length")? as usize;
+    if dim == 0 {
+        return Err(SnapshotError::Malformed {
+            what: "zero-dimensional dataset".into(),
+        });
+    }
+    let mut raw = Vec::with_capacity(n * dim);
+    for _ in 0..n * dim {
+        raw.push(r.u32("dataset raw words")?);
+    }
+    Ok(Dataset::from_raw(name, dtype, metric, dim, raw))
+}
+
+fn write_hnsw(w: &mut Writer, h: &Hnsw) {
+    let p = h.params();
+    w.u32(p.m as u32);
+    w.u32(p.m_max0 as u32);
+    w.u32(p.ef_construction as u32);
+    w.u64(p.seed);
+    match p.level_mult {
+        Some(m) => {
+            w.u8(1);
+            w.f64(m);
+        }
+        None => w.u8(0),
+    }
+    w.u32(h.entry_point() as u32);
+    w.u32(h.layer_count() as u32);
+    w.u32(h.len() as u32);
+    for &level in h.levels() {
+        w.u32(level as u32);
+    }
+    for layer in 0..h.layer_count() {
+        for node in 0..h.len() {
+            let links = h.neighbors(layer, node);
+            w.u32(links.len() as u32);
+            for &nb in links {
+                w.u32(nb as u32);
+            }
+        }
+    }
+}
+
+fn read_hnsw(r: &mut Reader) -> Result<Hnsw, SnapshotError> {
+    let m = r.u32("hnsw m")? as usize;
+    let m_max0 = r.u32("hnsw m_max0")? as usize;
+    let ef_construction = r.u32("hnsw ef_construction")? as usize;
+    let seed = r.u64("hnsw seed")?;
+    let level_mult = if r.u8("hnsw level_mult flag")? != 0 {
+        Some(r.f64("hnsw level_mult")?)
+    } else {
+        None
+    };
+    let params = HnswParams {
+        m,
+        m_max0,
+        ef_construction,
+        seed,
+        level_mult,
+    };
+    let entry = r.u32("hnsw entry")? as usize;
+    let layers = r.u32("hnsw layer count")? as usize;
+    let n = r.u32("hnsw node count")? as usize;
+    let mut levels = Vec::with_capacity(n);
+    for _ in 0..n {
+        levels.push(r.u32("hnsw levels")? as usize);
+    }
+    let mut links = Vec::with_capacity(layers);
+    for _ in 0..layers {
+        let mut layer = Vec::with_capacity(n);
+        for _ in 0..n {
+            let deg = r.u32("hnsw degree")? as usize;
+            let mut nbs = Vec::with_capacity(deg);
+            for _ in 0..deg {
+                let nb = r.u32("hnsw link")? as usize;
+                if nb >= n {
+                    return Err(SnapshotError::Malformed {
+                        what: format!("hnsw link {nb} beyond {n} nodes"),
+                    });
+                }
+                nbs.push(nb);
+            }
+            layer.push(nbs);
+        }
+        links.push(layer);
+    }
+    if entry >= n || layers == 0 {
+        return Err(SnapshotError::Malformed {
+            what: "hnsw entry/layer shape invalid".into(),
+        });
+    }
+    Ok(Hnsw::from_parts(links, levels, entry, params))
+}
+
+fn write_ivf(w: &mut Writer, v: &Ivf) {
+    w.u8(metric_code(v.metric()));
+    w.u32(v.n_lists() as u32);
+    for c in v.centroids() {
+        for &x in c {
+            w.u32(x.to_bits());
+        }
+    }
+    for c in 0..v.n_lists() {
+        let list = v.list(c);
+        w.u32(list.len() as u32);
+        for &id in list {
+            w.u32(id as u32);
+        }
+    }
+}
+
+fn read_ivf(r: &mut Reader, dim: usize) -> Result<Ivf, SnapshotError> {
+    let metric = metric_from(r.u8("ivf metric")?)?;
+    let k = r.u32("ivf list count")? as usize;
+    let mut centroids = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut c = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            c.push(f32::from_bits(r.u32("ivf centroid")?));
+        }
+        centroids.push(c);
+    }
+    let mut lists = Vec::with_capacity(k);
+    for _ in 0..k {
+        let len = r.u32("ivf list length")? as usize;
+        let mut list = Vec::with_capacity(len);
+        for _ in 0..len {
+            list.push(r.u32("ivf member")? as usize);
+        }
+        lists.push(list);
+    }
+    Ok(Ivf::from_parts(centroids, lists, metric))
+}
+
+fn write_layout(w: &mut Writer, layout: &LayoutArtifacts) {
+    w.u8(dtype_code(layout.schedule.dtype()));
+    w.u32(layout.schedule.prefix_len());
+    w.u32(layout.schedule.steps().len() as u32);
+    for &s in layout.schedule.steps() {
+        w.u32(s);
+    }
+    w.u8(dtype_code(layout.prefix.dtype()));
+    w.u32(layout.prefix.len());
+    w.u32(layout.prefix.dim_prefixes().len() as u32);
+    for &p in layout.prefix.dim_prefixes() {
+        w.u32(p);
+    }
+    let replicas = layout.replicas.sorted_ids();
+    w.u32(replicas.len() as u32);
+    for id in replicas {
+        w.u32(id as u32);
+    }
+    w.f64(layout.outlier_budget_frac);
+}
+
+fn read_layout(r: &mut Reader) -> Result<LayoutArtifacts, SnapshotError> {
+    let sched_dtype = dtype_from(r.u8("schedule dtype")?)?;
+    let prefix_len = r.u32("schedule prefix length")?;
+    let n_steps = r.u32("schedule step count")? as usize;
+    let mut steps = Vec::with_capacity(n_steps);
+    for _ in 0..n_steps {
+        steps.push(r.u32("schedule steps")?);
+    }
+    let schedule = FetchSchedule::from_steps(sched_dtype, prefix_len, steps);
+    let prefix_dtype = dtype_from(r.u8("prefix dtype")?)?;
+    let plen = r.u32("prefix length")?;
+    let n_dims = r.u32("prefix dim count")? as usize;
+    let mut dim_prefixes = Vec::with_capacity(n_dims);
+    for _ in 0..n_dims {
+        dim_prefixes.push(r.u32("prefix values")?);
+    }
+    let prefix = PrefixSpec::from_parts(prefix_dtype, plen, dim_prefixes);
+    let n_replicas = r.u32("replica count")? as usize;
+    let mut replicas = Vec::with_capacity(n_replicas);
+    for _ in 0..n_replicas {
+        replicas.push(r.u32("replica ids")? as usize);
+    }
+    let outlier_budget_frac = r.f64("outlier budget")?;
+    Ok(LayoutArtifacts {
+        schedule,
+        prefix,
+        replicas: ReplicaSet::new(replicas),
+        outlier_budget_frac,
+    })
+}
+
+// ---- byte-level writer/reader -------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes()); // total length, patched in finish()
+        Writer { buf }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn bools(&mut self, flags: &[bool]) {
+        self.u32(flags.len() as u32);
+        self.buf.extend(flags.iter().map(|&b| b as u8));
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        let total = (self.buf.len() + CHECKSUM_LEN) as u64;
+        self.buf[8..16].copy_from_slice(&total.to_le_bytes());
+        let checksum = fingerprint64(&self.buf);
+        self.buf.extend_from_slice(&checksum.to_le_bytes());
+        self.buf
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, section: &'static str) -> Result<&'a [u8], SnapshotError> {
+        if self.pos + n > self.buf.len() {
+            return Err(SnapshotError::Truncated { section });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, section: &'static str) -> Result<u8, SnapshotError> {
+        Ok(self.take(1, section)?[0])
+    }
+
+    fn u32(&mut self, section: &'static str) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, section)?.try_into().expect("sliced 4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, section: &'static str) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, section)?.try_into().expect("sliced 8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self, section: &'static str) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64(section)?))
+    }
+
+    fn str(&mut self, section: &'static str) -> Result<String, SnapshotError> {
+        let len = self.u32(section)? as usize;
+        let bytes = self.take(len, section)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError::Malformed {
+            what: format!("non-UTF-8 {section}"),
+        })
+    }
+
+    fn bools(&mut self, expect: usize, section: &'static str) -> Result<Vec<bool>, SnapshotError> {
+        let len = self.u32(section)? as usize;
+        if len != expect {
+            return Err(SnapshotError::Malformed {
+                what: format!("{section}: {len} flags for {expect} vectors"),
+            });
+        }
+        Ok(self.take(len, section)?.iter().map(|&b| b != 0).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ansmet_faults::snapshot::{corruption_offset, flip_byte, torn_tail};
+    use ansmet_index::{HnswParams, IvfParams};
+    use ansmet_vecdata::SynthSpec;
+
+    fn churned(n: usize) -> (MutableIndex, LayoutArtifacts, Vec<Vec<f32>>) {
+        let (data, queries) = SynthSpec::sift().scaled(n, 3).generate();
+        let held: Vec<Vec<f32>> = (n - 10..n).map(|i| data.vector(i).to_vec()).collect();
+        let base = Dataset::from_values(
+            "t",
+            data.dtype(),
+            data.metric(),
+            data.dim(),
+            (0..n - 10).flat_map(|i| data.vector(i).to_vec()).collect(),
+        );
+        let mut idx = MutableIndex::build_hnsw(base, HnswParams::quick(), 21);
+        let mut layout = LayoutArtifacts::plan(&idx, 0.01);
+        for v in &held[..5] {
+            idx.insert(v);
+        }
+        idx.delete(3);
+        idx.delete(17);
+        layout.revalidate(&mut idx, 1.0);
+        (idx, layout, queries)
+    }
+
+    fn meta() -> EpochMeta {
+        EpochMeta {
+            epoch: 4,
+            last_epoch_cycle: 123_456,
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_search_and_state() {
+        let (idx, layout, queries) = churned(200);
+        let bytes = save(&idx, &layout, &meta());
+        let snap = load(&bytes).expect("clean snapshot loads");
+        assert_eq!(snap.meta, meta());
+        assert_eq!(snap.index.len(), idx.len());
+        assert_eq!(snap.index.generation(), idx.generation());
+        assert_eq!(snap.index.pending_dead(), idx.pending_dead());
+        assert_eq!(snap.index.conservative_flags(), idx.conservative_flags());
+        assert_eq!(
+            snap.layout.replicas.sorted_ids(),
+            layout.replicas.sorted_ids()
+        );
+        assert_eq!(snap.layout.schedule, layout.schedule);
+        for q in &queries {
+            assert_eq!(
+                snap.index.search_exact(q, 10, 60).ids(),
+                idx.search_exact(q, 10, 60).ids(),
+                "restored index must search bit-identically"
+            );
+        }
+    }
+
+    #[test]
+    fn save_is_byte_stable() {
+        let (idx, layout, _) = churned(120);
+        assert_eq!(save(&idx, &layout, &meta()), save(&idx, &layout, &meta()));
+    }
+
+    #[test]
+    fn ivf_round_trips_too() {
+        let (data, queries) = SynthSpec::sift().scaled(250, 2).generate();
+        let mut idx = MutableIndex::build_ivf(data, IvfParams::default());
+        let v0 = idx.data().vector(0).to_vec();
+        idx.insert(&v0);
+        idx.delete(7);
+        let layout = LayoutArtifacts::plan(&idx, 0.01);
+        let bytes = save(&idx, &layout, &meta());
+        let snap = load(&bytes).expect("ivf snapshot loads");
+        assert_eq!(snap.index.drift(), idx.drift());
+        for q in &queries {
+            assert_eq!(
+                snap.index.search_exact(q, 5, 16).ids(),
+                idx.search_exact(q, 5, 16).ids()
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_byte_is_a_typed_error() {
+        let (idx, layout, _) = churned(80);
+        let clean = save(&idx, &layout, &meta());
+        // Sweep a few deterministic offsets from the fault injector; a
+        // flip must never load successfully and never panic.
+        for seed in 0..8u64 {
+            let mut bytes = clean.clone();
+            let off = corruption_offset(seed, bytes.len());
+            flip_byte(&mut bytes, off, 0x40);
+            let err = load(&bytes).expect_err("corrupt snapshot must not load");
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::ChecksumMismatch { .. }
+                        | SnapshotError::Torn { .. }
+                        | SnapshotError::BadMagic { .. }
+                        | SnapshotError::UnsupportedVersion { .. }
+                ),
+                "unexpected error class: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn torn_write_is_detected_and_recovered() {
+        let (idx, layout, _) = churned(80);
+        let clean = save(&idx, &layout, &meta());
+        let torn = torn_tail(&clean, clean.len() / 2);
+        match load(&torn).expect_err("torn snapshot must not load") {
+            SnapshotError::Torn { expected, actual } => {
+                assert_eq!(expected, clean.len() as u64);
+                assert_eq!(actual, (clean.len() / 2) as u64);
+            }
+            other => panic!("expected Torn, got {other}"),
+        }
+        let (snap, recovered) = load_with_fallback(&torn, &clean).expect("fallback must recover");
+        assert!(recovered);
+        assert_eq!(snap.index.len(), idx.len());
+        // Both broken: the primary's error surfaces.
+        let err = load_with_fallback(&torn, &torn[..HEADER_LEN - 1]).expect_err("both broken");
+        assert!(matches!(err, SnapshotError::Torn { .. }));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = SnapshotError::Torn {
+            expected: 100,
+            actual: 60,
+        };
+        assert_eq!(
+            e.to_string(),
+            "torn snapshot: header promises 100 bytes, found 60"
+        );
+        assert!(load(b"nope").is_err());
+    }
+}

@@ -53,6 +53,19 @@ impl HnswParams {
             ..HnswParams::default()
         }
     }
+
+    /// The effective level multiplier (`1 / ln(M)` unless overridden).
+    pub fn effective_level_mult(&self) -> f64 {
+        self.level_mult.unwrap_or(1.0 / (self.m as f64).ln())
+    }
+
+    /// Draw one exponentially-distributed layer assignment. Build and
+    /// online insertion share this so a streamed index has the same level
+    /// distribution as a rebuilt one.
+    pub fn sample_level<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        (-u.ln() * self.effective_level_mult()).floor() as usize
+    }
 }
 
 /// Result of one search: the k nearest found, closest first.
@@ -101,16 +114,10 @@ impl Hnsw {
     pub fn build(data: &Dataset, params: HnswParams) -> Self {
         assert!(!data.is_empty(), "cannot build HNSW over an empty dataset");
         let n = data.len();
-        let mult = params.level_mult.unwrap_or(1.0 / (params.m as f64).ln());
         let mut rng = SmallRng::seed_from_u64(params.seed);
 
         // Pre-draw levels so the layer count is known.
-        let levels: Vec<usize> = (0..n)
-            .map(|_| {
-                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-                (-u.ln() * mult).floor() as usize
-            })
-            .collect();
+        let levels: Vec<usize> = (0..n).map(|_| params.sample_level(&mut rng)).collect();
         let max_level = levels.iter().copied().max().unwrap_or(0);
         let mut index = Hnsw {
             links: vec![vec![Vec::new(); n]; max_level + 1],
@@ -480,6 +487,155 @@ impl Hnsw {
         let total: usize = self.links[0].iter().map(Vec::len).sum();
         total as f64 / self.levels.len() as f64
     }
+
+    /// Highest layer of `node`.
+    pub fn level(&self, node: usize) -> usize {
+        self.levels[node]
+    }
+
+    /// Per-node highest layers (snapshot surface).
+    pub fn levels(&self) -> &[usize] {
+        &self.levels
+    }
+
+    /// Incrementally insert the vector with id `self.len()` — which must
+    /// already be appended to `data` — at the pre-sampled `level` (see
+    /// [`HnswParams::sample_level`]). Runs the same descent / beam /
+    /// neighbor-selection pipeline as [`Hnsw::build`], so a streamed
+    /// index obeys the same degree bounds as a rebuilt one. Returns the
+    /// new node's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` does not hold exactly one vector beyond the
+    /// indexed prefix.
+    pub fn insert_point(
+        &mut self,
+        data: &Dataset,
+        level: usize,
+        visited: &mut VisitedSet,
+    ) -> usize {
+        assert_eq!(
+            data.len(),
+            self.levels.len() + 1,
+            "insert_point expects data to hold exactly the indexed vectors plus the new one"
+        );
+        let node = self.levels.len();
+        self.levels.push(level);
+        while self.links.len() <= level {
+            self.links.push(vec![Vec::new(); node]);
+        }
+        for layer in self.links.iter_mut() {
+            layer.resize(node + 1, Vec::new());
+        }
+        visited.grow(node + 1);
+        self.insert(data, node, visited);
+        if level > self.levels[self.entry] {
+            self.entry = node;
+        }
+        node
+    }
+
+    /// Detach `node` from the graph (tombstone purge): every link to it
+    /// is removed and the holes are bridged by re-running the neighbor
+    /// selection heuristic over each affected node's surviving links plus
+    /// the removed node's other neighbors. `alive[i]` marks ids that are
+    /// still servable (bridges never route through other tombstones).
+    ///
+    /// The node's id stays allocated — its vector remains in `data` so
+    /// ids are stable — but it becomes unreachable from any search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is the entry point and no alive node remains to
+    /// take over as entry.
+    pub fn unlink(&mut self, data: &Dataset, node: usize, alive: &[bool]) {
+        let node_level = self.levels[node];
+        for layer in 0..=node_level {
+            let own = std::mem::take(&mut self.links[layer][node]);
+            let m_max = if layer == 0 {
+                self.params.m_max0
+            } else {
+                self.params.m
+            };
+            // The graph is directed after overflow shrinking, so the
+            // nodes linking *to* `node` are a superset of its own list:
+            // sweep the whole layer (compaction-time cost, not serve-time).
+            let mut affected: Vec<usize> = Vec::new();
+            for (i, lnk) in self.links[layer].iter_mut().enumerate() {
+                if let Some(pos) = lnk.iter().position(|&x| x == node) {
+                    lnk.remove(pos);
+                    affected.push(i);
+                }
+            }
+            for &nb in &affected {
+                if !alive[nb] {
+                    continue;
+                }
+                // Bridge candidates: surviving links plus the removed
+                // node's other (alive) neighbors.
+                let mut pool: Vec<usize> = self.links[layer][nb].clone();
+                for &x in &own {
+                    if x != nb && alive[x] && !pool.contains(&x) {
+                        pool.push(x);
+                    }
+                }
+                let nb_vec = data.vector(nb);
+                let cands: Vec<Neighbor> = pool
+                    .iter()
+                    .map(|&x| Neighbor::new(data.distance_to(x, nb_vec), x))
+                    .collect();
+                self.links[layer][nb] = self.select_neighbors(data, nb, &cands, m_max);
+            }
+        }
+        if node == self.entry {
+            let mut best: Option<usize> = None;
+            for (i, &ok) in alive.iter().enumerate() {
+                if !ok || i == node {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) => self.levels[i] > self.levels[b],
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+            self.entry =
+                best.expect("unlinked the entry point with no alive node left to take over");
+        }
+    }
+
+    /// Reassemble an index from snapshot parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts are structurally inconsistent (layer widths,
+    /// entry out of range, entry below the top occupied layer).
+    pub fn from_parts(
+        links: Vec<Vec<Vec<usize>>>,
+        levels: Vec<usize>,
+        entry: usize,
+        params: HnswParams,
+    ) -> Self {
+        assert!(!levels.is_empty(), "snapshot holds an empty HNSW");
+        assert!(
+            links.iter().all(|layer| layer.len() == levels.len()),
+            "snapshot layer width does not match node count"
+        );
+        assert!(entry < levels.len(), "snapshot entry point out of range");
+        assert!(
+            levels[entry] < links.len(),
+            "snapshot entry level exceeds layer count"
+        );
+        Hnsw {
+            links,
+            levels,
+            entry,
+            params,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -591,6 +747,113 @@ mod tests {
             vec![],
         );
         Hnsw::build(&data, HnswParams::default());
+    }
+
+    /// A dataset holding the first `n` vectors of `full` (same dtype,
+    /// metric, dim), for streaming the rest in.
+    fn prefix_of(full: &ansmet_vecdata::Dataset, n: usize) -> ansmet_vecdata::Dataset {
+        let values: Vec<f32> = (0..n).flat_map(|i| full.vector(i).to_vec()).collect();
+        ansmet_vecdata::Dataset::from_values(
+            full.name().to_string(),
+            full.dtype(),
+            full.metric(),
+            full.dim(),
+            values,
+        )
+    }
+
+    #[test]
+    fn streamed_inserts_keep_build_invariants() {
+        let (full, _) = SynthSpec::sift().scaled(500, 1).generate();
+        let p = HnswParams::quick();
+        let mut data = prefix_of(&full, 400);
+        let mut hnsw = Hnsw::build(&data, p.clone());
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut visited = VisitedSet::new(data.len());
+        for i in 400..500 {
+            let id = data.push_vector(full.vector(i));
+            assert_eq!(id, i);
+            let level = p.sample_level(&mut rng);
+            assert_eq!(hnsw.insert_point(&data, level, &mut visited), i);
+        }
+        assert_eq!(hnsw.len(), 500);
+        // Same degree bounds as a fresh build.
+        for layer in 0..hnsw.layer_count() {
+            let max = if layer == 0 { p.m_max0 } else { p.m };
+            for node in 0..hnsw.len() {
+                assert!(hnsw.neighbors(layer, node).len() <= max);
+            }
+        }
+        // The entry point sits on the top occupied layer.
+        let top = (0..hnsw.len())
+            .map(|n| hnsw.level(n))
+            .max()
+            .expect("non-empty");
+        assert_eq!(hnsw.level(hnsw.entry_point()), top);
+        // Every streamed vector is findable as its own nearest neighbor.
+        let mut o = ExactOracle::new(&data);
+        for i in [400, 450, 499] {
+            let r = hnsw.search(data.vector(i), 1, 60, &mut o);
+            assert_eq!(r.ids()[0], i, "streamed vector {i} not reachable");
+        }
+    }
+
+    #[test]
+    fn unlink_makes_node_unreachable() {
+        let (data, _) = SynthSpec::sift().scaled(300, 1).generate();
+        let mut hnsw = Hnsw::build(&data, HnswParams::quick());
+        let victim = 123;
+        let mut alive = vec![true; data.len()];
+        alive[victim] = false;
+        hnsw.unlink(&data, victim, &alive);
+        for layer in 0..hnsw.layer_count() {
+            assert!(hnsw.neighbors(layer, victim).is_empty());
+            for node in 0..data.len() {
+                assert!(
+                    !hnsw.neighbors(layer, node).contains(&victim),
+                    "layer {layer} node {node} still links the unlinked node"
+                );
+            }
+        }
+        let mut o = ExactOracle::new(&data);
+        let r = hnsw.search(data.vector(victim), 5, 60, &mut o);
+        assert!(!r.ids().contains(&victim));
+    }
+
+    #[test]
+    fn unlink_entry_point_repairs_entry() {
+        let (data, _) = SynthSpec::sift().scaled(400, 1).generate();
+        let mut hnsw = Hnsw::build(&data, HnswParams::quick());
+        let e = hnsw.entry_point();
+        let mut alive = vec![true; data.len()];
+        alive[e] = false;
+        hnsw.unlink(&data, e, &alive);
+        assert_ne!(hnsw.entry_point(), e);
+        let probe = (e + 1) % data.len();
+        let mut o = ExactOracle::new(&data);
+        let r = hnsw.search(data.vector(probe), 1, 60, &mut o);
+        assert_eq!(r.ids()[0], probe);
+    }
+
+    #[test]
+    fn from_parts_round_trips_search() {
+        let (data, queries) = SynthSpec::sift().scaled(300, 2).generate();
+        let a = Hnsw::build(&data, HnswParams::quick());
+        let links: Vec<Vec<Vec<usize>>> = (0..a.layer_count())
+            .map(|l| (0..a.len()).map(|n| a.neighbors(l, n).to_vec()).collect())
+            .collect();
+        let b = Hnsw::from_parts(
+            links,
+            a.levels().to_vec(),
+            a.entry_point(),
+            a.params().clone(),
+        );
+        let mut oa = ExactOracle::new(&data);
+        let mut ob = ExactOracle::new(&data);
+        assert_eq!(
+            a.search(&queries[0], 5, 50, &mut oa).neighbors(),
+            b.search(&queries[0], 5, 50, &mut ob).neighbors()
+        );
     }
 
     #[test]

@@ -15,6 +15,12 @@ use crate::visited::VisitedSet;
 /// A scratch is tied to no particular index: capacities grow on demand,
 /// so one scratch may serve searches over different datasets. Results are
 /// bit-identical to the allocating entry points.
+///
+/// Under online mutation the scratch is *generation-aware*: a mutable
+/// index bumps its generation on every insert/delete, and
+/// [`SearchScratch::sync_generation`] grows the visited set in place
+/// (preserving its epoch state) instead of reallocating — searching
+/// across an insert costs zero reallocations.
 #[derive(Debug)]
 pub struct SearchScratch {
     /// Visited markers for ids `0..n` (epoch-cleared).
@@ -27,6 +33,11 @@ pub struct SearchScratch {
     pub(crate) sorted: Vec<Neighbor>,
     /// IVF centroid ordering: `(distance, list)` pairs.
     pub(crate) order: Vec<(f32, usize)>,
+    /// Index generation this scratch last synced against (0 = never).
+    generation: u64,
+    /// Full visited-set reallocations performed (regression telemetry:
+    /// mutation-driven growth must not show up here).
+    reallocations: u64,
 }
 
 impl SearchScratch {
@@ -39,14 +50,54 @@ impl SearchScratch {
             results: MaxDistHeap::new(1),
             sorted: Vec::new(),
             order: Vec::new(),
+            generation: 0,
+            reallocations: 0,
         }
     }
 
-    /// Make sure the visited set covers ids `0..n`.
+    /// A scratch with visited-set headroom for `reserve` ids beyond the
+    /// current `n`, so mutation-driven growth up to the reserve line
+    /// stays in place (zero reallocations across inserts).
+    pub fn with_headroom(n: usize, reserve: usize) -> Self {
+        let mut s = Self::new(n);
+        s.visited.reserve_ids(n + reserve);
+        s
+    }
+
+    /// Make sure the visited set covers ids `0..n`, growing in place
+    /// (the epoch-based visited state stays valid across growth).
     pub(crate) fn ensure_ids(&mut self, n: usize) {
-        if self.visited.capacity() < n {
-            self.visited = VisitedSet::new(n);
+        if self.visited.grow(n) {
+            self.reallocations += 1;
         }
+    }
+
+    /// Sync the scratch against a mutable index's generation counter:
+    /// when the index mutated since the last search, the visited set is
+    /// grown to cover `n` ids — in place while reserved headroom lasts,
+    /// with existing epoch state preserved either way. No-op when the
+    /// generation is unchanged.
+    pub fn sync_generation(&mut self, generation: u64, n: usize) {
+        if self.generation != generation {
+            self.generation = generation;
+            self.ensure_ids(n);
+        }
+    }
+
+    /// The index generation this scratch last synced against.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Full visited-set reallocations since creation (generation-driven
+    /// growth is in-place and does not count).
+    pub fn reallocations(&self) -> u64 {
+        self.reallocations
+    }
+
+    /// Visited-set capacity in ids (diagnostic).
+    pub fn visited_capacity(&self) -> usize {
+        self.visited.capacity()
     }
 }
 
@@ -67,5 +118,22 @@ mod tests {
         assert_eq!(s.visited.capacity(), 4);
         s.ensure_ids(100);
         assert_eq!(s.visited.capacity(), 100);
+    }
+
+    #[test]
+    fn generation_sync_grows_in_place() {
+        let mut s = SearchScratch::with_headroom(10, 32);
+        s.sync_generation(1, 10);
+        assert_eq!(s.generation(), 1);
+        // Mutation appended two ids: in-place growth, no reallocation.
+        s.sync_generation(2, 12);
+        assert_eq!(s.visited.capacity(), 12);
+        assert_eq!(s.reallocations(), 0);
+        // Same generation: no-op.
+        s.sync_generation(2, 50);
+        assert_eq!(s.visited.capacity(), 12);
+        // Past the reserve line the growth is a (counted) reallocation.
+        s.sync_generation(3, 4096);
+        assert_eq!(s.reallocations(), 1);
     }
 }

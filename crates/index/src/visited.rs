@@ -52,6 +52,31 @@ impl VisitedSet {
     pub fn capacity(&self) -> usize {
         self.marks.len()
     }
+
+    /// Grow the set to cover ids `0..n` *without* resetting it.
+    ///
+    /// New slots start at mark 0, which no live epoch ever equals (the
+    /// epoch counter starts at 1 and skips 0 on wraparound), so existing
+    /// visited state stays valid — the operation an index mutation needs
+    /// when ids are appended mid-stream. Returns whether the backing
+    /// buffer had to move (i.e. the growth exceeded reserved headroom);
+    /// scratch reuse counts these as reallocations.
+    pub fn grow(&mut self, n: usize) -> bool {
+        if n <= self.marks.len() {
+            return false;
+        }
+        let before = self.marks.as_ptr();
+        self.marks.resize(n, 0);
+        before != self.marks.as_ptr()
+    }
+
+    /// Reserve headroom so that growth up to `n` ids stays in place.
+    pub fn reserve_ids(&mut self, n: usize) {
+        let len = self.marks.len();
+        if n > len {
+            self.marks.reserve_exact(n - len);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -75,6 +100,30 @@ mod tests {
         v.clear();
         assert!(!v.contains(0));
         assert!(v.insert(0));
+    }
+
+    #[test]
+    fn grow_preserves_visited_state() {
+        let mut v = VisitedSet::new(3);
+        v.insert(0);
+        v.insert(2);
+        v.grow(8);
+        assert_eq!(v.capacity(), 8);
+        assert!(v.contains(0) && v.contains(2));
+        assert!(!v.contains(5));
+        assert!(v.insert(7));
+        // Shrinking is a no-op.
+        assert!(!v.grow(2));
+        assert_eq!(v.capacity(), 8);
+    }
+
+    #[test]
+    fn reserved_growth_stays_in_place() {
+        let mut v = VisitedSet::new(4);
+        v.reserve_ids(64);
+        v.insert(1);
+        assert!(!v.grow(64), "growth within reserved headroom moved");
+        assert!(v.contains(1));
     }
 
     #[test]

@@ -189,6 +189,26 @@ impl ReplicaSet {
         }
     }
 
+    /// The replicated ids in ascending order (snapshot / diff surface).
+    pub fn sorted_ids(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.hot.iter().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Difference against a refreshed hot set: ids to newly replicate
+    /// (`added`) and replicas to drop (`removed`), both sorted so replica
+    /// refresh traffic is deterministic. The epoch manager uses this to
+    /// ship only the delta to the rank groups instead of re-broadcasting
+    /// the whole hot set.
+    pub fn diff(&self, refreshed: &ReplicaSet) -> (Vec<usize>, Vec<usize>) {
+        let mut added: Vec<usize> = refreshed.hot.difference(&self.hot).copied().collect();
+        let mut removed: Vec<usize> = self.hot.difference(&refreshed.hot).copied().collect();
+        added.sort_unstable();
+        removed.sort_unstable();
+        (added, removed)
+    }
+
     /// Deterministic replica target for a vector homed in group `home`:
     /// the `attempt`-th alternative on the fixed probe ring
     /// `home+1, home+2, …` (mod `groups`, never `home` itself). Hedged
@@ -332,6 +352,18 @@ mod tests {
         assert_eq!(r.len(), 3);
         // 3 vectors × 7 extra copies / 1000 vectors.
         assert!((r.extra_space_frac(1000, 8) - 0.021).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replica_diff_is_sorted_and_minimal() {
+        let old = ReplicaSet::new([1, 2, 3, 9]);
+        let new = ReplicaSet::new([2, 3, 4, 0]);
+        let (added, removed) = old.diff(&new);
+        assert_eq!(added, vec![0, 4]);
+        assert_eq!(removed, vec![1, 9]);
+        // Identical sets produce an empty delta.
+        let (a2, r2) = new.diff(&new.clone());
+        assert!(a2.is_empty() && r2.is_empty());
     }
 
     #[test]

@@ -167,10 +167,6 @@ impl ServeConfig {
     }
 }
 
-/// Weighted-fair-queueing virtual-time scale: tags advance by
-/// `WFQ_SCALE / weight` per dispatched query, all in integer arithmetic.
-const WFQ_SCALE: u64 = 1 << 20;
-
 /// Serve-clock timer tokens (agents on the shared [`EventWheel`]).
 const WAKE_ARRIVAL: u32 = 0;
 const WAKE_DEVICE_FREE: u32 = 1;
@@ -429,8 +425,7 @@ pub fn run_serve_with_sink<S: TraceSink>(
     // Per-tenant FIFO queues; WFQ tags assigned at admission.
     let n_tenants = serve.tenants.len();
     let mut queues: Vec<VecDeque<Queued>> = vec![VecDeque::new(); n_tenants];
-    let mut last_tag = vec![0u64; n_tenants];
-    let mut virtual_now = 0u64;
+    let mut wfq = crate::wfq::WfqState::new(n_tenants);
     let mut queued_total = 0usize;
     let mut tallies: Vec<TenantTally> = vec![TenantTally::default(); n_tenants];
 
@@ -484,9 +479,7 @@ pub fn run_serve_with_sink<S: TraceSink>(
                     }
                 }
             } else {
-                let w = serve.tenants[a.tenant].weight;
-                let tag = virtual_now.max(last_tag[a.tenant]) + WFQ_SCALE / w;
-                last_tag[a.tenant] = tag;
+                let tag = wfq.admit_tag(a.tenant, serve.tenants[a.tenant].weight);
                 queues[a.tenant].push_back(Queued { arrival: a, tag });
                 queued_total += 1;
             }
@@ -531,15 +524,17 @@ pub fn run_serve_with_sink<S: TraceSink>(
         // deadlines as they surface.
         let mut batch: Vec<Queued> = Vec::with_capacity(serve.batch.max_batch);
         while batch.len() < serve.batch.max_batch {
-            let Some(t) = (0..n_tenants)
-                .filter(|&t| !queues[t].is_empty())
-                .min_by_key(|&t| (queues[t].front().expect("non-empty").tag, t))
-            else {
+            let Some(t) = crate::wfq::WfqState::next_tenant(
+                queues
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(t, q)| q.front().map(|h| (t, h.tag))),
+            ) else {
                 break;
             };
             let q = queues[t].pop_front().expect("non-empty");
             queued_total -= 1;
-            virtual_now = q.tag;
+            wfq.advance_to(q.tag);
             if let Some(dl) = serve.admission.deadline_cycles {
                 let dl = (dl >> shift_of(serve.tenants[t].weight)).max(1);
                 if now > q.arrival.cycle.saturating_add(dl) {

@@ -63,6 +63,7 @@ pub mod histogram;
 pub mod report;
 pub mod resilience;
 pub mod sweep;
+pub mod wfq;
 
 pub use arrival::{generate_arrivals, Arrival, ArrivalProcess, TenantSpec};
 pub use engine::{
@@ -76,3 +77,4 @@ pub use resilience::{
     StormProfile, WindowStats,
 };
 pub use sweep::{sweep_qps, QpsSweep, SweepPoint};
+pub use wfq::{WfqState, WFQ_SCALE};

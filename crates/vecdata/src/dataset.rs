@@ -74,6 +74,48 @@ impl Dataset {
         }
     }
 
+    /// Reconstruct a dataset from raw storage words (snapshot restore).
+    ///
+    /// Values are re-derived as `dtype.decode(raw)`, so the result is
+    /// bit-identical to the dataset the words were taken from — no
+    /// re-quantization round trip. `metric` must already be the *search*
+    /// metric (cosine is folded to IP before a dataset ever reaches a
+    /// snapshot), so no normalization is applied either.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw.len()` is not a multiple of `dim`, or if `metric`
+    /// is not in folded search form.
+    pub fn from_raw(
+        name: impl Into<String>,
+        dtype: ElemType,
+        metric: Metric,
+        dim: usize,
+        raw: Vec<u32>,
+    ) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(
+            raw.len().is_multiple_of(dim),
+            "raw word count {} is not a multiple of dim {}",
+            raw.len(),
+            dim
+        );
+        assert_eq!(
+            metric,
+            metric.searched_as(),
+            "from_raw expects the folded search metric"
+        );
+        let values: Vec<f32> = raw.iter().map(|&r| dtype.decode(r)).collect();
+        Dataset {
+            name: name.into(),
+            dtype,
+            metric,
+            dim,
+            values,
+            raw,
+        }
+    }
+
     /// Dataset name (e.g. "SIFT").
     pub fn name(&self) -> &str {
         &self.name
@@ -137,6 +179,34 @@ impl Dataset {
     /// Distance between stored vector `i` and `query`.
     pub fn distance_to(&self, i: usize, query: &[f32]) -> f32 {
         self.metric.distance(self.vector(i), query)
+    }
+
+    /// Append one vector (streaming ingest), quantizing through the
+    /// dataset's dtype so values/raw stay consistent. Returns the new id.
+    ///
+    /// The metric is already the *search* metric (cosine was folded to IP
+    /// at construction), so callers streaming into a cosine dataset must
+    /// normalize before pushing — [`Metric::normalize_for_search`] under
+    /// [`Metric::Ip`] does exactly that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector.len() != dim`.
+    pub fn push_vector(&mut self, vector: &[f32]) -> usize {
+        assert_eq!(
+            vector.len(),
+            self.dim,
+            "pushed vector has dim {}, dataset is {}-dimensional",
+            vector.len(),
+            self.dim
+        );
+        let id = self.len();
+        for &v in vector {
+            let r = self.dtype.encode(v);
+            self.raw.push(r);
+            self.values.push(self.dtype.decode(r));
+        }
+        id
     }
 }
 
@@ -208,6 +278,60 @@ mod tests {
     #[should_panic(expected = "multiple of dim")]
     fn bad_shape_panics() {
         Dataset::from_values("bad", ElemType::U8, Metric::L2, 3, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn push_vector_quantizes_like_construction() {
+        let mut d = small();
+        let id = d.push_vector(&[7.4, 300.0]);
+        assert_eq!(id, 3);
+        assert_eq!(d.len(), 4);
+        // Same U8 quantization as from_values: round + clamp.
+        assert_eq!(d.vector(3), &[7.0, 255.0]);
+        assert_eq!(d.raw_vector(3), &[7, 255]);
+        // Pushing the same values as a fresh build yields identical bytes.
+        let rebuilt = Dataset::from_values(
+            "t",
+            ElemType::U8,
+            Metric::L2,
+            2,
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.4, 300.0],
+        );
+        for i in 0..4 {
+            assert_eq!(d.raw_vector(i), rebuilt.raw_vector(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dataset is 2-dimensional")]
+    fn push_vector_wrong_dim_panics() {
+        small().push_vector(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn from_raw_round_trips_exactly() {
+        let d = Dataset::from_values(
+            "rt",
+            ElemType::F16,
+            Metric::Cosine,
+            2,
+            vec![0.1, 0.2, 0.3, 0.4],
+        );
+        let raw: Vec<u32> = (0..d.len())
+            .flat_map(|i| d.raw_vector(i).to_vec())
+            .collect();
+        let r = Dataset::from_raw("rt", d.dtype(), d.metric(), d.dim(), raw);
+        assert_eq!(r.metric(), Metric::Ip, "folded metric preserved");
+        for i in 0..d.len() {
+            assert_eq!(d.raw_vector(i), r.raw_vector(i));
+            assert_eq!(d.vector(i), r.vector(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "folded search metric")]
+    fn from_raw_rejects_unfolded_cosine() {
+        Dataset::from_raw("bad", ElemType::F32, Metric::Cosine, 2, vec![0, 0]);
     }
 
     #[test]
