@@ -7,6 +7,10 @@
 
 pub use ansmet_sim::experiment::Scale;
 
+pub mod ops;
+
+pub use ops::ops_experiment;
+
 /// All experiment names accepted by the `experiments` binary.
 pub const EXPERIMENTS: &[&str] = &[
     "table2",
@@ -29,6 +33,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "resilience",
     "trace",
     "freshness",
+    "ops",
 ];
 
 /// Default artifact file written by the `serve` experiment.
@@ -41,6 +46,10 @@ pub const FRESHNESS_ARTIFACT: &str = "BENCH_freshness.json";
 pub const TRACE_ARTIFACT: &str = "trace.json";
 /// Metrics snapshot written by the `trace` experiment.
 pub const METRICS_ARTIFACT: &str = "BENCH_metrics.json";
+/// Ops-plane artifact written by the `ops` experiment.
+pub const OPS_ARTIFACT: &str = "BENCH_ops.json";
+/// Prometheus text exposition written by the `ops` experiment.
+pub const OPS_EXPOSITION_ARTIFACT: &str = "BENCH_ops.prom";
 
 /// One file an experiment wants written next to its text report.
 #[derive(Debug, Clone)]
@@ -88,6 +97,22 @@ pub fn run_experiment_with_artifacts(name: &str, scale: Scale) -> Option<(String
                     path: FRESHNESS_ARTIFACT,
                     body: with_provenance(&json),
                 }],
+            ))
+        }
+        "ops" => {
+            let (text, json, expo) = ops_experiment(scale);
+            Some((
+                text,
+                vec![
+                    Artifact {
+                        path: OPS_ARTIFACT,
+                        body: with_provenance(&json),
+                    },
+                    Artifact {
+                        path: OPS_EXPOSITION_ARTIFACT,
+                        body: expo,
+                    },
+                ],
             ))
         }
         "trace" => {
@@ -141,6 +166,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Option<String> {
         "serve" => ansmet_serve::serve_experiment(scale).0,
         "resilience" => ansmet_serve::resilience_experiment(scale).0,
         "freshness" => ansmet_freshness::freshness_experiment(scale).0,
+        "ops" => ops_experiment(scale).0,
         "trace" => e::trace(scale),
         _ => return None,
     };
@@ -203,9 +229,10 @@ mod tests {
 
     #[test]
     fn experiment_list_is_complete() {
-        assert_eq!(EXPERIMENTS.len(), 20);
+        assert_eq!(EXPERIMENTS.len(), 21);
         assert!(EXPERIMENTS.contains(&"resilience"));
         assert!(EXPERIMENTS.contains(&"freshness"));
+        assert!(EXPERIMENTS.contains(&"ops"));
     }
 
     #[test]

@@ -50,5 +50,7 @@ pub use experiment::freshness_experiment;
 pub use mutable::{CompactStats, ListDrift, MutableIndex};
 pub use oracle::FreshEtOracle;
 pub use revalidate::{LayoutArtifacts, RevalidationReport};
-pub use serving::{run_churn, ChurnConfig, ChurnReport, UpdateOp, UpdateTenantSpec};
+pub use serving::{
+    run_churn, run_churn_with_sink, ChurnConfig, ChurnReport, UpdateOp, UpdateTenantSpec,
+};
 pub use snapshot::{load, load_with_fallback, save, EpochMeta, Snapshot, SnapshotError};

@@ -27,7 +27,7 @@ use std::collections::VecDeque;
 
 use ansmet_core::EtEngine;
 use ansmet_index::{ExactOracle, SearchScratch};
-use ansmet_obs::{fingerprint64, LatencyHistogram};
+use ansmet_obs::{fingerprint64, EventKind, LatencyHistogram, NoopSink, Phase, TraceSink};
 use ansmet_serve::{generate_arrivals, TenantSpec};
 use ansmet_sim::EventWheel;
 use rand::rngs::SmallRng;
@@ -293,6 +293,23 @@ pub fn run_churn(
     pending_inserts: &[Vec<f32>],
     cfg: &ChurnConfig,
 ) -> ChurnReport {
+    run_churn_with_sink(index, layout, queries, pending_inserts, cfg, &mut NoopSink)
+}
+
+/// [`run_churn`] with a [`TraceSink`] observing the run: per-read
+/// `QueryComplete` events with `Queue`/`Execute` spans and
+/// `churn.{queue,exec,total}_cycles` records, `Shed` events at
+/// admission, `CompactionPause` events when an epoch pauses the device,
+/// and `churn.queue_depth` samples on the serving clock. The sink is
+/// observe-only: the report is bit-identical to the unsunk run.
+pub fn run_churn_with_sink<S: TraceSink>(
+    index: &mut MutableIndex,
+    layout: &mut LayoutArtifacts,
+    queries: &[Vec<f32>],
+    pending_inserts: &[Vec<f32>],
+    cfg: &ChurnConfig,
+    sink: &mut S,
+) -> ChurnReport {
     assert!(
         !cfg.read_tenants.is_empty() || !cfg.update_tenants.is_empty(),
         "need at least one tenant"
@@ -379,6 +396,7 @@ pub fn run_churn(
                     ItemKind::Read { .. } => report.reads_shed += 1,
                     ItemKind::Update { .. } => report.updates_shed += 1,
                 }
+                sink.event(now, EventKind::Shed { deadline: false });
             } else {
                 let tag = wfq.admit_tag(item.tenant, weight_of(item.tenant));
                 queues[item.tenant].push_back(Queued {
@@ -399,11 +417,23 @@ pub fn run_churn(
             }
         }
 
+        if sink.enabled() {
+            let depth: usize = queues.iter().map(|q| q.len()).sum();
+            sink.sample(now, "churn.queue_depth", depth as u64);
+        }
+
         let device_free = now >= busy_until;
         if device_free && epoch_pending {
             let er = mgr.run_epoch(index, layout);
             report.pause.record(er.pause_cycles);
             busy_until = now + er.pause_cycles;
+            sink.event(
+                now,
+                EventKind::CompactionPause {
+                    epoch: er.epoch.min(u32::MAX as u64) as u32,
+                    cycles: er.pause_cycles.min(u32::MAX as u64) as u32,
+                },
+            );
             report.epochs.push(er);
             epoch_pending = false;
             wheel.schedule(now + cfg.epoch.interval_cycles, TOKEN_EPOCH);
@@ -434,6 +464,23 @@ pub fn run_churn(
                         );
                         report.reads_served += 1;
                         report.read_latency.record(now + cycles - q.arrival);
+                        if sink.enabled() {
+                            let completion = now + cycles;
+                            sink.event(
+                                completion,
+                                EventKind::QueryComplete {
+                                    query: query.min(u32::MAX as usize) as u32,
+                                    tenant: t as u32,
+                                },
+                            );
+                            if now > q.arrival {
+                                sink.span(Phase::Queue, q.arrival, now);
+                            }
+                            sink.span(Phase::Execute, now, completion);
+                            sink.record("churn.queue_cycles", now - q.arrival);
+                            sink.record("churn.exec_cycles", cycles);
+                            sink.record("churn.total_cycles", completion - q.arrival);
+                        }
                         cycles
                     }
                     ItemKind::Update { op, draw } => {
@@ -485,6 +532,13 @@ pub fn run_churn(
     let er = mgr.run_epoch(index, layout);
     report.pause.record(er.pause_cycles);
     report.end_cycle = now.max(busy_until) + er.pause_cycles;
+    sink.event(
+        now.max(busy_until),
+        EventKind::CompactionPause {
+            epoch: er.epoch.min(u32::MAX as u64) as u32,
+            cycles: er.pause_cycles.min(u32::MAX as u64) as u32,
+        },
+    );
     report.epochs.push(er);
 
     report.tenants_served = cfg
@@ -674,6 +728,34 @@ mod tests {
             .expect("writer tenant reported");
         assert!(writer_served > 0);
         assert!(r.update_latency.count() == writer_served);
+    }
+
+    #[test]
+    fn sink_is_observe_only_and_the_ops_plane_assembles_the_run() {
+        let (mut idx, mut layout, queries, pending) = setup(300, 40);
+        let cfg = config(40, 30);
+        let a = run_churn(&mut idx, &mut layout, &queries, &pending, &cfg);
+        let (mut idx2, mut layout2, queries2, pending2) = setup(300, 40);
+        let mut plane = ansmet_obs::OpsPlane::new(ansmet_obs::OpsConfig::default());
+        let b = run_churn_with_sink(
+            &mut idx2,
+            &mut layout2,
+            &queries2,
+            &pending2,
+            &cfg,
+            &mut plane,
+        );
+        // Observe-only: the instrumented run is bit-identical.
+        assert_eq!(a.results_fingerprint, b.results_fingerprint);
+        assert_eq!(a.end_cycle, b.end_cycle);
+        assert_eq!(a.reads_served, b.reads_served);
+        // The plane saw every served read and every epoch pause.
+        let report = plane.finish();
+        assert_eq!(report.completed, b.reads_served);
+        assert_eq!(
+            report.series.counter_total("ops.compaction_pauses"),
+            b.epochs.len() as u64
+        );
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! Automated tail-latency forensics.
+//!
+//! When a query breaches the armed latency threshold, the ops plane
+//! assembles a [`ForensicDigest`]: the query's span breakdown (queue /
+//! execute / recovery, which tile its end-to-end latency) plus
+//! [`ForensicEvidence`] gathered from concurrent fleet events inside the
+//! query's `[arrival, completion)` window. [`classify`] then names the
+//! dominant cause: first by which span bucket dominates, then by the
+//! most specific mechanism the evidence supports, falling back to the
+//! generic bucket cause (never `Unknown` for a query that actually
+//! spent cycles).
+
+use std::fmt;
+
+use crate::metrics::json_string;
+
+/// Root causes the classifier can attribute a tail breach to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForensicCause {
+    /// A breaker-open reroute (replica ring hop or host fallback)
+    /// inflated the query.
+    BreakerReroute,
+    /// The primary offload blew past the hedge delay; the query paid
+    /// the hedge race.
+    HedgeTimeout,
+    /// Repeated poll-retry / CRC-reject rounds dominated recovery.
+    PollRetryStorm,
+    /// A burst of DRAM row-buffer conflicts slowed the waves.
+    RowConflictBurst,
+    /// The query waited out a compaction / re-validation pause.
+    CompactionPauseOverlap,
+    /// Brownout admission left the query queued behind tightened
+    /// admission.
+    BrownoutQueueWait,
+    /// Queue wait dominated without a more specific mechanism.
+    QueueSaturation,
+    /// Wave execution dominated without a more specific mechanism.
+    ExecutionHeavy,
+    /// Recovery dominated but no fault events landed in the window
+    /// (e.g. a silent device stall).
+    DeviceDegraded,
+    /// No cycles attributed — should not happen for a real completion.
+    Unknown,
+}
+
+impl ForensicCause {
+    /// Stable lowercase name (JSON value, exposition label).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ForensicCause::BreakerReroute => "breaker_reroute",
+            ForensicCause::HedgeTimeout => "hedge_timeout",
+            ForensicCause::PollRetryStorm => "poll_retry_storm",
+            ForensicCause::RowConflictBurst => "row_conflict_burst",
+            ForensicCause::CompactionPauseOverlap => "compaction_pause_overlap",
+            ForensicCause::BrownoutQueueWait => "brownout_queue_wait",
+            ForensicCause::QueueSaturation => "queue_saturation",
+            ForensicCause::ExecutionHeavy => "execution_heavy",
+            ForensicCause::DeviceDegraded => "device_degraded",
+            ForensicCause::Unknown => "unknown",
+        }
+    }
+}
+
+impl fmt::Display for ForensicCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Fleet-event evidence gathered over a breaching query's
+/// `[arrival, completion)` window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForensicEvidence {
+    /// Recovery retry attempts observed in the window.
+    pub retries: u64,
+    /// CRC-rejected payloads observed in the window.
+    pub crc_rejected: u64,
+    /// Exact host fallbacks observed in the window.
+    pub host_fallbacks: u64,
+    /// Hedged offloads issued in the window.
+    pub hedges_issued: u64,
+    /// Hedge races won in the window.
+    pub hedge_wins: u64,
+    /// Rank-group breakers open at the query's dispatch cycle.
+    pub breakers_open_at_dispatch: u64,
+    /// Brownout admission level at the query's dispatch cycle.
+    pub brownout_level_at_dispatch: u64,
+    /// Cycles of compaction / maintenance pause overlapping the window.
+    pub pause_overlap_cycles: u64,
+    /// Row-buffer hits observed in the window.
+    pub row_hits: u64,
+    /// Row-buffer misses observed in the window.
+    pub row_misses: u64,
+    /// Row-buffer conflicts observed in the window.
+    pub row_conflicts: u64,
+}
+
+impl ForensicEvidence {
+    fn json_fields(&self) -> String {
+        format!(
+            "\"retries\": {}, \"crc_rejected\": {}, \"host_fallbacks\": {}, \
+             \"hedges_issued\": {}, \"hedge_wins\": {}, \
+             \"breakers_open_at_dispatch\": {}, \"brownout_level_at_dispatch\": {}, \
+             \"pause_overlap_cycles\": {}, \"row_hits\": {}, \"row_misses\": {}, \
+             \"row_conflicts\": {}",
+            self.retries,
+            self.crc_rejected,
+            self.host_fallbacks,
+            self.hedges_issued,
+            self.hedge_wins,
+            self.breakers_open_at_dispatch,
+            self.brownout_level_at_dispatch,
+            self.pause_overlap_cycles,
+            self.row_hits,
+            self.row_misses,
+            self.row_conflicts,
+        )
+    }
+}
+
+/// Name the dominant cause of a breach from the span breakdown and the
+/// window evidence. `queue + execute + recovery` is the query's
+/// end-to-end latency; the dominant bucket picks the branch, the
+/// evidence picks the mechanism.
+pub fn classify(queue: u64, execute: u64, recovery: u64, ev: &ForensicEvidence) -> ForensicCause {
+    if queue == 0 && execute == 0 && recovery == 0 {
+        return ForensicCause::Unknown;
+    }
+    // Dominant bucket; ties break toward the more actionable cause
+    // (recovery, then queue, then execute).
+    if recovery >= queue && recovery >= execute && recovery > 0 {
+        if ev.hedges_issued > 0 {
+            return ForensicCause::HedgeTimeout;
+        }
+        if ev.retries + ev.crc_rejected >= 2 {
+            return ForensicCause::PollRetryStorm;
+        }
+        if ev.breakers_open_at_dispatch > 0 || ev.host_fallbacks > 0 {
+            return ForensicCause::BreakerReroute;
+        }
+        if ev.retries + ev.crc_rejected > 0 {
+            return ForensicCause::PollRetryStorm;
+        }
+        return ForensicCause::DeviceDegraded;
+    }
+    if queue >= execute {
+        if ev.pause_overlap_cycles > 0 {
+            return ForensicCause::CompactionPauseOverlap;
+        }
+        if ev.brownout_level_at_dispatch > 0 {
+            return ForensicCause::BrownoutQueueWait;
+        }
+        if ev.breakers_open_at_dispatch > 0 {
+            return ForensicCause::BreakerReroute;
+        }
+        return ForensicCause::QueueSaturation;
+    }
+    let row_total = ev.row_hits + ev.row_misses + ev.row_conflicts;
+    if ev.row_conflicts > 0 && ev.row_conflicts * 4 >= row_total {
+        return ForensicCause::RowConflictBurst;
+    }
+    if ev.breakers_open_at_dispatch > 0 {
+        return ForensicCause::BreakerReroute;
+    }
+    ForensicCause::ExecutionHeavy
+}
+
+/// The forensic digest of one tail breach.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForensicDigest {
+    /// Workload query index.
+    pub query: u32,
+    /// Tenant index.
+    pub tenant: u32,
+    /// Arrival cycle (completion − total).
+    pub arrival_cycle: u64,
+    /// Completion cycle.
+    pub completion_cycle: u64,
+    /// End-to-end latency (cycles).
+    pub total_cycles: u64,
+    /// Queue-wait share of the latency.
+    pub queue_cycles: u64,
+    /// Pure wave-execution share.
+    pub execute_cycles: u64,
+    /// Fault-recovery share.
+    pub recovery_cycles: u64,
+    /// The armed breach threshold this query exceeded.
+    pub threshold_cycles: u64,
+    /// Attributed dominant cause.
+    pub cause: ForensicCause,
+    /// The evidence behind the attribution.
+    pub evidence: ForensicEvidence,
+}
+
+impl ForensicDigest {
+    /// Deterministic single-object JSON.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"query\": {}, \"tenant\": {}, \"arrival_cycle\": {}, \
+             \"completion_cycle\": {}, \"total_cycles\": {}, \"queue_cycles\": {}, \
+             \"execute_cycles\": {}, \"recovery_cycles\": {}, \"threshold_cycles\": {}, \
+             \"cause\": {}, \"evidence\": {{{}}}}}",
+            self.query,
+            self.tenant,
+            self.arrival_cycle,
+            self.completion_cycle,
+            self.total_cycles,
+            self.queue_cycles,
+            self.execute_cycles,
+            self.recovery_cycles,
+            self.threshold_cycles,
+            json_string(self.cause.as_str()),
+            self.evidence.json_fields(),
+        )
+    }
+}
+
+impl fmt::Display for ForensicDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "query {} (tenant {}) breached {} cycles at cycle {}: total={} \
+             (queue={} execute={} recovery={}) — cause: {}",
+            self.query,
+            self.tenant,
+            self.threshold_cycles,
+            self.completion_cycle,
+            self.total_cycles,
+            self.queue_cycles,
+            self.execute_cycles,
+            self.recovery_cycles,
+            self.cause
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_spans_are_unknown() {
+        assert_eq!(
+            classify(0, 0, 0, &ForensicEvidence::default()),
+            ForensicCause::Unknown
+        );
+    }
+
+    #[test]
+    fn recovery_dominant_branches() {
+        let mut ev = ForensicEvidence {
+            hedges_issued: 1,
+            ..Default::default()
+        };
+        assert_eq!(classify(10, 20, 100, &ev), ForensicCause::HedgeTimeout);
+        ev.hedges_issued = 0;
+        ev.retries = 3;
+        assert_eq!(classify(10, 20, 100, &ev), ForensicCause::PollRetryStorm);
+        ev.retries = 0;
+        ev.breakers_open_at_dispatch = 2;
+        assert_eq!(classify(10, 20, 100, &ev), ForensicCause::BreakerReroute);
+        ev.breakers_open_at_dispatch = 0;
+        ev.crc_rejected = 1;
+        assert_eq!(classify(10, 20, 100, &ev), ForensicCause::PollRetryStorm);
+        ev.crc_rejected = 0;
+        assert_eq!(classify(10, 20, 100, &ev), ForensicCause::DeviceDegraded);
+    }
+
+    #[test]
+    fn queue_dominant_branches() {
+        let mut ev = ForensicEvidence {
+            pause_overlap_cycles: 500,
+            ..Default::default()
+        };
+        assert_eq!(
+            classify(100, 20, 0, &ev),
+            ForensicCause::CompactionPauseOverlap
+        );
+        ev.pause_overlap_cycles = 0;
+        ev.brownout_level_at_dispatch = 2;
+        assert_eq!(classify(100, 20, 0, &ev), ForensicCause::BrownoutQueueWait);
+        ev.brownout_level_at_dispatch = 0;
+        ev.breakers_open_at_dispatch = 1;
+        assert_eq!(classify(100, 20, 0, &ev), ForensicCause::BreakerReroute);
+        ev.breakers_open_at_dispatch = 0;
+        assert_eq!(classify(100, 20, 0, &ev), ForensicCause::QueueSaturation);
+    }
+
+    #[test]
+    fn execute_dominant_branches() {
+        let mut ev = ForensicEvidence {
+            row_hits: 10,
+            row_misses: 2,
+            row_conflicts: 20,
+            ..Default::default()
+        };
+        assert_eq!(classify(10, 100, 0, &ev), ForensicCause::RowConflictBurst);
+        ev.row_conflicts = 1;
+        assert_eq!(classify(10, 100, 0, &ev), ForensicCause::ExecutionHeavy);
+        ev.breakers_open_at_dispatch = 1;
+        assert_eq!(classify(10, 100, 0, &ev), ForensicCause::BreakerReroute);
+    }
+
+    #[test]
+    fn digest_json_and_display() {
+        let d = ForensicDigest {
+            query: 7,
+            tenant: 1,
+            arrival_cycle: 1_000,
+            completion_cycle: 9_000,
+            total_cycles: 8_000,
+            queue_cycles: 6_000,
+            execute_cycles: 1_500,
+            recovery_cycles: 500,
+            threshold_cycles: 4_000,
+            cause: ForensicCause::BrownoutQueueWait,
+            evidence: ForensicEvidence {
+                brownout_level_at_dispatch: 2,
+                ..Default::default()
+            },
+        };
+        let j = d.to_json();
+        assert!(j.contains("\"cause\": \"brownout_queue_wait\""));
+        assert!(j.contains("\"brownout_level_at_dispatch\": 2"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        let t = d.to_string();
+        assert!(t.contains("query 7") && t.contains("brownout_queue_wait"));
+    }
+}

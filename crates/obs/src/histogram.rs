@@ -94,6 +94,11 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// Exact sum of the recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Mean of the recorded samples (exact).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -222,8 +227,66 @@ mod tests {
     #[test]
     fn empty_histogram_is_zeroes() {
         let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.quantile(1.0), 0);
         assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.sum(), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let mut h = LatencyHistogram::new();
+        h.record(7_777);
+        for q in [0.0, 0.001, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), h.max(), "q={q}");
+        }
+        // The bucketed answer is clamped to the exact observed max.
+        assert_eq!(h.quantile(1.0), 7_777);
+        assert_eq!(h.sum(), 7_777);
+    }
+
+    #[test]
+    fn top_bucket_saturates_without_overflow() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(u64::MAX / 2 + 1);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        // All three land in the saturated top range; quantiles stay
+        // clamped to the observed max instead of a wrapped bound.
+        assert!(h.quantile(0.5) >= u64::MAX / 2);
+        assert_eq!(
+            h.sum(),
+            (u64::MAX as u128) * 2 + (u64::MAX / 2 + 1) as u128 - 1
+        );
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let samples_a = [3u64, 900, 17, 65_000, 12, u64::MAX];
+        let samples_b = [8u64, 2_000_000, 44, 0, 31];
+        let mut ab = LatencyHistogram::new();
+        let mut ba = LatencyHistogram::new();
+        let (mut a, mut b) = (LatencyHistogram::new(), LatencyHistogram::new());
+        for v in samples_a {
+            a.record(v);
+        }
+        for v in samples_b {
+            b.record(v);
+        }
+        ab.merge(&a);
+        ab.merge(&b);
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(ab.quantile(q), ba.quantile(q), "q={q}");
+        }
     }
 }

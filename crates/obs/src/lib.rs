@@ -17,32 +17,82 @@
 //! ([`attribution_check`]).
 
 mod attribution;
+mod forensics;
 mod histogram;
 mod metrics;
+mod ops;
 mod perfetto;
 mod recorder;
 mod sink;
+mod slo;
 mod taxonomy;
+mod timeseries;
 
 pub use attribution::{attribution_check, attribution_table};
+pub use forensics::{ForensicCause, ForensicDigest, ForensicEvidence};
 pub use histogram::LatencyHistogram;
-pub use metrics::{json_f64, json_string, Metric, MetricsRegistry};
+pub use metrics::{json_f64, json_string, prometheus_exposition, Metric, MetricsRegistry};
+pub use ops::{OpsConfig, OpsPlane, OpsReport};
 pub use perfetto::perfetto_trace_json;
 pub use recorder::{
     EventRecord, FlightRecorder, QueryRecorder, QueryTrace, RecorderConfig, SpanRecord,
 };
 pub use sink::{NoopSink, TraceSink};
+pub use slo::{burn_rate, reference_timeline, AlertEvent, AlertLog, BurnRateMonitor, SloSpec};
 pub use taxonomy::{DramCommandKind, EventKind, Phase};
+pub use timeseries::{TimeSeries, WindowCell};
+
+/// Streaming FNV-1a accumulator.
+///
+/// One mixing step per [`write_u64`](Fnv64::write_u64): XOR the word in,
+/// multiply by the FNV prime. [`fingerprint64`] (byte streams) and the
+/// serving tier's results fingerprint (word streams) are both this same
+/// hash, so every fingerprint in the repo shares one implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// FNV-1a 64-bit offset basis.
+    pub const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    /// FNV-1a 64-bit prime.
+    pub const PRIME: u64 = 0x100_0000_01b3;
+
+    /// A fresh accumulator at the offset basis.
+    pub fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Mix one word: `h = (h ^ v) * PRIME`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(Self::PRIME);
+    }
+
+    /// Mix a byte stream, one mixing step per byte (classic FNV-1a).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// FNV-1a over `bytes` — the same cheap stable hash the serving tier
 /// uses for result fingerprints, exposed here for config fingerprinting.
 pub fn fingerprint64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
+    let mut h = Fnv64::new();
+    h.write_bytes(bytes);
+    h.finish()
 }
 
 #[cfg(test)]
@@ -55,5 +105,22 @@ mod tests {
         assert_eq!(a, fingerprint64(b"config-a"));
         assert_ne!(a, fingerprint64(b"config-b"));
         assert_eq!(fingerprint64(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn fnv64_streaming_matches_fingerprint64() {
+        let mut h = Fnv64::new();
+        h.write_bytes(b"config-a");
+        assert_eq!(h.finish(), fingerprint64(b"config-a"));
+        assert_eq!(Fnv64::default().finish(), Fnv64::OFFSET);
+    }
+
+    #[test]
+    fn fnv64_word_mix_is_one_step() {
+        // One write_u64 must be exactly the serving tier's historical
+        // `mix` closure: h ^= v; h *= PRIME.
+        let mut h = Fnv64::new();
+        h.write_u64(42);
+        assert_eq!(h.finish(), (Fnv64::OFFSET ^ 42).wrapping_mul(Fnv64::PRIME));
     }
 }

@@ -190,6 +190,55 @@ impl fmt::Display for MetricsRegistry {
     }
 }
 
+/// Sanitize a metric name for Prometheus exposition: every character
+/// outside `[a-zA-Z0-9_]` becomes `_`, and the `ansmet_` namespace
+/// prefix is prepended.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("ansmet_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Render a registry in the Prometheus text exposition format
+/// (version 0.0.4): `# TYPE` headers, counters and gauges as plain
+/// samples, histograms as summaries with `quantile` labels plus
+/// `_sum`/`_count`. Deterministic: metrics appear in canonical
+/// (sorted-key) order with integer sample values only.
+pub fn prometheus_exposition(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, m) in registry.iter() {
+        let p = prom_name(name);
+        match m {
+            Metric::Counter(c) => {
+                out.push_str(&format!("# TYPE {p} counter\n{p} {c}\n"));
+            }
+            Metric::Gauge(g) => {
+                out.push_str(&format!("# TYPE {p} gauge\n{p} {g}\n"));
+            }
+            Metric::Histogram(h) => {
+                out.push_str(&format!("# TYPE {p} summary\n"));
+                for (label, q) in [
+                    ("0.5", 0.50),
+                    ("0.95", 0.95),
+                    ("0.99", 0.99),
+                    ("0.999", 0.999),
+                ] {
+                    out.push_str(&format!("{p}{{quantile=\"{label}\"}} {}\n", h.quantile(q)));
+                }
+                out.push_str(&format!("{p}_sum {}\n{p}_count {}\n", h.sum(), h.count()));
+            }
+        }
+    }
+    out
+}
+
 /// Escape `s` as a JSON string literal (with quotes).
 pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -274,6 +323,28 @@ mod tests {
         assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
         assert_eq!(json_f64(1.5), "1.5000");
         assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("serve.completed", 42);
+        r.gauge_max("serve.queue_depth", 7);
+        r.record("serve.total_cycles", 100);
+        r.record("serve.total_cycles", 900);
+        let text = prometheus_exposition(&r);
+        assert!(text.contains("# TYPE ansmet_serve_completed counter\nansmet_serve_completed 42\n"));
+        assert!(
+            text.contains("# TYPE ansmet_serve_queue_depth gauge\nansmet_serve_queue_depth 7\n")
+        );
+        assert!(text.contains("# TYPE ansmet_serve_total_cycles summary\n"));
+        assert!(text.contains("ansmet_serve_total_cycles{quantile=\"0.99\"}"));
+        assert!(text.contains("ansmet_serve_total_cycles_sum 1000\n"));
+        assert!(text.contains("ansmet_serve_total_cycles_count 2\n"));
+        // Deterministic across calls.
+        assert_eq!(text, prometheus_exposition(&r));
+        // No un-sanitized dots leak into sample names.
+        assert!(!text.contains("serve.completed"));
     }
 
     #[test]

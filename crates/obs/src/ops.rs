@@ -1,0 +1,638 @@
+//! The streaming operations plane: one [`TraceSink`] that turns the
+//! serving tier's span/event/record stream into windowed time series,
+//! SLO burn-rate alert timelines, and automated tail forensics.
+//!
+//! Wiring protocol (what `serve`'s engine and `freshness`'s churn loop
+//! emit per completed query, in order):
+//!
+//! 1. `event(completion, QueryComplete { query, tenant })` — arms the
+//!    per-query assembly;
+//! 2. the query's `Queue` / `Execute` / `Recovery` spans (zero-length
+//!    spans omitted);
+//! 3. `record("*.queue_cycles")`, `record("*.exec_cycles")`,
+//!    `record("*.total_cycles")` — the total record finalizes the query.
+//!
+//! Fleet events (sheds, breaker transitions, hedges, retries,
+//! row-buffer deltas, compaction pauses, brownout levels) arrive
+//! interleaved and are folded into the time series immediately; a copy
+//! is kept so the forensic classifier can later walk each breaching
+//! query's `[arrival, completion)` window. The plane only *observes*:
+//! it implements [`TraceSink`] and never feeds anything back, so traced
+//! runs stay bit-identical to untraced ones.
+
+use std::fmt;
+
+use crate::forensics::{classify, ForensicDigest, ForensicEvidence};
+use crate::metrics::{prometheus_exposition, MetricsRegistry};
+use crate::sink::TraceSink;
+use crate::slo::{AlertLog, BurnRateMonitor, SloSpec};
+use crate::taxonomy::{EventKind, Phase};
+use crate::timeseries::TimeSeries;
+
+/// Configuration of an [`OpsPlane`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpsConfig {
+    /// Fixed aggregation window width (serving cycles).
+    pub window_cycles: u64,
+    /// SLO objectives to monitor.
+    pub slos: Vec<SloSpec>,
+    /// Auto-arm forensics for completions at or above this latency
+    /// (cycles). `u64::MAX` disables forensics.
+    pub tail_threshold_cycles: u64,
+    /// At most this many forensic digests are kept (in completion
+    /// order); the rest are counted as dropped.
+    pub max_digests: usize,
+}
+
+impl Default for OpsConfig {
+    fn default() -> Self {
+        OpsConfig {
+            window_cycles: 100_000,
+            slos: Vec::new(),
+            tail_threshold_cycles: u64::MAX,
+            max_digests: 64,
+        }
+    }
+}
+
+/// A query mid-assembly (QueryComplete seen, total record pending).
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    query: u32,
+    tenant: u32,
+    completion: u64,
+    queue: u64,
+    recovery: u64,
+}
+
+/// A breaching query parked for end-of-run classification.
+#[derive(Debug, Clone, Copy)]
+struct TailRecord {
+    query: u32,
+    tenant: u32,
+    arrival: u64,
+    completion: u64,
+    total: u64,
+    queue: u64,
+    execute: u64,
+    recovery: u64,
+}
+
+/// The streaming ops plane. Feed it to `run_serve_with_sink` /
+/// `run_churn_with_sink`, then call [`OpsPlane::finish`].
+#[derive(Debug, Clone)]
+pub struct OpsPlane {
+    cfg: OpsConfig,
+    series: TimeSeries,
+    monitors: Vec<BurnRateMonitor>,
+    registry: MetricsRegistry,
+    /// Fleet events in arrival order (cycles nondecreasing by
+    /// construction of the serial serving loop).
+    fleet: Vec<(u64, EventKind)>,
+    /// Breaker open/close transitions: (cycle, open-group count).
+    breaker_timeline: Vec<(u64, u64)>,
+    open_groups: Vec<u32>,
+    /// Brownout level transitions: (cycle, level).
+    brownout_timeline: Vec<(u64, u64)>,
+    /// Maintenance pauses: (start_cycle, pause_cycles).
+    pauses: Vec<(u64, u64)>,
+    pending: Option<Pending>,
+    tails: Vec<TailRecord>,
+    completed: u64,
+    dropped_digests: u64,
+}
+
+impl OpsPlane {
+    /// A plane with the given config; one burn-rate monitor per SLO.
+    pub fn new(cfg: OpsConfig) -> Self {
+        let monitors = cfg.slos.iter().cloned().map(BurnRateMonitor::new).collect();
+        let series = TimeSeries::new(cfg.window_cycles);
+        OpsPlane {
+            cfg,
+            series,
+            monitors,
+            registry: MetricsRegistry::new(),
+            fleet: Vec::new(),
+            breaker_timeline: Vec::new(),
+            open_groups: Vec::new(),
+            brownout_timeline: Vec::new(),
+            pauses: Vec::new(),
+            pending: None,
+            tails: Vec::new(),
+            completed: 0,
+            dropped_digests: 0,
+        }
+    }
+
+    /// Completions finalized so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    fn fold_event(&mut self, cycle: u64, kind: EventKind) {
+        match kind {
+            EventKind::Shed { deadline } => {
+                self.series.counter_add("ops.shed", cycle, 1);
+                if deadline {
+                    self.series.counter_add("ops.shed_deadline", cycle, 1);
+                }
+                // A shed is an SLO violation for every objective.
+                for m in &mut self.monitors {
+                    m.observe(cycle, false);
+                }
+            }
+            EventKind::BatchFormed { size } => {
+                self.series.counter_add("ops.batches", cycle, 1);
+                self.series.record("ops.batch_size", cycle, size as u64);
+            }
+            EventKind::RecoveryRetry { .. } => {
+                self.series.counter_add("ops.retries", cycle, 1);
+            }
+            EventKind::CrcRejected { .. } => {
+                self.series.counter_add("ops.crc_rejected", cycle, 1);
+            }
+            EventKind::HostFallback { .. } => {
+                self.series.counter_add("ops.host_fallbacks", cycle, 1);
+            }
+            EventKind::BreakerOpen { group } => {
+                self.series.counter_add("ops.breaker_opens", cycle, 1);
+                if !self.open_groups.contains(&group) {
+                    self.open_groups.push(group);
+                }
+                let n = self.open_groups.len() as u64;
+                self.breaker_timeline.push((cycle, n));
+                self.series.gauge_max("ops.breakers_open", cycle, n);
+            }
+            EventKind::BreakerHalfOpen { .. } => {
+                self.series.counter_add("ops.breaker_half_opens", cycle, 1);
+            }
+            EventKind::BreakerClose { group } => {
+                self.series.counter_add("ops.breaker_closes", cycle, 1);
+                self.open_groups.retain(|g| *g != group);
+                let n = self.open_groups.len() as u64;
+                self.breaker_timeline.push((cycle, n));
+            }
+            EventKind::HedgeIssued { .. } => {
+                self.series.counter_add("ops.hedges_issued", cycle, 1);
+            }
+            EventKind::HedgeWin { .. } => {
+                self.series.counter_add("ops.hedge_wins", cycle, 1);
+            }
+            EventKind::Brownout { level } => {
+                self.brownout_timeline.push((cycle, level as u64));
+                self.series
+                    .gauge_max("ops.brownout_level", cycle, level as u64);
+            }
+            EventKind::RowBuffer {
+                hits,
+                misses,
+                conflicts,
+            } => {
+                self.series.counter_add("ops.row_hits", cycle, hits as u64);
+                self.series
+                    .counter_add("ops.row_misses", cycle, misses as u64);
+                self.series
+                    .counter_add("ops.row_conflicts", cycle, conflicts as u64);
+            }
+            EventKind::CompactionPause { cycles, .. } => {
+                self.series.counter_add("ops.compaction_pauses", cycle, 1);
+                self.series
+                    .counter_add("ops.compaction_pause_cycles", cycle, cycles as u64);
+                self.pauses.push((cycle, cycles as u64));
+            }
+            _ => {}
+        }
+    }
+
+    fn finalize(&mut self, total: u64) {
+        let Some(p) = self.pending.take() else {
+            return;
+        };
+        let completion = p.completion;
+        let arrival = completion.saturating_sub(total);
+        self.completed += 1;
+        self.series.counter_add("ops.completed", completion, 1);
+        self.series.record("ops.total_cycles", completion, total);
+        for m in &mut self.monitors {
+            m.observe(completion, total <= m.spec().threshold_cycles);
+        }
+        if total >= self.cfg.tail_threshold_cycles {
+            let execute = total.saturating_sub(p.queue + p.recovery);
+            self.tails.push(TailRecord {
+                query: p.query,
+                tenant: p.tenant,
+                arrival,
+                completion,
+                total,
+                queue: p.queue,
+                execute,
+                recovery: p.recovery,
+            });
+        }
+    }
+
+    /// Last value of a `(cycle, value)` step timeline at or before
+    /// `cycle` (0 before the first transition).
+    fn step_value_at(timeline: &[(u64, u64)], cycle: u64) -> u64 {
+        let idx = timeline.partition_point(|(c, _)| *c <= cycle);
+        if idx == 0 {
+            0
+        } else {
+            timeline[idx - 1].1
+        }
+    }
+
+    fn gather_evidence(&self, t: &TailRecord) -> ForensicEvidence {
+        let mut ev = ForensicEvidence::default();
+        let from = t.arrival;
+        let to = t.completion;
+        for &(cycle, kind) in &self.fleet {
+            if cycle < from || cycle >= to {
+                continue;
+            }
+            match kind {
+                EventKind::RecoveryRetry { .. } => ev.retries += 1,
+                EventKind::CrcRejected { .. } => ev.crc_rejected += 1,
+                EventKind::HostFallback { .. } => ev.host_fallbacks += 1,
+                EventKind::HedgeIssued { .. } => ev.hedges_issued += 1,
+                EventKind::HedgeWin { .. } => ev.hedge_wins += 1,
+                EventKind::RowBuffer {
+                    hits,
+                    misses,
+                    conflicts,
+                } => {
+                    ev.row_hits += hits as u64;
+                    ev.row_misses += misses as u64;
+                    ev.row_conflicts += conflicts as u64;
+                }
+                _ => {}
+            }
+        }
+        let dispatch = t.arrival + t.queue;
+        ev.breakers_open_at_dispatch = Self::step_value_at(&self.breaker_timeline, dispatch);
+        ev.brownout_level_at_dispatch = Self::step_value_at(&self.brownout_timeline, dispatch);
+        for &(start, cycles) in &self.pauses {
+            let end = start.saturating_add(cycles);
+            let lo = start.max(from);
+            let hi = end.min(to);
+            if hi > lo {
+                ev.pause_overlap_cycles += hi - lo;
+            }
+        }
+        ev
+    }
+
+    /// Close the plane: classify every armed tail breach against the
+    /// fleet event log and render the alert timelines.
+    pub fn finish(mut self) -> OpsReport {
+        // Cycles are nondecreasing from the serial serving loop, but the
+        // classifier's correctness only needs *sorted*; make it so
+        // explicitly (stable, so equal-cycle events keep emission order).
+        self.fleet.sort_by_key(|(c, _)| *c);
+        let keep = self.tails.len().min(self.cfg.max_digests);
+        self.dropped_digests += (self.tails.len() - keep) as u64;
+        let digests = self.tails[..keep]
+            .iter()
+            .map(|t| {
+                let evidence = self.gather_evidence(t);
+                let cause = classify(t.queue, t.execute, t.recovery, &evidence);
+                ForensicDigest {
+                    query: t.query,
+                    tenant: t.tenant,
+                    arrival_cycle: t.arrival,
+                    completion_cycle: t.completion,
+                    total_cycles: t.total,
+                    queue_cycles: t.queue,
+                    execute_cycles: t.execute,
+                    recovery_cycles: t.recovery,
+                    threshold_cycles: self.cfg.tail_threshold_cycles,
+                    cause,
+                    evidence,
+                }
+            })
+            .collect();
+        let alerts = self.monitors.iter().map(|m| m.timeline()).collect();
+        OpsReport {
+            tail_threshold_cycles: self.cfg.tail_threshold_cycles,
+            series: self.series,
+            alerts,
+            digests,
+            registry: self.registry,
+            completed: self.completed,
+            dropped_digests: self.dropped_digests,
+        }
+    }
+}
+
+impl TraceSink for OpsPlane {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span(&mut self, phase: Phase, start: u64, end: u64) {
+        let len = end.saturating_sub(start);
+        if let Some(p) = &mut self.pending {
+            match phase {
+                Phase::Queue => p.queue = len,
+                Phase::Recovery => p.recovery = len,
+                _ => {}
+            }
+        }
+    }
+
+    fn event(&mut self, cycle: u64, kind: EventKind) {
+        if let EventKind::QueryComplete { query, tenant } = kind {
+            self.pending = Some(Pending {
+                query,
+                tenant,
+                completion: cycle,
+                queue: 0,
+                recovery: 0,
+            });
+        } else {
+            self.fleet.push((cycle, kind));
+            self.fold_event(cycle, kind);
+        }
+    }
+
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        self.registry.counter_add(name, delta);
+    }
+
+    fn gauge_max(&mut self, name: &'static str, value: u64) {
+        self.registry.gauge_max(name, value);
+    }
+
+    fn record(&mut self, name: &'static str, value: u64) {
+        self.registry.record(name, value);
+        if self.pending.is_some() {
+            if name.ends_with("queue_cycles") {
+                if let Some(p) = &mut self.pending {
+                    p.queue = value;
+                }
+            } else if name.ends_with("total_cycles") {
+                self.finalize(value);
+            }
+        }
+    }
+
+    fn sample(&mut self, cycle: u64, name: &'static str, value: u64) {
+        self.series.gauge_max(name, cycle, value);
+        self.registry.gauge_max(name, value);
+    }
+}
+
+/// Everything the ops plane distilled from one run.
+#[derive(Debug, Clone)]
+pub struct OpsReport {
+    /// The armed tail threshold (cycles).
+    pub tail_threshold_cycles: u64,
+    /// Windowed time series of every folded metric.
+    pub series: TimeSeries,
+    /// One alert timeline per configured SLO.
+    pub alerts: Vec<AlertLog>,
+    /// Forensic digests of tail breaches, in completion order.
+    pub digests: Vec<ForensicDigest>,
+    /// Run-total metrics (counters/gauges/histograms) for exposition.
+    pub registry: MetricsRegistry,
+    /// Completions observed.
+    pub completed: u64,
+    /// Breaches beyond `max_digests` that were counted but not kept.
+    pub dropped_digests: u64,
+}
+
+impl OpsReport {
+    /// Whether every digest carries a non-`unknown` attributed cause.
+    pub fn all_digests_attributed(&self) -> bool {
+        self.digests
+            .iter()
+            .all(|d| d.cause != crate::forensics::ForensicCause::Unknown)
+    }
+
+    /// Prometheus text exposition of the run-total metrics.
+    pub fn exposition(&self) -> String {
+        prometheus_exposition(&self.registry)
+    }
+
+    /// Deterministic JSON body: time series, alert logs, digests, and
+    /// run totals.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!(
+            "  \"completed\": {},\n  \"tail_threshold_cycles\": {},\n  \"dropped_digests\": {},\n",
+            self.completed, self.tail_threshold_cycles, self.dropped_digests
+        ));
+        s.push_str("  \"alerts\": [");
+        for (i, a) in self.alerts.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&a.to_json());
+        }
+        s.push_str("],\n  \"digests\": [");
+        for (i, d) in self.digests.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&d.to_json());
+        }
+        s.push_str("],\n  \"timeseries\": ");
+        s.push_str(&indent_tail(&self.series.to_json(), "  "));
+        s.push_str(",\n  \"totals\": ");
+        s.push_str(&indent_tail(&self.registry.to_json(), "  "));
+        s.push_str("\n}");
+        s
+    }
+}
+
+impl fmt::Display for OpsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ops plane: {} completions, {} digests ({} dropped), threshold {} cycles",
+            self.completed,
+            self.digests.len(),
+            self.dropped_digests,
+            self.tail_threshold_cycles
+        )?;
+        for a in &self.alerts {
+            write!(f, "{a}")?;
+        }
+        for d in &self.digests {
+            writeln!(f, "  {d}")?;
+        }
+        write!(f, "{}", self.series)
+    }
+}
+
+/// Re-indent every line after the first by `pad` so a nested JSON
+/// object lines up inside its parent.
+fn indent_tail(json: &str, pad: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    for (i, line) in json.lines().enumerate() {
+        if i > 0 {
+            out.push('\n');
+            out.push_str(pad);
+        }
+        out.push_str(line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slo() -> SloSpec {
+        SloSpec {
+            name: "lat",
+            threshold_cycles: 1_000,
+            target: 0.9,
+            fast_window_cycles: 1_000,
+            slow_window_cycles: 4_000,
+            fire_burn: 2.0,
+            clear_burn: 1.0,
+            min_count: 1,
+        }
+    }
+
+    fn complete_query(plane: &mut OpsPlane, query: u32, arrival: u64, queue: u64, total: u64) {
+        let completion = arrival + total;
+        let dispatch = arrival + queue;
+        plane.event(completion, EventKind::QueryComplete { query, tenant: 0 });
+        if queue > 0 {
+            plane.span(Phase::Queue, arrival, dispatch);
+        }
+        plane.span(Phase::Execute, dispatch, completion);
+        plane.record("serve.queue_cycles", queue);
+        plane.record("serve.exec_cycles", total - queue);
+        plane.record("serve.total_cycles", total);
+    }
+
+    #[test]
+    fn assembles_completions_into_series_and_monitors() {
+        let mut plane = OpsPlane::new(OpsConfig {
+            window_cycles: 1_000,
+            slos: vec![slo()],
+            tail_threshold_cycles: u64::MAX,
+            max_digests: 8,
+        });
+        complete_query(&mut plane, 0, 0, 10, 500);
+        complete_query(&mut plane, 1, 1_500, 0, 2_000);
+        let report = plane.finish();
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.series.counter_total("ops.completed"), 2);
+        assert!(report.digests.is_empty());
+        assert_eq!(report.alerts.len(), 1);
+    }
+
+    #[test]
+    fn breaches_arm_digests_with_causes() {
+        let mut plane = OpsPlane::new(OpsConfig {
+            window_cycles: 1_000,
+            slos: vec![],
+            tail_threshold_cycles: 2_000,
+            max_digests: 8,
+        });
+        // Fast query: no digest.
+        complete_query(&mut plane, 0, 0, 10, 500);
+        // Queue-dominated breach under a compaction pause.
+        plane.event(
+            5_000,
+            EventKind::CompactionPause {
+                epoch: 0,
+                cycles: 3_000,
+            },
+        );
+        complete_query(&mut plane, 1, 5_000, 3_500, 4_000);
+        let report = plane.finish();
+        assert_eq!(report.digests.len(), 1);
+        let d = &report.digests[0];
+        assert_eq!(d.query, 1);
+        assert_eq!(d.queue_cycles, 3_500);
+        assert!(d.evidence.pause_overlap_cycles > 0);
+        assert_eq!(
+            d.cause,
+            crate::forensics::ForensicCause::CompactionPauseOverlap
+        );
+        assert!(report.all_digests_attributed());
+    }
+
+    #[test]
+    fn digest_cap_counts_drops() {
+        let mut plane = OpsPlane::new(OpsConfig {
+            window_cycles: 1_000,
+            slos: vec![],
+            tail_threshold_cycles: 1,
+            max_digests: 1,
+        });
+        complete_query(&mut plane, 0, 0, 0, 100);
+        complete_query(&mut plane, 1, 200, 0, 100);
+        let report = plane.finish();
+        assert_eq!(report.digests.len(), 1);
+        assert_eq!(report.dropped_digests, 1);
+    }
+
+    #[test]
+    fn breaker_and_brownout_state_is_dispatch_time() {
+        let mut plane = OpsPlane::new(OpsConfig {
+            window_cycles: 1_000,
+            slos: vec![],
+            tail_threshold_cycles: 100,
+            max_digests: 8,
+        });
+        plane.event(50, EventKind::BreakerOpen { group: 3 });
+        plane.event(60, EventKind::Brownout { level: 2 });
+        // Dispatch at 100 (inside open window), completion 10_100.
+        complete_query(&mut plane, 0, 0, 100, 10_100);
+        plane.event(20_000, EventKind::BreakerClose { group: 3 });
+        // Dispatch at 30_000: breaker closed again.
+        complete_query(&mut plane, 1, 29_000, 1_000, 10_000);
+        let report = plane.finish();
+        assert_eq!(report.digests.len(), 2);
+        assert_eq!(report.digests[0].evidence.breakers_open_at_dispatch, 1);
+        assert_eq!(report.digests[0].evidence.brownout_level_at_dispatch, 2);
+        assert_eq!(report.digests[1].evidence.breakers_open_at_dispatch, 0);
+    }
+
+    #[test]
+    fn shed_events_count_against_every_slo() {
+        let mut plane = OpsPlane::new(OpsConfig {
+            window_cycles: 1_000,
+            slos: vec![slo()],
+            tail_threshold_cycles: u64::MAX,
+            max_digests: 8,
+        });
+        for c in 0..20u64 {
+            plane.event(c * 100, EventKind::Shed { deadline: false });
+        }
+        let report = plane.finish();
+        assert_eq!(report.series.counter_total("ops.shed"), 20);
+        assert!(report.alerts[0].first_fire().is_some());
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_balanced() {
+        let mut plane = OpsPlane::new(OpsConfig {
+            window_cycles: 1_000,
+            slos: vec![slo()],
+            tail_threshold_cycles: 1_000,
+            max_digests: 8,
+        });
+        complete_query(&mut plane, 0, 0, 500, 1_500);
+        plane.counter("serve.batches", 1);
+        plane.sample(100, "serve.queue_depth", 7);
+        let report = plane.finish();
+        let j = report.to_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"alerts\""));
+        assert!(j.contains("\"digests\""));
+        assert!(j.contains("\"timeseries\""));
+        assert!(j.contains("\"totals\""));
+        let expo = report.exposition();
+        assert!(expo.contains("ansmet_serve_batches 1"));
+        assert!(expo.contains("ansmet_serve_queue_depth 7"));
+        let t = report.to_string();
+        assert!(t.contains("ops plane"));
+    }
+}

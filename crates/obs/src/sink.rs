@@ -46,6 +46,14 @@ pub trait TraceSink {
     fn record(&mut self, name: &'static str, value: u64) {
         let _ = (name, value);
     }
+
+    /// A cycle-stamped gauge sample (e.g. instantaneous queue depth).
+    ///
+    /// Unlike [`gauge_max`](TraceSink::gauge_max) this carries the
+    /// observation time, so windowed sinks can aggregate per window.
+    fn sample(&mut self, cycle: u64, name: &'static str, value: u64) {
+        let _ = (cycle, name, value);
+    }
 }
 
 /// The default sink: records nothing, compiles to nothing.
@@ -75,6 +83,9 @@ impl<T: TraceSink + ?Sized> TraceSink for &mut T {
     fn record(&mut self, name: &'static str, value: u64) {
         (**self).record(name, value)
     }
+    fn sample(&mut self, cycle: u64, name: &'static str, value: u64) {
+        (**self).sample(cycle, name, value)
+    }
 }
 
 #[cfg(test)]
@@ -91,6 +102,7 @@ mod tests {
         s.counter("x", 1);
         s.gauge_max("y", 2);
         s.record("z", 3);
+        s.sample(7, "w", 4);
     }
 
     #[test]

@@ -1,0 +1,481 @@
+//! SLO objectives with multi-window burn-rate alerting.
+//!
+//! An SLO is "fraction of good events ≥ `target`"; an event is good when
+//! the query completed within its latency threshold (sheds are always
+//! bad). The *burn rate* of a window is the window's bad fraction
+//! divided by the error budget `1 - target`: burn 1.0 consumes exactly
+//! the budget, burn 10 consumes it ten times as fast. Alerts follow the
+//! classic multi-window scheme: fire only when **both** a fast and a
+//! slow window burn above the fire threshold (fast = responsive, slow =
+//! flap-resistant), and clear with hysteresis once both drop below a
+//! lower clear threshold.
+//!
+//! The timeline is computed deterministically after the fact: events are
+//! bucketed onto the fast-window grid and the fire/clear state machine
+//! is evaluated at every fast-window boundary, so the alert log is a
+//! pure function of the (cycle, good) observation set — bit-identical
+//! across reruns and thread counts.
+
+use std::fmt;
+
+use crate::metrics::{json_f64, json_string};
+
+/// One service-level objective with its alerting policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Objective name (JSON key, exposition label).
+    pub name: &'static str,
+    /// A completion is good iff its total latency ≤ this (cycles).
+    pub threshold_cycles: u64,
+    /// Good-fraction objective in `(0, 1)`, e.g. `0.9`.
+    pub target: f64,
+    /// Fast alert window (cycles).
+    pub fast_window_cycles: u64,
+    /// Slow alert window (cycles); must be a positive multiple of the
+    /// fast window.
+    pub slow_window_cycles: u64,
+    /// Fire when both windows burn at ≥ this rate.
+    pub fire_burn: f64,
+    /// Clear when both windows burn below this rate (< `fire_burn`).
+    pub clear_burn: f64,
+    /// Minimum observations in the slow window before firing.
+    pub min_count: u64,
+}
+
+impl SloSpec {
+    fn validate(&self) {
+        assert!(self.fast_window_cycles > 0, "fast window must be nonzero");
+        assert!(
+            self.slow_window_cycles >= self.fast_window_cycles
+                && self
+                    .slow_window_cycles
+                    .is_multiple_of(self.fast_window_cycles),
+            "slow window must be a positive multiple of the fast window"
+        );
+        assert!(
+            self.target > 0.0 && self.target < 1.0,
+            "target must be in (0, 1)"
+        );
+        assert!(
+            self.clear_burn < self.fire_burn,
+            "clear threshold must sit below the fire threshold"
+        );
+    }
+}
+
+/// Burn rate of a window with `good`/`bad` events against `target`:
+/// bad fraction over error budget. Zero when the window is empty.
+pub fn burn_rate(good: u64, bad: u64, target: f64) -> f64 {
+    let total = good + bad;
+    if total == 0 {
+        return 0.0;
+    }
+    let bad_frac = bad as f64 / total as f64;
+    let budget = (1.0 - target).max(f64::MIN_POSITIVE);
+    bad_frac / budget
+}
+
+/// One fire or clear transition in an alert timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertEvent {
+    /// Fast-window boundary (cycle) at which the transition happened.
+    pub cycle: u64,
+    /// `true` = fired, `false` = cleared.
+    pub fired: bool,
+    /// Fast-window burn rate at the boundary.
+    pub fast_burn: f64,
+    /// Slow-window burn rate at the boundary.
+    pub slow_burn: f64,
+}
+
+/// The deterministic alert timeline of one SLO.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertLog {
+    /// Objective name.
+    pub slo: &'static str,
+    /// Fire/clear transitions in cycle order.
+    pub events: Vec<AlertEvent>,
+}
+
+impl AlertLog {
+    /// Cycle of the first fire transition, if any.
+    pub fn first_fire(&self) -> Option<u64> {
+        self.events.iter().find(|e| e.fired).map(|e| e.cycle)
+    }
+
+    /// Cycle of the last clear transition, if any.
+    pub fn last_clear(&self) -> Option<u64> {
+        self.events.iter().rev().find(|e| !e.fired).map(|e| e.cycle)
+    }
+
+    /// Whether the alert is still firing after the last transition.
+    pub fn firing_at_end(&self) -> bool {
+        self.events.last().map(|e| e.fired).unwrap_or(false)
+    }
+
+    /// Deterministic JSON: objective name plus the transition list.
+    pub fn to_json(&self) -> String {
+        let mut s = format!("{{\"slo\": {}, \"events\": [", json_string(self.slo));
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"cycle\": {}, \"state\": \"{}\", \"fast_burn\": {}, \"slow_burn\": {}}}",
+                e.cycle,
+                if e.fired { "fire" } else { "clear" },
+                json_f64(e.fast_burn),
+                json_f64(e.slow_burn),
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+impl fmt::Display for AlertLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "alert timeline [{}]: {} transitions",
+            self.slo,
+            self.events.len()
+        )?;
+        for e in &self.events {
+            writeln!(
+                f,
+                "  cycle {:>12}  {}  fast_burn={:.2} slow_burn={:.2}",
+                e.cycle,
+                if e.fired { "FIRE " } else { "clear" },
+                e.fast_burn,
+                e.slow_burn
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Collects (cycle, good) observations for one SLO and renders the
+/// deterministic alert timeline on demand.
+#[derive(Debug, Clone)]
+pub struct BurnRateMonitor {
+    spec: SloSpec,
+    obs: Vec<(u64, bool)>,
+}
+
+impl BurnRateMonitor {
+    /// A monitor for `spec`.
+    ///
+    /// # Panics
+    /// If the spec is inconsistent (zero windows, slow not a multiple of
+    /// fast, target outside `(0,1)`, clear ≥ fire).
+    pub fn new(spec: SloSpec) -> Self {
+        spec.validate();
+        BurnRateMonitor {
+            spec,
+            obs: Vec::new(),
+        }
+    }
+
+    /// The objective this monitor watches.
+    pub fn spec(&self) -> &SloSpec {
+        &self.spec
+    }
+
+    /// Record one event outcome at `cycle`.
+    pub fn observe(&mut self, cycle: u64, good: bool) {
+        self.obs.push((cycle, good));
+    }
+
+    /// Record a completion latency (good iff ≤ the spec threshold).
+    pub fn observe_latency(&mut self, cycle: u64, total_cycles: u64) {
+        self.observe(cycle, total_cycles <= self.spec.threshold_cycles);
+    }
+
+    /// Number of observations so far.
+    pub fn len(&self) -> usize {
+        self.obs.len()
+    }
+
+    /// Whether no events have been observed.
+    pub fn is_empty(&self) -> bool {
+        self.obs.is_empty()
+    }
+
+    /// The deterministic alert timeline: bucket observations onto the
+    /// fast-window grid, then run the fire/clear state machine at every
+    /// fast-window boundary through the last populated window.
+    pub fn timeline(&self) -> AlertLog {
+        let spec = &self.spec;
+        let fast = spec.fast_window_cycles;
+        let k = (spec.slow_window_cycles / fast) as usize;
+        let mut events = Vec::new();
+        let last_cycle = self.obs.iter().map(|(c, _)| *c).max();
+        let Some(last_cycle) = last_cycle else {
+            return AlertLog {
+                slo: spec.name,
+                events,
+            };
+        };
+        // Per-fast-window (good, bad) tallies.
+        let n_windows = (last_cycle / fast + 1) as usize;
+        let mut buckets = vec![(0u64, 0u64); n_windows];
+        for &(cycle, good) in &self.obs {
+            let w = (cycle / fast) as usize;
+            if good {
+                buckets[w].0 += 1;
+            } else {
+                buckets[w].1 += 1;
+            }
+        }
+        let mut firing = false;
+        for w in 0..n_windows {
+            let (fg, fb) = buckets[w];
+            let lo = w.saturating_sub(k - 1);
+            let (mut sg, mut sb) = (0u64, 0u64);
+            for &(g, b) in &buckets[lo..=w] {
+                sg += g;
+                sb += b;
+            }
+            let fast_burn = burn_rate(fg, fb, spec.target);
+            let slow_burn = burn_rate(sg, sb, spec.target);
+            let boundary = (w as u64 + 1) * fast;
+            if !firing
+                && sg + sb >= spec.min_count
+                && fast_burn >= spec.fire_burn
+                && slow_burn >= spec.fire_burn
+            {
+                firing = true;
+                events.push(AlertEvent {
+                    cycle: boundary,
+                    fired: true,
+                    fast_burn,
+                    slow_burn,
+                });
+            } else if firing && fast_burn < spec.clear_burn && slow_burn < spec.clear_burn {
+                firing = false;
+                events.push(AlertEvent {
+                    cycle: boundary,
+                    fired: false,
+                    fast_burn,
+                    slow_burn,
+                });
+            }
+        }
+        AlertLog {
+            slo: spec.name,
+            events,
+        }
+    }
+}
+
+/// Scalar reference for the property tests: recompute the timeline by
+/// scanning the full observation list at every fast-window boundary
+/// (O(windows × observations)), sharing nothing with
+/// [`BurnRateMonitor::timeline`] beyond [`burn_rate`] itself.
+pub fn reference_timeline(spec: &SloSpec, obs: &[(u64, bool)]) -> AlertLog {
+    spec.validate();
+    let fast = spec.fast_window_cycles;
+    let slow = spec.slow_window_cycles;
+    let mut events = Vec::new();
+    let Some(last_cycle) = obs.iter().map(|(c, _)| *c).max() else {
+        return AlertLog {
+            slo: spec.name,
+            events,
+        };
+    };
+    let count_in = |from: u64, to: u64| -> (u64, u64) {
+        let mut good = 0;
+        let mut bad = 0;
+        for &(c, g) in obs {
+            if c >= from && c < to {
+                if g {
+                    good += 1;
+                } else {
+                    bad += 1;
+                }
+            }
+        }
+        (good, bad)
+    };
+    let mut firing = false;
+    let mut boundary = fast;
+    while boundary <= (last_cycle / fast + 1) * fast {
+        let (fg, fb) = count_in(boundary - fast, boundary);
+        let (sg, sb) = count_in(boundary.saturating_sub(slow), boundary);
+        let fast_burn = burn_rate(fg, fb, spec.target);
+        let slow_burn = burn_rate(sg, sb, spec.target);
+        if !firing
+            && sg + sb >= spec.min_count
+            && fast_burn >= spec.fire_burn
+            && slow_burn >= spec.fire_burn
+        {
+            firing = true;
+            events.push(AlertEvent {
+                cycle: boundary,
+                fired: true,
+                fast_burn,
+                slow_burn,
+            });
+        } else if firing && fast_burn < spec.clear_burn && slow_burn < spec.clear_burn {
+            firing = false;
+            events.push(AlertEvent {
+                cycle: boundary,
+                fired: false,
+                fast_burn,
+                slow_burn,
+            });
+        }
+        boundary += fast;
+    }
+    AlertLog {
+        slo: spec.name,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SloSpec {
+        SloSpec {
+            name: "p-slo",
+            threshold_cycles: 1_000,
+            target: 0.9,
+            fast_window_cycles: 100,
+            slow_window_cycles: 400,
+            fire_burn: 2.0,
+            clear_burn: 1.0,
+            min_count: 1,
+        }
+    }
+
+    #[test]
+    fn burn_rate_math() {
+        assert_eq!(burn_rate(0, 0, 0.9), 0.0);
+        // 50% bad against a 10% budget burns at 5x.
+        assert!((burn_rate(5, 5, 0.9) - 5.0).abs() < 1e-12);
+        // All good: zero burn.
+        assert_eq!(burn_rate(10, 0, 0.9), 0.0);
+    }
+
+    #[test]
+    fn fires_during_outage_and_clears_after() {
+        let mut m = BurnRateMonitor::new(spec());
+        // Healthy traffic, then a hard outage over [1000, 1800), then
+        // healthy again.
+        for c in (0..1_000).step_by(20) {
+            m.observe(c, true);
+        }
+        for c in (1_000..1_800).step_by(20) {
+            m.observe(c, false);
+        }
+        for c in (1_800..4_000).step_by(20) {
+            m.observe(c, true);
+        }
+        let log = m.timeline();
+        let fire = log.first_fire().expect("alert fired");
+        let clear = log.last_clear().expect("alert cleared");
+        assert!(fire > 1_000 && fire <= 1_800, "fired at {fire}");
+        assert!(clear > 1_800, "cleared at {clear}");
+        assert!(!log.firing_at_end());
+        // Deterministic: identical log on recomputation.
+        assert_eq!(log, m.timeline());
+    }
+
+    #[test]
+    fn hysteresis_prevents_flapping_on_the_edge() {
+        let mut s = spec();
+        s.fire_burn = 5.0;
+        s.clear_burn = 2.0;
+        let mut m = BurnRateMonitor::new(s);
+        // Alternate windows at burn 10 (all bad) / burn 2.5 (25% bad):
+        // burn 2.5 sits between clear (2) and fire (5), so once fired
+        // the alert must hold.
+        for w in 0..8u64 {
+            let base = w * 100;
+            if w % 2 == 0 {
+                for c in (base..base + 100).step_by(10) {
+                    m.observe(c, false);
+                }
+            } else {
+                for c in (base..base + 100).step_by(25) {
+                    m.observe(c, c % 100 != 0);
+                }
+            }
+        }
+        let log = m.timeline();
+        assert_eq!(log.events.iter().filter(|e| e.fired).count(), 1);
+        assert!(log.firing_at_end());
+    }
+
+    #[test]
+    fn matches_reference_on_a_mixed_trace() {
+        let mut m = BurnRateMonitor::new(spec());
+        let mut obs = Vec::new();
+        let mut x = 9u64;
+        for i in 0..500u64 {
+            // Deterministic pseudo-random mix of cycles and outcomes.
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let cycle = i * 13 + (x % 7);
+            let good = !x.is_multiple_of(5);
+            m.observe(cycle, good);
+            obs.push((cycle, good));
+        }
+        assert_eq!(m.timeline(), reference_timeline(&spec(), &obs));
+    }
+
+    #[test]
+    fn empty_monitor_has_empty_timeline() {
+        let m = BurnRateMonitor::new(spec());
+        assert!(m.is_empty());
+        let log = m.timeline();
+        assert!(log.events.is_empty());
+        assert_eq!(log.first_fire(), None);
+        assert_eq!(log.last_clear(), None);
+        assert_eq!(log, reference_timeline(&spec(), &[]));
+    }
+
+    #[test]
+    fn observe_latency_uses_the_threshold() {
+        let mut m = BurnRateMonitor::new(spec());
+        m.observe_latency(10, 999);
+        m.observe_latency(20, 1_001);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.timeline(), {
+            let s = spec();
+            reference_timeline(&s, &[(10, true), (20, false)])
+        });
+    }
+
+    #[test]
+    fn alert_log_json_and_display_are_stable() {
+        let log = AlertLog {
+            slo: "p-slo",
+            events: vec![
+                AlertEvent {
+                    cycle: 400,
+                    fired: true,
+                    fast_burn: 8.0,
+                    slow_burn: 3.5,
+                },
+                AlertEvent {
+                    cycle: 900,
+                    fired: false,
+                    fast_burn: 0.0,
+                    slow_burn: 0.5,
+                },
+            ],
+        };
+        let j = log.to_json();
+        assert!(j.contains("\"slo\": \"p-slo\""));
+        assert!(j.contains("\"state\": \"fire\""));
+        assert!(j.contains("\"state\": \"clear\""));
+        assert_eq!(j, log.clone().to_json());
+        let t = log.to_string();
+        assert!(t.contains("FIRE") && t.contains("clear"));
+    }
+}

@@ -162,6 +162,13 @@ pub enum EventKind {
     /// Resilience: brownout admission control moved to `level`
     /// (0 = normal; higher levels shed earlier).
     Brownout { level: u32 },
+    /// Serving: query `query` of tenant `tenant` completed. Emitted at
+    /// the completion cycle, immediately before the query's spans, so
+    /// windowed sinks can attribute the spans/records that follow.
+    QueryComplete { query: u32, tenant: u32 },
+    /// Maintenance: epoch `epoch` paused the device for `cycles`
+    /// (compaction / re-validation), starting at the event cycle.
+    CompactionPause { epoch: u32, cycles: u32 },
 }
 
 impl EventKind {
@@ -189,6 +196,8 @@ impl EventKind {
             EventKind::HedgeIssued { .. } => "hedge_issued",
             EventKind::HedgeWin { .. } => "hedge_win",
             EventKind::Brownout { .. } => "brownout",
+            EventKind::QueryComplete { .. } => "query_complete",
+            EventKind::CompactionPause { .. } => "compaction_pause",
         }
     }
 }
@@ -249,6 +258,12 @@ impl fmt::Display for EventKind {
             }
             EventKind::HedgeWin { to } => write!(f, "hedge_win to={to}"),
             EventKind::Brownout { level } => write!(f, "brownout level={level}"),
+            EventKind::QueryComplete { query, tenant } => {
+                write!(f, "query_complete query={query} tenant={tenant}")
+            }
+            EventKind::CompactionPause { epoch, cycles } => {
+                write!(f, "compaction_pause epoch={epoch} cycles={cycles}")
+            }
         }
     }
 }
@@ -302,5 +317,21 @@ mod tests {
         );
         assert_eq!(EventKind::BreakerClose { group: 1 }.name(), "breaker_close");
         assert_eq!(EventKind::HedgeWin { to: 2 }.name(), "hedge_win");
+        assert_eq!(
+            EventKind::QueryComplete {
+                query: 9,
+                tenant: 1
+            }
+            .to_string(),
+            "query_complete query=9 tenant=1"
+        );
+        assert_eq!(
+            EventKind::CompactionPause {
+                epoch: 2,
+                cycles: 640
+            }
+            .to_string(),
+            "compaction_pause epoch=2 cycles=640"
+        );
     }
 }

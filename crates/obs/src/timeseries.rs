@@ -1,0 +1,356 @@
+//! Windowed time-series aggregation on the serving clock.
+//!
+//! The ops plane folds every observation into fixed windows of
+//! `window_cycles` serving cycles: counters sum per window, gauges keep
+//! the per-window high-watermark, histograms bucket per window (so each
+//! window has its own p50/p99/p99.9). Storage is `BTreeMap` keyed by
+//! metric name then window index, so iteration order — and the JSON
+//! export — is canonical and byte-stable across runs and thread counts.
+//!
+//! Sliding-window reads are served on top of the fixed grid:
+//! [`TimeSeries::counter_sum_range`] sums every window overlapping a
+//! cycle range, which is what the burn-rate monitors and the forensic
+//! classifier need (window-granular, documented as such).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::histogram::LatencyHistogram;
+use crate::metrics::{json_f64, json_string};
+
+/// One fixed window's worth of a single metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WindowCell {
+    /// Per-window sum.
+    Counter(u64),
+    /// Per-window high-watermark.
+    Gauge(u64),
+    /// Per-window distribution.
+    Histogram(LatencyHistogram),
+}
+
+/// Fixed-window time series over named metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    window_cycles: u64,
+    series: BTreeMap<&'static str, BTreeMap<u64, WindowCell>>,
+}
+
+impl TimeSeries {
+    /// An empty series with the given window width in cycles.
+    ///
+    /// # Panics
+    /// If `window_cycles` is zero.
+    pub fn new(window_cycles: u64) -> Self {
+        assert!(window_cycles > 0, "window width must be nonzero");
+        TimeSeries {
+            window_cycles,
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// Window width in cycles.
+    pub fn window_cycles(&self) -> u64 {
+        self.window_cycles
+    }
+
+    /// The window index containing `cycle`.
+    pub fn window_of(&self, cycle: u64) -> u64 {
+        cycle / self.window_cycles
+    }
+
+    /// Add `delta` to counter `name` in the window containing `cycle`.
+    pub fn counter_add(&mut self, name: &'static str, cycle: u64, delta: u64) {
+        let w = self.window_of(cycle);
+        match self
+            .series
+            .entry(name)
+            .or_default()
+            .entry(w)
+            .or_insert(WindowCell::Counter(0))
+        {
+            WindowCell::Counter(c) => *c += delta,
+            other => panic!("series {name:?} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Raise gauge `name` in the window containing `cycle` to at least
+    /// `value`.
+    pub fn gauge_max(&mut self, name: &'static str, cycle: u64, value: u64) {
+        let w = self.window_of(cycle);
+        match self
+            .series
+            .entry(name)
+            .or_default()
+            .entry(w)
+            .or_insert(WindowCell::Gauge(0))
+        {
+            WindowCell::Gauge(g) => *g = (*g).max(value),
+            other => panic!("series {name:?} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Record `value` into histogram `name` in the window containing
+    /// `cycle`.
+    pub fn record(&mut self, name: &'static str, cycle: u64, value: u64) {
+        let w = self.window_of(cycle);
+        match self
+            .series
+            .entry(name)
+            .or_default()
+            .entry(w)
+            .or_insert_with(|| WindowCell::Histogram(LatencyHistogram::new()))
+        {
+            WindowCell::Histogram(h) => h.record(value),
+            other => panic!("series {name:?} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Counter `name` summed over all windows.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.windows(name)
+            .map(|(_, cell)| match cell {
+                WindowCell::Counter(c) => *c,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Counter `name` summed over every window overlapping
+    /// `[from_cycle, to_cycle)`. Window-granular: a window counts if any
+    /// part of it intersects the range.
+    pub fn counter_sum_range(&self, name: &str, from_cycle: u64, to_cycle: u64) -> u64 {
+        if to_cycle <= from_cycle {
+            return 0;
+        }
+        let first = self.window_of(from_cycle);
+        let last = self.window_of(to_cycle - 1);
+        self.windows(name)
+            .filter(|(w, _)| *w >= first && *w <= last)
+            .map(|(_, cell)| match cell {
+                WindowCell::Counter(c) => *c,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Iterate the populated windows of metric `name` in window order.
+    pub fn windows(&self, name: &str) -> impl Iterator<Item = (u64, &WindowCell)> {
+        self.series
+            .get(name)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(w, c)| (*w, c)))
+    }
+
+    /// Metric names present, in canonical order.
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.series.keys().copied()
+    }
+
+    /// Whether no metric has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Deterministic JSON export: an object keyed by metric name; each
+    /// metric carries its type, the window width, and one entry per
+    /// populated window (`w` is the window index, `start_cycle` its
+    /// first cycle). Histogram windows export count/mean and the tail
+    /// quantiles the ops plane watches.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!(
+            "  \"window_cycles\": {},\n  \"series\": {{\n",
+            self.window_cycles
+        ));
+        let mut first_metric = true;
+        for (name, windows) in &self.series {
+            if !first_metric {
+                s.push_str(",\n");
+            }
+            first_metric = false;
+            let ty = match windows.values().next() {
+                Some(WindowCell::Counter(_)) => "counter",
+                Some(WindowCell::Gauge(_)) => "gauge",
+                Some(WindowCell::Histogram(_)) => "histogram",
+                None => "counter",
+            };
+            s.push_str(&format!(
+                "    {}: {{\"type\": \"{ty}\", \"windows\": [",
+                json_string(name)
+            ));
+            let mut first_w = true;
+            for (w, cell) in windows {
+                if !first_w {
+                    s.push_str(", ");
+                }
+                first_w = false;
+                let start = w * self.window_cycles;
+                match cell {
+                    WindowCell::Counter(c) => {
+                        s.push_str(&format!(
+                            "{{\"w\": {w}, \"start_cycle\": {start}, \"value\": {c}}}"
+                        ));
+                    }
+                    WindowCell::Gauge(g) => {
+                        s.push_str(&format!(
+                            "{{\"w\": {w}, \"start_cycle\": {start}, \"max\": {g}}}"
+                        ));
+                    }
+                    WindowCell::Histogram(h) => {
+                        s.push_str(&format!(
+                            "{{\"w\": {w}, \"start_cycle\": {start}, \"count\": {}, \
+                             \"mean\": {}, \"p50\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}}",
+                            h.count(),
+                            json_f64(h.mean()),
+                            h.quantile(0.50),
+                            h.quantile(0.99),
+                            h.quantile(0.999),
+                            h.max(),
+                        ));
+                    }
+                }
+            }
+            s.push_str("]}");
+        }
+        s.push_str("\n  }\n}");
+        s
+    }
+}
+
+impl fmt::Display for TimeSeries {
+    /// One line per metric: name, type, populated window count, total.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "time series (window = {} cycles)", self.window_cycles)?;
+        for (name, windows) in &self.series {
+            match windows.values().next() {
+                Some(WindowCell::Counter(_)) => {
+                    writeln!(
+                        f,
+                        "  {name}: counter, {} windows, total {}",
+                        windows.len(),
+                        self.counter_total(name)
+                    )?;
+                }
+                Some(WindowCell::Gauge(_)) => {
+                    let peak = windows
+                        .values()
+                        .map(|c| match c {
+                            WindowCell::Gauge(g) => *g,
+                            _ => 0,
+                        })
+                        .max()
+                        .unwrap_or(0);
+                    writeln!(f, "  {name}: gauge, {} windows, peak {peak}", windows.len())?;
+                }
+                Some(WindowCell::Histogram(_)) => {
+                    let n: u64 = windows
+                        .values()
+                        .map(|c| match c {
+                            WindowCell::Histogram(h) => h.count(),
+                            _ => 0,
+                        })
+                        .sum();
+                    writeln!(
+                        f,
+                        "  {name}: histogram, {} windows, {n} samples",
+                        windows.len()
+                    )?;
+                }
+                None => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_bucket_by_window() {
+        let mut ts = TimeSeries::new(100);
+        ts.counter_add("qps", 0, 1);
+        ts.counter_add("qps", 99, 1);
+        ts.counter_add("qps", 100, 1);
+        ts.counter_add("qps", 250, 1);
+        let got: Vec<(u64, u64)> = ts
+            .windows("qps")
+            .map(|(w, c)| match c {
+                WindowCell::Counter(v) => (w, *v),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, vec![(0, 2), (1, 1), (2, 1)]);
+        assert_eq!(ts.counter_total("qps"), 4);
+    }
+
+    #[test]
+    fn range_sums_are_window_granular() {
+        let mut ts = TimeSeries::new(100);
+        for cycle in [10, 110, 210, 310] {
+            ts.counter_add("x", cycle, 1);
+        }
+        assert_eq!(ts.counter_sum_range("x", 0, 100), 1);
+        assert_eq!(ts.counter_sum_range("x", 0, 101), 2);
+        // A range touching any part of a window counts the whole window.
+        assert_eq!(ts.counter_sum_range("x", 150, 250), 2);
+        assert_eq!(ts.counter_sum_range("x", 400, 400), 0);
+        assert_eq!(ts.counter_sum_range("x", 0, u64::MAX), 4);
+    }
+
+    #[test]
+    fn gauges_and_histograms_per_window() {
+        let mut ts = TimeSeries::new(50);
+        ts.gauge_max("depth", 10, 3);
+        ts.gauge_max("depth", 20, 7);
+        ts.gauge_max("depth", 60, 2);
+        ts.record("lat", 10, 100);
+        ts.record("lat", 60, 900);
+        let depths: Vec<u64> = ts
+            .windows("depth")
+            .map(|(_, c)| match c {
+                WindowCell::Gauge(g) => *g,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(depths, vec![7, 2]);
+        let counts: Vec<u64> = ts
+            .windows("lat")
+            .map(|(_, c)| match c {
+                WindowCell::Histogram(h) => h.count(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(counts, vec![1, 1]);
+    }
+
+    #[test]
+    fn json_is_stable_and_shaped() {
+        let mut ts = TimeSeries::new(100);
+        ts.counter_add("b", 0, 2);
+        ts.gauge_max("a", 150, 5);
+        ts.record("c", 10, 640);
+        let j = ts.to_json();
+        assert_eq!(j, ts.clone().to_json());
+        assert!(j.contains("\"window_cycles\": 100"));
+        assert!(j.contains("\"a\": {\"type\": \"gauge\""));
+        assert!(j.contains("\"start_cycle\": 100"));
+        assert!(j.contains("\"p999\""));
+        // Canonical ordering: "a" before "b" before "c".
+        assert!(j.find("\"a\"").unwrap() < j.find("\"b\"").unwrap());
+        assert!(j.find("\"b\"").unwrap() < j.find("\"c\"").unwrap());
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn display_names_every_metric() {
+        let mut ts = TimeSeries::new(10);
+        ts.counter_add("c", 0, 1);
+        ts.gauge_max("g", 0, 4);
+        ts.record("h", 0, 9);
+        let t = ts.to_string();
+        assert!(t.contains("c: counter") && t.contains("g: gauge") && t.contains("h: histogram"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Property test: the streaming burn-rate monitor's fire/clear timeline
+//! must match the O(n²) full-scan scalar reference on arbitrary
+//! observation streams and window shapes. The two implementations share
+//! only the [`burn_rate`] scalar, so any windowing, bucketing, or
+//! hysteresis bug in one shows up as a divergence.
+//!
+//! [`burn_rate`]: ansmet_obs::burn_rate
+
+use ansmet_obs::{burn_rate, reference_timeline, BurnRateMonitor, SloSpec};
+use proptest::prelude::*;
+
+proptest! {
+    fn timeline_matches_scalar_reference(
+        gaps in proptest::collection::vec(1u64..5_000, 1..200),
+        lats in proptest::collection::vec(0u64..4_000, 1..200),
+        fast in 100u64..2_000,
+        mult in 1u64..6,
+        thresh in 500u64..3_500,
+        min_count in 1u64..5,
+    ) {
+        let spec = SloSpec {
+            name: "prop",
+            threshold_cycles: thresh,
+            target: 0.9,
+            fast_window_cycles: fast,
+            slow_window_cycles: fast * mult,
+            fire_burn: 2.0,
+            clear_burn: 1.0,
+            min_count,
+        };
+        let mut mon = BurnRateMonitor::new(spec.clone());
+        let mut obs = Vec::new();
+        let mut cycle = 0u64;
+        for (gap, lat) in gaps.iter().zip(&lats) {
+            cycle += gap;
+            mon.observe_latency(cycle, *lat);
+            obs.push((cycle, *lat <= thresh));
+        }
+        let got = mon.timeline();
+        let want = reference_timeline(&spec, &obs);
+        prop_assert_eq!(got, want);
+    }
+
+    fn burn_rate_is_bad_fraction_over_error_budget(
+        good in 0u64..1_000,
+        bad in 0u64..1_000,
+    ) {
+        let b = burn_rate(good, bad, 0.9);
+        let total = good + bad;
+        if total == 0 {
+            prop_assert_eq!(b, 0.0);
+        } else {
+            let expect = (bad as f64 / total as f64) / 0.1;
+            prop_assert!((b - expect).abs() < 1e-9);
+        }
+    }
+}

@@ -103,6 +103,21 @@ pub struct ServeConfig {
     /// Optional fleet-resilience layer (health tracking, circuit
     /// breakers, hedged offloads, brownout admission).
     pub resilience: Option<ResilienceConfig>,
+    /// Optional scheduled maintenance: periodic compaction-style pauses
+    /// that hold the device (models the freshness tier's epoch work on
+    /// the serving path). `None` leaves the engine bit-identical to the
+    /// pre-maintenance behavior.
+    pub maintenance: Option<MaintenancePlan>,
+}
+
+/// Periodic device-pause schedule (compaction / re-validation work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaintenancePlan {
+    /// Cycles between pause opportunities. The pause fires at the first
+    /// scheduling decision at or after each due cycle.
+    pub interval_cycles: u64,
+    /// Cycles the device is held per pause.
+    pub pause_cycles: u64,
 }
 
 impl ServeConfig {
@@ -124,6 +139,7 @@ impl ServeConfig {
             faults: None,
             storm: None,
             resilience: None,
+            maintenance: None,
         }
     }
 
@@ -163,6 +179,12 @@ impl ServeConfig {
     /// The same config with the fleet-resilience layer enabled.
     pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
         self.resilience = Some(resilience);
+        self
+    }
+
+    /// The same config with scheduled maintenance pauses enabled.
+    pub fn with_maintenance(mut self, plan: MaintenancePlan) -> Self {
+        self.maintenance = Some(plan);
         self
     }
 }
@@ -206,18 +228,14 @@ struct TenantTally {
 /// Faults must never change *what* a query returns, only *when* — so a
 /// faulted run over the same served set hashes to the same fingerprint.
 fn results_fingerprint(served: &[Option<usize>], workload: &Workload) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |v: u64| {
-        h ^= v;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    };
+    let mut h = ansmet_obs::Fnv64::new();
     for q in served.iter().flatten() {
-        mix(*q as u64 + 1);
+        h.write_u64(*q as u64 + 1);
         for &id in &workload.results[*q] {
-            mix(id as u64);
+            h.write_u64(id as u64);
         }
     }
-    h
+    h.finish()
 }
 
 /// Recovery-penalty cycles for one query's comparisons under injected
@@ -445,6 +463,8 @@ pub fn run_serve_with_sink<S: TraceSink>(
     // Exactly one timer is armed per idle decision, so the pop returns
     // the same cycle the pre-wheel code computed inline.
     let mut timers = EventWheel::new(0);
+    let mut next_maintenance = serve.maintenance.map(|p| p.interval_cycles);
+    let mut maintenance_epoch = 0u32;
 
     loop {
         // Brownout: detected capacity loss (open breakers) tightens
@@ -493,6 +513,7 @@ pub fn run_serve_with_sink<S: TraceSink>(
             now = timers.pop_next().expect("arrival timer armed").cycle;
             continue;
         }
+        sink.sample(now, "serve.queue_depth", queued_total as u64);
         if device_free > now {
             // Queries arriving while the device is busy are admitted
             // retroactively at their own arrival cycle, so the wakeup
@@ -500,6 +521,27 @@ pub fn run_serve_with_sink<S: TraceSink>(
             timers.schedule(device_free, WAKE_DEVICE_FREE);
             now = timers.pop_next().expect("device timer armed").cycle;
             continue;
+        }
+        // Scheduled maintenance holds the idle device before the next
+        // batch forms (the pause fires at the first decision point at or
+        // after its due cycle).
+        if let (Some(plan), Some(due)) = (serve.maintenance, next_maintenance) {
+            if now >= due {
+                sink.event(
+                    now,
+                    EventKind::CompactionPause {
+                        epoch: maintenance_epoch,
+                        cycles: plan.pause_cycles.min(u32::MAX as u64) as u32,
+                    },
+                );
+                maintenance_epoch += 1;
+                device_free = now + plan.pause_cycles;
+                // The next pause is due one interval after this one
+                // *ends*, so serving always resumes between pauses even
+                // when the pause is longer than the interval.
+                next_maintenance = Some(device_free + plan.interval_cycles);
+                continue;
+            }
         }
         // Batch-formation decision.
         let oldest = queues
@@ -556,7 +598,7 @@ pub fn run_serve_with_sink<S: TraceSink>(
 
         // Execute the batch on fresh device state.
         let ids: Vec<usize> = batch.iter().map(|q| q.arrival.query).collect();
-        let exec = ctx.execute(&ids);
+        let exec = ctx.execute_with_sink(&ids, sink, now);
         batches += 1;
         batched_queries += batch.len() as u64;
         sink.event(
@@ -615,6 +657,13 @@ pub fn run_serve_with_sink<S: TraceSink>(
             queue_hist.record(queue_cycles);
             exec_hist.record(exec_cycles);
             total_hist.record(total);
+            sink.event(
+                completion,
+                EventKind::QueryComplete {
+                    query: q.arrival.query as u32,
+                    tenant: q.arrival.tenant as u32,
+                },
+            );
             if queue_cycles > 0 {
                 sink.span(Phase::Queue, q.arrival.cycle, now);
             }

@@ -61,7 +61,21 @@ fn experiment_config(seed: u64, capacity_qps: f64, queries: usize, slo_cycles: u
         faults: None,
         storm: None,
         resilience: None,
+        maintenance: None,
     }
+}
+
+/// The `ops` experiment's serving config: the same two-tenant shape the
+/// `serve`/`resilience` experiments use, sized from the measured
+/// capacity, for the ops-plane storm scenario to decorate with storms,
+/// resilience, and maintenance.
+pub fn ops_serve_config(
+    seed: u64,
+    capacity_qps: f64,
+    queries: usize,
+    slo_cycles: u64,
+) -> ServeConfig {
+    experiment_config(seed, capacity_qps, queries, slo_cycles)
 }
 
 /// Run the serving experiment at `scale`; returns `(text, json)` where

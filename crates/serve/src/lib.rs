@@ -67,9 +67,10 @@ pub mod wfq;
 
 pub use arrival::{generate_arrivals, Arrival, ArrivalProcess, TenantSpec};
 pub use engine::{
-    run_serve, run_serve_with_sink, AdmissionConfig, BatchPolicy, FaultProfile, ServeConfig,
+    run_serve, run_serve_with_sink, AdmissionConfig, BatchPolicy, FaultProfile, MaintenancePlan,
+    ServeConfig,
 };
-pub use experiment::{resilience_experiment, serve_experiment};
+pub use experiment::{ops_serve_config, resilience_experiment, serve_experiment};
 pub use histogram::LatencyHistogram;
 pub use report::{cycles_to_ms, PercentileSummary, ServeReport, TenantReport};
 pub use resilience::{

@@ -20,9 +20,11 @@ use ansmet_dram::MemorySystem;
 use ansmet_index::HopKind;
 use ansmet_ndp::{LoadTracker, Partitioner, ReplicaSet};
 
+use ansmet_obs::{NoopSink, TraceSink};
+
 use crate::config::SystemConfig;
 use crate::design::{Design, DesignPlan};
-use crate::timing::{run_ndp_batch, SubTask};
+use crate::timing::{row_buffer_delta, run_ndp_batch, SubTask};
 use crate::workload::Workload;
 
 /// Result of a throughput run.
@@ -149,9 +151,37 @@ impl<'a> WaveContext<'a> {
         self.execute_streams(query_ids, query_ids.len())
     }
 
+    /// [`execute`](WaveContext::execute) with a [`TraceSink`] riding
+    /// along: per-wave DRAM row-buffer outcome deltas are emitted as
+    /// [`RowBuffer`](ansmet_obs::EventKind::RowBuffer) events rebased to
+    /// `base_cycle` (the caller's serving-clock dispatch cycle). The
+    /// sink observes, never steers: with [`NoopSink`] this is
+    /// bit-identical to [`execute`](WaveContext::execute), and snapshot
+    /// work is skipped entirely when the sink is disabled.
+    pub fn execute_with_sink<S: TraceSink>(
+        &self,
+        query_ids: &[usize],
+        sink: &mut S,
+        base_cycle: u64,
+    ) -> BatchExecution {
+        assert!(!query_ids.is_empty(), "empty batch");
+        self.execute_streams_sink(query_ids, query_ids.len(), sink, base_cycle)
+    }
+
     /// Execute `query_ids` with at most `streams` in flight at once;
     /// finished streams refill from the remaining ids in order.
     pub fn execute_streams(&self, query_ids: &[usize], streams: usize) -> BatchExecution {
+        self.execute_streams_sink(query_ids, streams, &mut NoopSink, 0)
+    }
+
+    /// [`execute_streams`](WaveContext::execute_streams) with a sink.
+    fn execute_streams_sink<S: TraceSink>(
+        &self,
+        query_ids: &[usize],
+        streams: usize,
+        sink: &mut S,
+        base_cycle: u64,
+    ) -> BatchExecution {
         assert!(streams > 0, "need at least one stream");
         let workload = self.workload;
         let config = self.config;
@@ -263,16 +293,24 @@ impl<'a> WaveContext<'a> {
             clock += host_serial_sum / cursors.len().max(1) as u64;
             if !subs.is_empty() {
                 let t0 = clock.max(mem.now());
+                let stats_before = if sink.enabled() {
+                    Some(mem.stats().clone())
+                } else {
+                    None
+                };
                 let finish = run_ndp_batch(
                     &mut mem,
                     &mut subs,
                     ansmet_ndp::qshr::QSHRS_PER_UNIT,
                     &mut req_base,
                     t0,
-                    &mut ansmet_obs::NoopSink,
+                    &mut NoopSink,
                     t0,
                 )
                 .max(t0 + upload_max);
+                if let Some(s0) = stats_before {
+                    row_buffer_delta(sink, base_cycle + finish, &s0, mem.stats());
+                }
                 // One poll round closes the wave (streams poll in parallel on
                 // their own cores).
                 clock = finish + cpu.to_mem_cycles(cpu.poll_cycles(), mem_clock);

@@ -965,7 +965,7 @@ fn drain_dram_commands<S: TraceSink>(
 }
 
 /// Emit the row-buffer outcome delta between two stats snapshots.
-fn row_buffer_delta<S: TraceSink>(
+pub(crate) fn row_buffer_delta<S: TraceSink>(
     sink: &mut S,
     at: u64,
     s0: &ansmet_dram::MemoryStats,
