@@ -18,6 +18,8 @@
 //!   dynamic batching, admission control, and tail-latency SLO reports.
 //! * [`freshness`] — online inserts/deletes, epoch compaction and layout
 //!   re-validation, checksummed snapshots, and churn-aware serving.
+//! * [`cluster`] — the sharded cluster plane: partitioned indexes,
+//!   scatter-gather routing, and cross-shard early termination.
 //! * [`obs`] — the tracing & metrics layer: per-query flight recorder,
 //!   cycle attribution, Perfetto export, deterministic metric shards.
 //!
@@ -34,6 +36,7 @@
 //! assert_eq!(top10.ids().len(), 10);
 //! ```
 
+pub use ansmet_cluster as cluster;
 pub use ansmet_core as core;
 pub use ansmet_dram as dram;
 pub use ansmet_freshness as freshness;

@@ -34,6 +34,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "trace",
     "freshness",
     "ops",
+    "cluster",
 ];
 
 /// Default artifact file written by the `serve` experiment.
@@ -50,6 +51,8 @@ pub const METRICS_ARTIFACT: &str = "BENCH_metrics.json";
 pub const OPS_ARTIFACT: &str = "BENCH_ops.json";
 /// Prometheus text exposition written by the `ops` experiment.
 pub const OPS_EXPOSITION_ARTIFACT: &str = "BENCH_ops.prom";
+/// Sharded-cluster artifact written by the `cluster` experiment.
+pub const CLUSTER_ARTIFACT: &str = "BENCH_cluster.json";
 
 /// One file an experiment wants written next to its text report.
 #[derive(Debug, Clone)]
@@ -95,6 +98,16 @@ pub fn run_experiment_with_artifacts(name: &str, scale: Scale) -> Option<(String
                 text,
                 vec![Artifact {
                     path: FRESHNESS_ARTIFACT,
+                    body: with_provenance(&json),
+                }],
+            ))
+        }
+        "cluster" => {
+            let (text, json) = ansmet_cluster::cluster_experiment(scale);
+            Some((
+                text,
+                vec![Artifact {
+                    path: CLUSTER_ARTIFACT,
                     body: with_provenance(&json),
                 }],
             ))
@@ -167,6 +180,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Option<String> {
         "resilience" => ansmet_serve::resilience_experiment(scale).0,
         "freshness" => ansmet_freshness::freshness_experiment(scale).0,
         "ops" => ops_experiment(scale).0,
+        "cluster" => ansmet_cluster::cluster_experiment(scale).0,
         "trace" => e::trace(scale),
         _ => return None,
     };
@@ -229,10 +243,11 @@ mod tests {
 
     #[test]
     fn experiment_list_is_complete() {
-        assert_eq!(EXPERIMENTS.len(), 21);
+        assert_eq!(EXPERIMENTS.len(), 22);
         assert!(EXPERIMENTS.contains(&"resilience"));
         assert!(EXPERIMENTS.contains(&"freshness"));
         assert!(EXPERIMENTS.contains(&"ops"));
+        assert!(EXPERIMENTS.contains(&"cluster"));
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Sharded cluster plane for the ANSMET simulator: partitioned indexes,
+//! scatter-gather routing, and cross-shard early termination.
+//!
+//! Every other layer of this repository serves one monolithic index on
+//! one NDP stack. The ROADMAP north star — heavy traffic from millions
+//! of users — needs *sharding*: the dataset split across S independent
+//! serving planes, a query fanned out to the relevant shards, and the
+//! partial top-k results merged deterministically. This crate builds
+//! that plane on top of the existing engines:
+//!
+//! * [`partition`] — split a dataset into S shards by seeded hash or
+//!   balanced k-means assignment ([`ShardAssignment`]).
+//! * [`shard`] — each shard owns its own HNSW index, functional search
+//!   traces, sampling profile, and ANSMET dual-granularity fetch plan
+//!   ([`ShardSet`], built through `ansmet_sim::Workload::from_parts`).
+//! * [`merge`] — the deterministic partial top-k merge: distance, then
+//!   id tie-break, insertion-order independent ([`merge_partials`]).
+//! * [`router`] — scatter-gather on the unified event wheel: per-shard
+//!   hop replay through the shard's `EtEngine`, with the global kth
+//!   distance propagated as a tightened ET bound to still-running
+//!   shards ([`Router`]).
+//! * [`serving`] — cluster-aware serving: per-shard circuit breakers,
+//!   scripted storm windows, and replica / host-path failover that
+//!   costs cycles but never changes answers ([`ClusterFleet`]).
+//! * [`report`] / [`experiment`] — the `cluster` experiment sweeping
+//!   shard counts and routing policies into `BENCH_cluster.json`.
+//!
+//! # Why cross-shard early termination is lossless
+//!
+//! The ANSMET engine prunes a comparison only when the accumulated
+//! *lower bound* on the true distance reaches the threshold, and lower
+//! bounds never exceed the true distance. The router tightens each
+//! replayed comparison's threshold to `min(local trace threshold,
+//! foreign bound)`, where the foreign bound is strictly above the
+//! current global kth distance among candidates merged from *other*
+//! shards. Any vector that belongs in the final global top-k has true
+//! distance at or below the final kth distance, which the foreign bound
+//! never goes below — so such a vector can never be pruned, and the
+//! merged result set is bit-identical to independent full searches.
+//! The router re-verifies this per evaluation ([`RouterStats`]'s
+//! `et_mismatches` stays 0) instead of taking the proof on faith.
+//!
+//! Determinism contract: seeded partitioning, integer cycle arithmetic,
+//! `(cycle, token)`-ordered event-wheel pops, and the id tie-broken
+//! merge make every report a pure function of `(dataset, config)` —
+//! bit-identical across reruns and host thread counts.
+//!
+//! [`ShardAssignment`]: partition::ShardAssignment
+//! [`ShardSet`]: shard::ShardSet
+//! [`merge_partials`]: merge::merge_partials
+//! [`Router`]: router::Router
+//! [`RouterStats`]: router::RouterStats
+//! [`ClusterFleet`]: serving::ClusterFleet
+
+pub mod experiment;
+pub mod merge;
+pub mod partition;
+pub mod report;
+pub mod router;
+pub mod serving;
+pub mod shard;
+
+pub use experiment::{cluster_experiment, cluster_report};
+pub use merge::{merge_partials, GlobalTopK};
+pub use partition::{RoutingPolicy, ShardAssignment};
+pub use report::{results_fingerprint, ClusterReport, ConfigReport, StormReport};
+pub use router::{QueryOutcome, Router, RouterConfig, RouterStats};
+pub use serving::{ClusterFleet, DispatchPath, FleetConfig};
+pub use shard::{Shard, ShardSet};

@@ -1,0 +1,371 @@
+//! Dataset → shard assignment: seeded hash striping or balanced
+//! k-means, with per-shard centroids and ball radii for routing.
+//!
+//! Hash assignment is the operational default (stateless, perfectly
+//! rebalanceable); k-means assignment trades partitioning cost for
+//! *routable* shards — a query is near few centroids, so the router can
+//! rank shards by centroid distance and, for L2 workloads, prove some
+//! shards irrelevant outright via the triangle inequality (see
+//! [`ShardAssignment::ball_lower_bound`]).
+//!
+//! Everything is deterministic: the hash is seeded FNV-1a, k-means
+//! initializes from evenly spaced member ids and iterates Lloyd with a
+//! fixed capacity cap in id order, and all reductions are sequential.
+
+use std::fmt;
+
+use ansmet_obs::Fnv64;
+use ansmet_vecdata::{Dataset, Metric};
+
+/// How queries are routed to shards (and how vectors were assigned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoutingPolicy {
+    /// Seeded hash striping; every query fans out to all shards.
+    Hash,
+    /// Balanced k-means assignment; queries visit shards in centroid
+    ///-distance order and may skip provably irrelevant shards.
+    KMeans,
+}
+
+impl RoutingPolicy {
+    /// Both policies, in sweep order.
+    pub fn all() -> [RoutingPolicy; 2] {
+        [RoutingPolicy::Hash, RoutingPolicy::KMeans]
+    }
+
+    /// Stable lowercase name used in reports and JSON artifacts.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RoutingPolicy::Hash => "hash",
+            RoutingPolicy::KMeans => "kmeans",
+        }
+    }
+}
+
+impl fmt::Display for RoutingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Lloyd iterations for the balanced k-means assignment.
+const KMEANS_ITERS: usize = 6;
+
+/// Capacity slack over the perfectly balanced shard size (1/8): caps
+/// the worst shard at ~112.5 % of `n / shards` so no shard starves its
+/// siblings while assignment still follows the data.
+const CAP_SLACK_NUM: usize = 9;
+const CAP_SLACK_DEN: usize = 8;
+
+/// A full dataset → shard mapping with routing metadata.
+#[derive(Debug, Clone)]
+pub struct ShardAssignment {
+    /// The policy that produced this assignment.
+    pub policy: RoutingPolicy,
+    /// Number of shards S.
+    pub shards: usize,
+    /// `shard_of[id]` = owning shard for every dataset vector.
+    pub shard_of: Vec<usize>,
+    /// Per-shard mean vector (dequantized value space).
+    pub centroids: Vec<Vec<f32>>,
+    /// Per-shard ball radius: the max *Euclidean* (not squared) member
+    /// distance to the centroid. Meaningful for L2 datasets only.
+    pub radii: Vec<f64>,
+}
+
+impl ShardAssignment {
+    /// Assign every vector of `data` to one of `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or exceeds the dataset size.
+    pub fn assign(data: &Dataset, shards: usize, policy: RoutingPolicy, seed: u64) -> Self {
+        assert!(shards > 0, "at least one shard");
+        assert!(
+            shards <= data.len(),
+            "more shards ({shards}) than vectors ({})",
+            data.len()
+        );
+        let shard_of = match policy {
+            RoutingPolicy::Hash => hash_assign(data.len(), shards, seed),
+            RoutingPolicy::KMeans => kmeans_assign(data, shards),
+        };
+        let (centroids, radii) = centroids_and_radii(data, &shard_of, shards);
+        ShardAssignment {
+            policy,
+            shards,
+            shard_of,
+            centroids,
+            radii,
+        }
+    }
+
+    /// Member ids of shard `s`, ascending (shard-local id `i` is the
+    /// `i`-th entry, so local → global mapping is a sorted lookup).
+    pub fn members(&self, s: usize) -> Vec<usize> {
+        self.shard_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &owner)| owner == s)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Vector count per shard.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.shards];
+        for &s in &self.shard_of {
+            sizes[s] += 1;
+        }
+        sizes
+    }
+
+    /// Largest shard over the perfectly balanced size (1.0 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        let sizes = self.shard_sizes();
+        let max = sizes.iter().copied().max().unwrap_or(0) as f64;
+        let mean = self.shard_of.len() as f64 / self.shards.max(1) as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            0.0
+        }
+    }
+
+    /// A provable lower bound on the (metric-space) distance from
+    /// `query` to *any* member of shard `s`, or `None` when the metric
+    /// admits no such bound.
+    ///
+    /// For squared-L2 datasets the triangle inequality holds in the
+    /// Euclidean (square-root) space: every member `v` satisfies
+    /// `‖q−v‖ ≥ ‖q−c‖ − r`, so when `‖q−c‖ > r` the squared distance is
+    /// at least `(‖q−c‖ − r)²`. Non-L2 metrics return `None` and are
+    /// never ball-pruned.
+    pub fn ball_lower_bound(&self, metric: Metric, s: usize, query: &[f32]) -> Option<f64> {
+        if metric != Metric::L2 {
+            return None;
+        }
+        let d2 = metric.distance(&self.centroids[s], query) as f64;
+        let e = d2.max(0.0).sqrt() - self.radii[s];
+        if e > 0.0 {
+            Some(e * e)
+        } else {
+            Some(0.0)
+        }
+    }
+
+    /// Shards ranked by centroid distance to `query` (ascending, shard
+    /// id tie-break) — the k-means probe order.
+    pub fn ranked_by_centroid(&self, metric: Metric, query: &[f32]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.shards).collect();
+        order.sort_by(|&a, &b| {
+            let da = metric.distance(&self.centroids[a], query);
+            let db = metric.distance(&self.centroids[b], query);
+            da.partial_cmp(&db)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        order
+    }
+}
+
+/// Seeded FNV-1a striping: shard = fnv(seed, id) mod S.
+fn hash_assign(n: usize, shards: usize, seed: u64) -> Vec<usize> {
+    (0..n)
+        .map(|id| {
+            let mut h = Fnv64::new();
+            h.write_u64(seed);
+            h.write_u64(id as u64);
+            (h.finish() % shards as u64) as usize
+        })
+        .collect()
+}
+
+/// Balanced Lloyd assignment: nearest centroid with remaining capacity,
+/// vectors visited in id order, centroids re-estimated each iteration.
+fn kmeans_assign(data: &Dataset, shards: usize) -> Vec<usize> {
+    let n = data.len();
+    let dim = data.dim();
+    let cap = (n.div_ceil(shards) * CAP_SLACK_NUM)
+        .div_ceil(CAP_SLACK_DEN)
+        .max(1);
+
+    // Evenly spaced member ids seed the centroids: deterministic and
+    // spread across whatever order the generator emitted.
+    let mut centroids: Vec<Vec<f32>> = (0..shards)
+        .map(|s| data.vector(s * n / shards).to_vec())
+        .collect();
+    let mut assignment = vec![0usize; n];
+
+    for _ in 0..KMEANS_ITERS {
+        let mut counts = vec![0usize; shards];
+        for (id, slot) in assignment.iter_mut().enumerate() {
+            let v = data.vector(id);
+            // Rank centroids by squared L2 in value space (routing
+            // geometry; independent of the dataset's search metric).
+            let mut order: Vec<(f64, usize)> = centroids
+                .iter()
+                .enumerate()
+                .map(|(s, c)| (l2sq(v, c), s))
+                .collect();
+            order.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let pick = order
+                .iter()
+                .find(|&&(_, s)| counts[s] < cap)
+                .map(|&(_, s)| s)
+                .unwrap_or(order[0].1);
+            *slot = pick;
+            counts[pick] += 1;
+        }
+        // Re-estimate centroids as member means (f64 accumulation,
+        // sequential id order — deterministic).
+        let mut sums = vec![vec![0.0f64; dim]; shards];
+        let mut sizes = vec![0usize; shards];
+        for (id, &s) in assignment.iter().enumerate() {
+            sizes[s] += 1;
+            for (acc, &x) in sums[s].iter_mut().zip(data.vector(id)) {
+                *acc += x as f64;
+            }
+        }
+        for s in 0..shards {
+            if sizes[s] > 0 {
+                centroids[s] = sums[s]
+                    .iter()
+                    .map(|&x| (x / sizes[s] as f64) as f32)
+                    .collect();
+            }
+        }
+    }
+    assignment
+}
+
+fn centroids_and_radii(
+    data: &Dataset,
+    shard_of: &[usize],
+    shards: usize,
+) -> (Vec<Vec<f32>>, Vec<f64>) {
+    let dim = data.dim();
+    let mut sums = vec![vec![0.0f64; dim]; shards];
+    let mut sizes = vec![0usize; shards];
+    for (id, &s) in shard_of.iter().enumerate() {
+        sizes[s] += 1;
+        for (acc, &x) in sums[s].iter_mut().zip(data.vector(id)) {
+            *acc += x as f64;
+        }
+    }
+    let centroids: Vec<Vec<f32>> = (0..shards)
+        .map(|s| {
+            let n = sizes[s].max(1) as f64;
+            sums[s].iter().map(|&x| (x / n) as f32).collect()
+        })
+        .collect();
+    let mut radii = vec![0.0f64; shards];
+    for (id, &s) in shard_of.iter().enumerate() {
+        let r = l2sq(data.vector(id), &centroids[s]).max(0.0).sqrt();
+        if r > radii[s] {
+            radii[s] = r;
+        }
+    }
+    (centroids, radii)
+}
+
+fn l2sq(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ansmet_vecdata::SynthSpec;
+
+    fn data() -> Dataset {
+        SynthSpec::sift().scaled(400, 2).generate().0
+    }
+
+    #[test]
+    fn hash_assignment_covers_and_is_seed_stable() {
+        let d = data();
+        let a = ShardAssignment::assign(&d, 4, RoutingPolicy::Hash, 7);
+        let b = ShardAssignment::assign(&d, 4, RoutingPolicy::Hash, 7);
+        assert_eq!(a.shard_of, b.shard_of);
+        assert_eq!(a.shard_of.len(), d.len());
+        let sizes = a.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), d.len());
+        assert!(sizes.iter().all(|&s| s > 0), "{sizes:?}");
+        let c = ShardAssignment::assign(&d, 4, RoutingPolicy::Hash, 8);
+        assert_ne!(a.shard_of, c.shard_of, "seed must matter");
+    }
+
+    #[test]
+    fn kmeans_is_balanced_within_cap() {
+        let d = data();
+        let a = ShardAssignment::assign(&d, 4, RoutingPolicy::KMeans, 7);
+        let cap = (d.len().div_ceil(4) * CAP_SLACK_NUM).div_ceil(CAP_SLACK_DEN);
+        for (s, &size) in a.shard_sizes().iter().enumerate() {
+            assert!(size <= cap, "shard {s} has {size} > cap {cap}");
+            assert!(size > 0, "shard {s} is empty");
+        }
+        assert!(a.imbalance() < 1.2, "imbalance {}", a.imbalance());
+    }
+
+    #[test]
+    fn members_are_ascending_and_partition() {
+        let d = data();
+        let a = ShardAssignment::assign(&d, 3, RoutingPolicy::KMeans, 1);
+        let mut seen = vec![false; d.len()];
+        for s in 0..3 {
+            let m = a.members(s);
+            assert!(m.windows(2).all(|w| w[0] < w[1]));
+            for id in m {
+                assert!(!seen[id]);
+                seen[id] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn ball_bound_never_exceeds_true_distance() {
+        let d = data();
+        let (_, queries) = SynthSpec::sift().scaled(400, 2).generate();
+        let a = ShardAssignment::assign(&d, 4, RoutingPolicy::KMeans, 7);
+        for q in &queries {
+            for s in 0..4 {
+                let lb = a.ball_lower_bound(d.metric(), s, q).expect("sift is L2");
+                for id in a.members(s) {
+                    let true_d = d.distance_to(id, q) as f64;
+                    assert!(
+                        lb <= true_d + 1e-3,
+                        "shard {s} ball bound {lb} > true {true_d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ranked_by_centroid_is_ascending() {
+        let d = data();
+        let (_, queries) = SynthSpec::sift().scaled(400, 2).generate();
+        let a = ShardAssignment::assign(&d, 4, RoutingPolicy::KMeans, 7);
+        let order = a.ranked_by_centroid(d.metric(), &queries[0]);
+        let dists: Vec<f32> = order
+            .iter()
+            .map(|&s| d.metric().distance(&a.centroids[s], &queries[0]))
+            .collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]), "{dists:?}");
+    }
+
+    #[test]
+    fn policy_display_is_stable() {
+        assert_eq!(RoutingPolicy::Hash.to_string(), "hash");
+        assert_eq!(RoutingPolicy::KMeans.to_string(), "kmeans");
+        assert_eq!(RoutingPolicy::all().len(), 2);
+    }
+}

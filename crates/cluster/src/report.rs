@@ -1,0 +1,239 @@
+//! Cluster experiment reports: per-configuration sweep rows, the storm
+//! drill, and the assembled `cluster` report.
+
+use std::fmt;
+
+use ansmet_index::Neighbor;
+use ansmet_obs::Fnv64;
+
+use crate::partition::RoutingPolicy;
+use crate::router::RouterStats;
+
+/// FNV-1a fingerprint over per-query merged top-k lists: folds each
+/// neighbor's global id and distance bits in query order, so any change
+/// to any returned neighbor changes the fingerprint.
+pub fn results_fingerprint(merged: &[Vec<Neighbor>]) -> u64 {
+    let mut fnv = Fnv64::new();
+    for (qi, row) in merged.iter().enumerate() {
+        fnv.write_u64(qi as u64);
+        for n in row {
+            fnv.write_u64(n.id as u64);
+            fnv.write_u64(n.dist.to_bits() as u64);
+        }
+    }
+    fnv.finish()
+}
+
+/// One sweep cell: a `(shard count, routing policy)` configuration
+/// routed over the whole query list on a healthy fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigReport {
+    /// Routing / assignment policy.
+    pub policy: RoutingPolicy,
+    /// Shard count S.
+    pub shards: usize,
+    /// Largest shard over the perfectly balanced size (1.0 = perfect).
+    pub imbalance: f64,
+    /// Mean recall@k of the merged results against brute-force ground
+    /// truth over the full dataset.
+    pub recall: f64,
+    /// Router totals over all queries (lines, latency, skips, soundness
+    /// counters).
+    pub stats: RouterStats,
+    /// Fingerprint of every query's merged top-k.
+    pub results_fingerprint: u64,
+}
+
+impl fmt::Display for ConfigReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "S={} {:<6} recall={:.4} imbalance={:.3} mean_latency={:.0}cy \
+             saved_frac={:.4} skipped={} mismatches={}",
+            self.shards,
+            self.policy.as_str(),
+            self.recall,
+            self.imbalance,
+            self.stats.mean_latency_cycles(),
+            self.stats.bound_saved_frac(),
+            self.stats.shards_skipped,
+            self.stats.et_mismatches,
+        )
+    }
+}
+
+/// The storm drill: the same configuration re-routed while a scripted
+/// outage takes a shard down, with the fleet failing over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StormReport {
+    /// Shard count S of the drilled configuration.
+    pub shards: usize,
+    /// Routing policy of the drilled configuration.
+    pub policy: RoutingPolicy,
+    /// Router totals under the storm.
+    pub stats: RouterStats,
+    /// Fingerprint of the merged results under the storm.
+    pub results_fingerprint: u64,
+    /// Whether the storm-run fingerprint matches the healthy run —
+    /// failover must change cycles, never answers.
+    pub fingerprint_matches_healthy: bool,
+    /// Dispatches that hung and paid the timeout penalty.
+    pub timeouts: u64,
+    /// Dispatches an open breaker rerouted without a timeout.
+    pub breaker_rejections: u64,
+    /// Breaker open transitions observed.
+    pub breaker_opens: u64,
+    /// Breaker close transitions observed.
+    pub breaker_closes: u64,
+}
+
+impl fmt::Display for StormReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "storm S={} {}: results {} (replica={} host={} timeouts={} \
+             rejections={} opens={} closes={} mean_latency={:.0}cy)",
+            self.shards,
+            self.policy.as_str(),
+            if self.fingerprint_matches_healthy {
+                "identical"
+            } else {
+                "DIVERGED"
+            },
+            self.stats.replica_dispatches,
+            self.stats.host_dispatches,
+            self.timeouts,
+            self.breaker_rejections,
+            self.breaker_opens,
+            self.breaker_closes,
+            self.stats.mean_latency_cycles(),
+        )
+    }
+}
+
+/// The full `cluster` experiment report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Dataset name.
+    pub dataset: String,
+    /// Result-set size k.
+    pub k: usize,
+    /// Beam width ef.
+    pub ef: usize,
+    /// Queries routed per configuration.
+    pub queries: usize,
+    /// Recall@k of the monolithic (unsharded) index at the same k/ef —
+    /// the parity baseline.
+    pub mono_recall: f64,
+    /// One row per `(shard count, policy)` cell, in sweep order.
+    pub configs: Vec<ConfigReport>,
+    /// The storm drill.
+    pub storm: StormReport,
+}
+
+impl ClusterReport {
+    /// Total soundness violations across the sweep and the storm drill
+    /// (must be 0).
+    pub fn total_mismatches(&self) -> u64 {
+        self.configs
+            .iter()
+            .map(|c| c.stats.et_mismatches)
+            .sum::<u64>()
+            + self.storm.stats.et_mismatches
+    }
+
+    /// Whether every multi-shard cell saw nonzero cross-shard bound
+    /// savings (the propagation mechanism actually engaged).
+    pub fn propagation_engaged(&self) -> bool {
+        self.configs
+            .iter()
+            .filter(|c| c.shards >= 2)
+            .all(|c| c.stats.bound_saved_frac() > 0.0)
+    }
+}
+
+impl fmt::Display for ClusterReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cluster — {} (k={}, ef={}, {} queries, mono recall {:.4})",
+            self.dataset, self.k, self.ef, self.queries, self.mono_recall
+        )?;
+        for c in &self.configs {
+            writeln!(f, "   {c}")?;
+        }
+        write!(f, "   {}", self.storm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> RouterStats {
+        RouterStats {
+            queries: 3,
+            latency_total: 3_000,
+            max_latency: 1_200,
+            shards_visited: 12,
+            ndp_lines_with_bound: 80,
+            ndp_lines_independent: 100,
+            evals: 50,
+            pruned_evals: 10,
+            ..RouterStats::default()
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_neighbor() {
+        let a = vec![vec![Neighbor::new(1.0, 3), Neighbor::new(2.0, 7)]];
+        let mut b = a.clone();
+        assert_eq!(results_fingerprint(&a), results_fingerprint(&b));
+        b[0][1] = Neighbor::new(2.0, 8);
+        assert_ne!(results_fingerprint(&a), results_fingerprint(&b));
+    }
+
+    #[test]
+    fn displays_are_stable() {
+        let cfg = ConfigReport {
+            policy: RoutingPolicy::Hash,
+            shards: 4,
+            imbalance: 1.05,
+            recall: 0.9876,
+            stats: stats(),
+            results_fingerprint: 0xABCD,
+        };
+        let line = cfg.to_string();
+        assert!(line.contains("S=4 hash"), "{line}");
+        assert!(line.contains("recall=0.9876"), "{line}");
+        assert!(line.contains("saved_frac=0.2000"), "{line}");
+
+        let storm = StormReport {
+            shards: 4,
+            policy: RoutingPolicy::Hash,
+            stats: stats(),
+            results_fingerprint: 0xABCD,
+            fingerprint_matches_healthy: true,
+            timeouts: 2,
+            breaker_rejections: 5,
+            breaker_opens: 1,
+            breaker_closes: 1,
+        };
+        assert!(storm.to_string().contains("results identical"));
+
+        let report = ClusterReport {
+            dataset: "sift".into(),
+            k: 10,
+            ef: 40,
+            queries: 3,
+            mono_recall: 0.98,
+            configs: vec![cfg],
+            storm,
+        };
+        assert_eq!(report.total_mismatches(), 0);
+        assert!(report.propagation_engaged());
+        let text = report.to_string();
+        assert!(text.contains("cluster — sift"), "{text}");
+        assert!(text.contains("storm S=4"), "{text}");
+    }
+}

@@ -1,0 +1,201 @@
+//! Per-shard serving state: each shard owns a slice of the dataset, its
+//! own HNSW index, functional search traces, sampling profile, and the
+//! ANSMET dual-granularity fetch plan — the same artifacts the
+//! monolithic plane builds once, built S times over the partitions.
+//!
+//! Shard-local vector id `i` maps to global id `global_ids[i]`
+//! (ascending), so merged results and fingerprints are always in the
+//! global id space.
+
+use ansmet_core::EtConfig;
+use ansmet_sim::{Design, DesignPlan, Workload};
+use ansmet_vecdata::Dataset;
+
+use crate::partition::{RoutingPolicy, ShardAssignment};
+
+/// One shard: its global-id mapping, fully prepared workload (index +
+/// traces + profile), and the ANSMET fetch plan for its data.
+#[derive(Debug)]
+pub struct Shard {
+    /// Shard index in `0..S`.
+    pub id: usize,
+    /// Shard-local id → global dataset id (ascending).
+    pub global_ids: Vec<usize>,
+    /// The shard's prepared workload (its own index and traces).
+    pub workload: Workload,
+    /// The shard's ANSMET ET configuration (full NDP-ETOpt plan).
+    pub et: EtConfig,
+}
+
+impl Shard {
+    /// Map a shard-local vector id to its global dataset id.
+    pub fn global_id(&self, local: usize) -> usize {
+        self.global_ids[local]
+    }
+
+    /// Number of vectors this shard owns.
+    pub fn len(&self) -> usize {
+        self.global_ids.len()
+    }
+
+    /// Whether the shard owns no vectors (never true for assignments
+    /// produced by [`ShardAssignment::assign`]).
+    pub fn is_empty(&self) -> bool {
+        self.global_ids.is_empty()
+    }
+}
+
+/// A complete sharded deployment of one dataset: the assignment plus
+/// every shard's serving state, sharing one query list.
+#[derive(Debug)]
+pub struct ShardSet {
+    /// The dataset → shard mapping and routing metadata.
+    pub assignment: ShardAssignment,
+    /// The shards, indexed by shard id.
+    pub shards: Vec<Shard>,
+    /// The shared query list (every shard searched the same queries).
+    pub queries: Vec<Vec<f32>>,
+    /// Global result-set size k.
+    pub k: usize,
+    /// Beam width used by every shard's functional searches.
+    pub ef: usize,
+}
+
+impl ShardSet {
+    /// Partition `data` into `shards` shards under `policy` and prepare
+    /// every shard: slice datasets, build per-shard HNSW indexes, run
+    /// the traced functional searches, and derive each shard's ANSMET
+    /// fetch plan.
+    ///
+    /// Each shard searches for `k` neighbors (clamped to the shard
+    /// size) at beam width `ef`, so the merged top-k over shards always
+    /// has enough candidates.
+    pub fn build(
+        data: &Dataset,
+        queries: &[Vec<f32>],
+        k: usize,
+        ef: usize,
+        shards: usize,
+        policy: RoutingPolicy,
+        seed: u64,
+    ) -> ShardSet {
+        let assignment = ShardAssignment::assign(data, shards, policy, seed);
+        let built: Vec<Shard> = (0..shards)
+            .map(|s| {
+                let global_ids = assignment.members(s);
+                let values: Vec<f32> = global_ids
+                    .iter()
+                    .flat_map(|&id| data.vector(id).to_vec())
+                    .collect();
+                let shard_data = Dataset::from_values(
+                    format!("{}/s{s}", data.name()),
+                    data.dtype(),
+                    data.metric(),
+                    data.dim(),
+                    values,
+                );
+                let k_local = k.min(shard_data.len()).max(1);
+                let workload = Workload::from_parts(shard_data, queries.to_vec(), k_local, ef);
+                let et = DesignPlan::build(Design::NdpEtOpt, &workload)
+                    .et
+                    .expect("NDP-ETOpt always carries an ET plan");
+                Shard {
+                    id: s,
+                    global_ids,
+                    workload,
+                    et,
+                }
+            })
+            .collect();
+        ShardSet {
+            assignment,
+            shards: built,
+            queries: queries.to_vec(),
+            k,
+            ef,
+        }
+    }
+
+    /// Number of shards S.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the set has no shards (never true for built sets).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Shard `s`'s functional top-k for query `qi`, in **global** ids
+    /// with true distances — the partial result the router merges.
+    pub fn shard_partial(&self, s: usize, qi: usize) -> Vec<ansmet_index::Neighbor> {
+        let shard = &self.shards[s];
+        shard.workload.results[qi]
+            .iter()
+            .map(|&local| {
+                let gid = shard.global_id(local);
+                let dist = shard.workload.data.distance_to(local, &self.queries[qi]);
+                ansmet_index::Neighbor::new(dist, gid)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ansmet_vecdata::SynthSpec;
+
+    #[test]
+    fn shards_partition_the_dataset_and_trace() {
+        let (data, queries) = SynthSpec::sift().scaled(400, 2).generate();
+        let set = ShardSet::build(&data, &queries, 10, 40, 3, RoutingPolicy::Hash, 7);
+        assert_eq!(set.len(), 3);
+        let total: usize = set.shards.iter().map(Shard::len).sum();
+        assert_eq!(total, data.len());
+        for shard in &set.shards {
+            assert!(!shard.is_empty());
+            assert_eq!(shard.workload.traces.len(), queries.len());
+            assert_eq!(shard.workload.data.len(), shard.len());
+            // Shard rows are the same vectors as their global ids.
+            assert_eq!(
+                shard.workload.data.vector(0),
+                data.vector(shard.global_id(0))
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_is_the_monolith() {
+        let (data, queries) = SynthSpec::sift().scaled(300, 2).generate();
+        let set = ShardSet::build(&data, &queries, 10, 40, 1, RoutingPolicy::Hash, 7);
+        let mono = Workload::from_parts(data.clone(), queries.clone(), 10, 40);
+        assert_eq!(set.shards[0].workload.results, mono.results);
+        assert_eq!(set.shards[0].workload.recall, mono.recall);
+        // Identity mapping: local ids are global ids.
+        assert!(set.shards[0]
+            .global_ids
+            .iter()
+            .enumerate()
+            .all(|(i, &g)| i == g));
+    }
+
+    #[test]
+    fn partials_carry_global_ids_and_true_distances() {
+        let (data, queries) = SynthSpec::sift().scaled(300, 2).generate();
+        let set = ShardSet::build(&data, &queries, 5, 40, 2, RoutingPolicy::KMeans, 7);
+        for s in 0..2 {
+            let p = set.shard_partial(s, 0);
+            assert!(!p.is_empty());
+            for n in &p {
+                assert_eq!(set.assignment.shard_of[n.id], s, "global id owned by shard");
+                let true_d = data.distance_to(n.id, &queries[0]);
+                assert!(
+                    (n.dist - true_d).abs() <= 1e-4 * true_d.abs().max(1.0),
+                    "distance {} vs {true_d}",
+                    n.dist
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Property test: scatter-gather merge over arbitrary shard splits must
+//! be element-identical to a single sorted merge of all candidates.
+//!
+//! Distances are drawn from a coarse grid so duplicate distances are
+//! common — the (distance, id) tie-break is exactly what makes the merge
+//! deterministic, and this test exercises it hard. Ids are distinct
+//! (shards own disjoint vector ranges), matching the invariant the
+//! router relies on.
+
+use ansmet_cluster::merge_partials;
+use ansmet_index::Neighbor;
+use proptest::prelude::*;
+
+proptest! {
+    /// Any split of a candidate multiset into shards merges to the same
+    /// top-k as sorting the whole multiset at once, for every k.
+    fn shard_merge_matches_single_sorted_merge(
+        // Coarse grid: only 8 distinct distances over up to 64 candidates
+        // guarantees plenty of duplicate-distance ties.
+        grid in proptest::collection::vec(0u8..8, 1..64),
+        // Shard assignment per candidate (up to 9 shards, some empty).
+        homes in proptest::collection::vec(0usize..9, 1..64),
+        k in 1usize..12,
+        shards in 1usize..9,
+    ) {
+        let all: Vec<Neighbor> = grid
+            .iter()
+            .enumerate()
+            .map(|(id, &g)| Neighbor::new(g as f32 * 0.25, id))
+            .collect();
+
+        let mut partials: Vec<Vec<Neighbor>> = vec![Vec::new(); shards];
+        for (i, &n) in all.iter().enumerate() {
+            partials[homes[i % homes.len()] % shards].push(n);
+        }
+
+        let merged = merge_partials(k, &partials);
+
+        let mut reference = all.clone();
+        reference.sort();
+        reference.truncate(k);
+
+        prop_assert_eq!(&merged, &reference);
+
+        // Element-identical, not just same distances: ids must agree at
+        // every rank, including runs of duplicate distances.
+        for (a, b) in merged.iter().zip(&reference) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.dist.to_bits(), b.dist.to_bits());
+        }
+    }
+
+    /// Reordering the shards (reversing the partial list) never changes
+    /// the merged result.
+    fn merge_is_shard_order_independent(
+        grid in proptest::collection::vec(0u8..6, 1..48),
+        homes in proptest::collection::vec(0usize..5, 1..48),
+        k in 1usize..10,
+    ) {
+        let shards = 5;
+        let mut partials: Vec<Vec<Neighbor>> = vec![Vec::new(); shards];
+        for (id, &g) in grid.iter().enumerate() {
+            partials[homes[id % homes.len()] % shards]
+                .push(Neighbor::new(g as f32 * 0.5, id));
+        }
+        let forward = merge_partials(k, &partials);
+        partials.reverse();
+        let backward = merge_partials(k, &partials);
+        prop_assert_eq!(forward, backward);
+    }
+}

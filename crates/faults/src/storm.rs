@@ -89,6 +89,31 @@ impl StormPlan {
         }])
     }
 
+    /// A rolling outage: groups `0..groups` go dark one after another,
+    /// each for `window_cycles`, starting `stride_cycles` apart (a
+    /// rolling firmware update gone wrong, or a cascading brownout).
+    /// Windows may overlap when `stride_cycles < window_cycles`.
+    pub fn rolling_outage(
+        groups: usize,
+        start_cycle: u64,
+        window_cycles: u64,
+        stride_cycles: u64,
+    ) -> Self {
+        StormPlan::new(
+            (0..groups)
+                .map(|g| {
+                    let start = start_cycle + g as u64 * stride_cycles;
+                    StormWindow {
+                        groups: vec![g],
+                        start_cycle: start,
+                        end_cycle: start + window_cycles,
+                        kind: StormKind::Hang,
+                    }
+                })
+                .collect(),
+        )
+    }
+
     /// The scripted windows.
     pub fn windows(&self) -> &[StormWindow] {
         &self.windows
@@ -236,6 +261,26 @@ mod tests {
         assert_eq!(p.fault_at(0, 60), Some(StormKind::Stall { cycles: 7 }));
         assert_eq!(p.fault_at(0, 120), Some(StormKind::Hang));
         assert_eq!(p.span(), Some((0, 150)));
+    }
+
+    #[test]
+    fn rolling_outage_staggers_the_windows() {
+        let p = StormPlan::rolling_outage(3, 1_000, 500, 2_000);
+        assert_eq!(p.windows().len(), 3);
+        // Group g dark exactly over [1000 + 2000 g, 1500 + 2000 g).
+        for g in 0..3 {
+            let start = 1_000 + g as u64 * 2_000;
+            assert_eq!(p.fault_at(g, start), Some(StormKind::Hang));
+            assert_eq!(p.fault_at(g, start + 499), Some(StormKind::Hang));
+            assert_eq!(p.fault_at(g, start + 500), None);
+            assert_eq!(p.fault_at(g, start.wrapping_sub(1)), None);
+        }
+        // At any instant at most one group is dark (stride > window).
+        for cycle in (0..8_000).step_by(100) {
+            let dark = (0..3).filter(|&g| p.fault_at(g, cycle).is_some()).count();
+            assert!(dark <= 1, "cycle {cycle} has {dark} dark groups");
+        }
+        assert_eq!(p.span(), Some((1_000, 5_500)));
     }
 
     #[test]

@@ -79,6 +79,23 @@ impl Default for BreakerConfig {
     }
 }
 
+impl BreakerConfig {
+    /// A fast-tripping preset for coarse-grained callers (one breaker
+    /// observation per *shard visit* rather than per offload batch): a
+    /// single failure opens the breaker and the cooldown is short, so a
+    /// storm-afflicted shard stops eating timeout penalties after its
+    /// first hung dispatch yet probes again soon after recovery.
+    pub fn fast_trip() -> Self {
+        BreakerConfig {
+            ewma_shift: 1,
+            consecutive_failures: 1,
+            cooldown_cycles: 20_000,
+            probe_successes: 1,
+            ..BreakerConfig::default()
+        }
+    }
+}
+
 /// One recorded breaker transition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BreakerTransition {
@@ -292,6 +309,17 @@ mod tests {
             cooldown_cycles: 1_000,
             probe_successes: 2,
         }
+    }
+
+    #[test]
+    fn fast_trip_opens_on_one_failure_and_closes_on_one_probe() {
+        let mut h = HealthTracker::new(2, BreakerConfig::fast_trip());
+        let t = h.record_failure(0, 100).expect("single failure opens");
+        assert_eq!(t.to, BreakerState::Open);
+        assert!(!h.admits(0, 101));
+        assert!(h.admits(0, 100 + BreakerConfig::fast_trip().cooldown_cycles));
+        let t = h.record_success(0, 30_000).expect("one probe closes");
+        assert_eq!(t.to, BreakerState::Closed);
     }
 
     #[test]

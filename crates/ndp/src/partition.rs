@@ -223,6 +223,19 @@ impl ReplicaSet {
         let offset = 1 + attempt % (groups - 1);
         Some((home + offset) % groups)
     }
+
+    /// The full deterministic failover ring for `home`: every alternative
+    /// group in probe order (`home+1, home+2, …` mod `groups`, `home`
+    /// excluded). Callers that must survive multi-group outages walk this
+    /// chain until they find a healthy target; an empty chain means the
+    /// fleet has nowhere to fail over to.
+    pub fn failover_chain(home: usize, groups: usize) -> Vec<usize> {
+        (0..groups.saturating_sub(1))
+            .map(|attempt| {
+                Self::replica_group(home, groups, attempt).expect("groups > 1 on a non-empty chain")
+            })
+            .collect()
+    }
 }
 
 /// Per-rank load accounting (comparison tasks assigned), used both for
@@ -383,6 +396,15 @@ mod tests {
                 ReplicaSet::replica_group(home, groups, groups - 1),
             );
         }
+    }
+
+    #[test]
+    fn failover_chain_is_the_whole_ring_in_probe_order() {
+        assert_eq!(ReplicaSet::failover_chain(1, 4), vec![2, 3, 0]);
+        assert_eq!(ReplicaSet::failover_chain(3, 4), vec![0, 1, 2]);
+        assert_eq!(ReplicaSet::failover_chain(0, 2), vec![1]);
+        assert!(ReplicaSet::failover_chain(0, 1).is_empty());
+        assert!(ReplicaSet::failover_chain(0, 0).is_empty());
     }
 
     #[test]

@@ -200,6 +200,17 @@ impl OpsPlane {
                     .counter_add("ops.compaction_pause_cycles", cycle, cycles as u64);
                 self.pauses.push((cycle, cycles as u64));
             }
+            EventKind::ShardSkipped { .. } => {
+                self.series.counter_add("ops.shards_skipped", cycle, 1);
+            }
+            EventKind::ShardFailover { .. } => {
+                self.series.counter_add("ops.shard_failovers", cycle, 1);
+            }
+            EventKind::BoundPropagated { saved_lines, .. } => {
+                self.series.counter_add("ops.bound_propagations", cycle, 1);
+                self.series
+                    .counter_add("ops.bound_saved_lines", cycle, saved_lines as u64);
+            }
             _ => {}
         }
     }

@@ -169,6 +169,15 @@ pub enum EventKind {
     /// Maintenance: epoch `epoch` paused the device for `cycles`
     /// (compaction / re-validation), starting at the event cycle.
     CompactionPause { epoch: u32, cycles: u32 },
+    /// Cluster: shard `shard` was skipped for a query — its ball lower
+    /// bound proved it cannot improve the global top-k.
+    ShardSkipped { shard: u32 },
+    /// Cluster: shard `shard`'s breaker rejected the dispatch and the
+    /// query was served by replica group `to` instead.
+    ShardFailover { shard: u32, to: u32 },
+    /// Cluster: the global kth bound tightened shard `shard`'s ET
+    /// thresholds, saving `saved_lines` 64 B fetches in one hop.
+    BoundPropagated { shard: u32, saved_lines: u32 },
 }
 
 impl EventKind {
@@ -198,6 +207,9 @@ impl EventKind {
             EventKind::Brownout { .. } => "brownout",
             EventKind::QueryComplete { .. } => "query_complete",
             EventKind::CompactionPause { .. } => "compaction_pause",
+            EventKind::ShardSkipped { .. } => "shard_skipped",
+            EventKind::ShardFailover { .. } => "shard_failover",
+            EventKind::BoundPropagated { .. } => "bound_propagated",
         }
     }
 }
@@ -263,6 +275,13 @@ impl fmt::Display for EventKind {
             }
             EventKind::CompactionPause { epoch, cycles } => {
                 write!(f, "compaction_pause epoch={epoch} cycles={cycles}")
+            }
+            EventKind::ShardSkipped { shard } => write!(f, "shard_skipped shard={shard}"),
+            EventKind::ShardFailover { shard, to } => {
+                write!(f, "shard_failover shard={shard} to={to}")
+            }
+            EventKind::BoundPropagated { shard, saved_lines } => {
+                write!(f, "bound_propagated shard={shard} saved={saved_lines}")
             }
         }
     }
@@ -332,6 +351,22 @@ mod tests {
             }
             .to_string(),
             "compaction_pause epoch=2 cycles=640"
+        );
+        assert_eq!(
+            EventKind::ShardSkipped { shard: 3 }.to_string(),
+            "shard_skipped shard=3"
+        );
+        assert_eq!(
+            EventKind::ShardFailover { shard: 1, to: 2 }.to_string(),
+            "shard_failover shard=1 to=2"
+        );
+        assert_eq!(
+            EventKind::BoundPropagated {
+                shard: 0,
+                saved_lines: 12
+            }
+            .name(),
+            "bound_propagated"
         );
     }
 }

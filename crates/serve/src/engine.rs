@@ -195,14 +195,15 @@ const WAKE_DEVICE_FREE: u32 = 1;
 const WAKE_LINGER: u32 = 2;
 
 /// Cycles one abandoned poll window costs when a batch times out
-/// (mirrors the degraded-mode runner's deadline scale).
-pub(crate) const TIMEOUT_PENALTY_CYCLES: u64 = 4_096;
+/// (mirrors the degraded-mode runner's deadline scale). Shared with the
+/// cluster plane's shard-failover cost model.
+pub const TIMEOUT_PENALTY_CYCLES: u64 = 4_096;
 /// One conventional poll period (100 ns at DDR5-4800), charged per
 /// transient poll miss.
-pub(crate) const POLL_MISS_PENALTY_CYCLES: u64 = 240;
+pub const POLL_MISS_PENALTY_CYCLES: u64 = 240;
 /// Cycles per 64 B line for the host's exact-fallback recompute
 /// (matches `ansmet_sim::degraded`).
-pub(crate) const FALLBACK_CYCLES_PER_LINE: u64 = 60;
+pub const FALLBACK_CYCLES_PER_LINE: u64 = 60;
 
 /// A query waiting in its tenant's queue.
 #[derive(Debug, Clone, Copy)]

@@ -68,7 +68,7 @@ pub mod wfq;
 pub use arrival::{generate_arrivals, Arrival, ArrivalProcess, TenantSpec};
 pub use engine::{
     run_serve, run_serve_with_sink, AdmissionConfig, BatchPolicy, FaultProfile, MaintenancePlan,
-    ServeConfig,
+    ServeConfig, FALLBACK_CYCLES_PER_LINE, POLL_MISS_PENALTY_CYCLES, TIMEOUT_PENALTY_CYCLES,
 };
 pub use experiment::{ops_serve_config, resilience_experiment, serve_experiment};
 pub use histogram::LatencyHistogram;

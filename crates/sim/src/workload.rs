@@ -164,6 +164,56 @@ impl Workload {
         wl
     }
 
+    /// Assemble a workload from an existing dataset and query list (no
+    /// synthetic generation): build the HNSW index, compute ground
+    /// truth, profile, and run the functional traced searches at the
+    /// given beam width.
+    ///
+    /// This is the entry point for *derived* workloads whose data is a
+    /// slice of a larger dataset — the sharded cluster plane
+    /// (`ansmet-cluster`) gives every shard its own index, traces, and
+    /// sampling profile over its partition through here. The beam width
+    /// is taken as given (no recall-driven tuning loop), so a caller
+    /// that reuses a tuned monolithic `ef` gets bit-identical traces
+    /// for the single-shard case.
+    pub fn from_parts(data: Dataset, queries: Vec<Vec<f32>>, k: usize, ef: usize) -> Workload {
+        let t0 = std::time::Instant::now();
+        let params = if data.len() <= 5_000 {
+            HnswParams {
+                ef_construction: 120,
+                ..HnswParams::default()
+            }
+        } else {
+            HnswParams::default()
+        };
+        let hnsw = Hnsw::build(&data, params);
+        let graph_build_secs = t0.elapsed().as_secs_f64();
+
+        let ground_truth = GroundTruth::compute(&data, &queries, k);
+        let n_samples = 100.min(data.len() / 2).max(2);
+        let profile =
+            SamplingProfile::build(&data, &SamplingConfig::default().with_samples(n_samples));
+
+        let mut wl = Workload {
+            name: data.name().to_string(),
+            data,
+            queries,
+            hnsw: Some(hnsw),
+            ivf: None,
+            k,
+            ef,
+            traces: Vec::new(),
+            results: Vec::new(),
+            ground_truth,
+            recall: 0.0,
+            profile,
+            outlier_frac: 0.001,
+            graph_build_secs,
+        };
+        wl.retrace(ef);
+        wl
+    }
+
     /// Re-run the functional searches with a new beam width / nprobe,
     /// refreshing traces, results, and recall (used for the Fig. 8
     /// recall-QPS sweep).
@@ -248,6 +298,18 @@ mod tests {
         assert!(wl.hnsw.is_none());
         assert!(wl.recall >= 0.8, "recall {}", wl.recall);
         assert!(wl.hot_ids().is_empty());
+    }
+
+    #[test]
+    fn from_parts_matches_prepare_at_fixed_ef() {
+        let spec = SynthSpec::sift().scaled(400, 3);
+        let wl = Workload::prepare(&spec, 10, Some(40));
+        let (data, queries) = spec.generate();
+        let parts = Workload::from_parts(data, queries, 10, 40);
+        assert_eq!(parts.results, wl.results);
+        assert_eq!(parts.recall, wl.recall);
+        assert_eq!(parts.traces.len(), wl.traces.len());
+        assert_eq!(parts.ef, 40);
     }
 
     #[test]
